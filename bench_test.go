@@ -1,0 +1,277 @@
+package spider
+
+// The benchmark harness: one testing.B benchmark per table and figure of
+// the paper's evaluation. Each bench regenerates its experiment at a
+// reduced scale and reports headline metrics the paper's claims hinge on
+// as custom benchmark units, so `go test -bench=. -benchmem` doubles as
+// a regression harness for the reproduction's shape:
+//
+//	BenchmarkTable2  …  4.1 spider-vs-stock-×
+//
+// Full-scale regeneration (paper-like durations) is cmd/spider-exp.
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"spider/internal/expt"
+)
+
+// benchOpts is the benchmark scale: small enough to iterate, large
+// enough that the reported ratios are stable for the fixed seed.
+func benchOpts() expt.Options { return expt.Options{Seed: 1, Scale: 0.12} }
+
+func kbps(cell string) float64 {
+	v, _ := strconv.ParseFloat(strings.TrimSuffix(cell, " KB/s"), 64)
+	return v
+}
+
+func pct(cell string) float64 {
+	v, _ := strconv.ParseFloat(strings.TrimSuffix(cell, "%"), 64)
+	return v
+}
+
+func BenchmarkFig2JoinModel(b *testing.B) {
+	var match float64
+	for i := 0; i < b.N; i++ {
+		fig := expt.Fig2(benchOpts())
+		mod := fig.SeriesByName("Model (βmax=5s)")
+		sim := fig.SeriesByName("Simulation (βmax=5s)")
+		var maxDiff float64
+		for j := range mod.Points {
+			d := mod.Points[j].Y - sim.Points[j].Y
+			if d < 0 {
+				d = -d
+			}
+			if d > maxDiff {
+				maxDiff = d
+			}
+		}
+		match = maxDiff
+	}
+	b.ReportMetric(match, "max-model-sim-gap")
+}
+
+func BenchmarkFig3BetaMaxSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		expt.Fig3(benchOpts())
+	}
+}
+
+func BenchmarkFig4DividingSpeed(b *testing.B) {
+	var ds float64
+	for i := 0; i < b.N; i++ {
+		res := expt.Fig4(benchOpts())
+		ds = res.DividingSpeeds[1] // the 50/50 scenario
+	}
+	b.ReportMetric(ds, "dividing-speed-m/s")
+}
+
+func BenchmarkFig5AssocVsSchedule(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		expt.Fig5(benchOpts())
+	}
+}
+
+func BenchmarkFig6JoinVsSchedule(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		expt.Fig6(benchOpts())
+	}
+}
+
+func BenchmarkFig7TCPFraction(b *testing.B) {
+	var full float64
+	for i := 0; i < b.N; i++ {
+		fig := expt.Fig7(benchOpts())
+		pts := fig.Series[0].Points
+		full = pts[len(pts)-1].Y
+	}
+	b.ReportMetric(full, "full-dwell-kbps")
+}
+
+func BenchmarkFig8TCPDwell(b *testing.B) {
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		fig := expt.Fig8(benchOpts())
+		pts := fig.Series[0].Points
+		peak := 0.0
+		for _, p := range pts {
+			if p.Y > peak {
+				peak = p.Y
+			}
+		}
+		if last := pts[len(pts)-1].Y; last > 0 {
+			ratio = peak / last
+		}
+	}
+	b.ReportMetric(ratio, "peak-over-400ms-×")
+}
+
+func BenchmarkFig9Microbench(b *testing.B) {
+	var rel float64
+	for i := 0; i < b.N; i++ {
+		fig := expt.Fig9(benchOpts())
+		two := fig.SeriesByName("two cards, stock").Points
+		sp := fig.SeriesByName("Spider, (100,0,0)").Points
+		rel = sp[len(sp)-1].Y / two[len(two)-1].Y
+	}
+	b.ReportMetric(rel, "spider-vs-two-cards")
+}
+
+func BenchmarkFig10ConnectivityCDFs(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		expt.Fig10(benchOpts())
+	}
+}
+
+func BenchmarkFig11JoinVsTimeout(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		expt.Fig11(benchOpts())
+	}
+}
+
+func BenchmarkFig12JoinPolicies(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		expt.Fig12(benchOpts())
+	}
+}
+
+func BenchmarkFig13UserConnections(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		expt.Fig13(benchOpts())
+	}
+}
+
+func BenchmarkFig14UserDisruptions(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		expt.Fig14(benchOpts())
+	}
+}
+
+func BenchmarkTable1SwitchLatency(b *testing.B) {
+	var base float64
+	for i := 0; i < b.N; i++ {
+		tbl := expt.Table1(benchOpts())
+		base, _ = strconv.ParseFloat(tbl.Rows[0][1], 64)
+	}
+	b.ReportMetric(base, "bare-switch-ms")
+}
+
+func BenchmarkTable2Configurations(b *testing.B) {
+	var gain float64
+	for i := 0; i < b.N; i++ {
+		tbl := expt.Table2(benchOpts())
+		multi := kbps(tbl.Cell("(1) Channel 1, Multi-AP", "Throughput"))
+		single := kbps(tbl.Cell("(2) Channel 1, Single-AP", "Throughput"))
+		if single > 0 {
+			gain = multi / single
+		}
+	}
+	b.ReportMetric(gain, "multi-vs-single-×")
+}
+
+func BenchmarkTable3DHCPFailures(b *testing.B) {
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		tbl := expt.Table3(benchOpts())
+		def := pct(tbl.Cell("Chan 1, default timer", "Failed dhcp"))
+		red := pct(tbl.Cell("Chan 1, ll:100ms, dhcp:200ms", "Failed dhcp"))
+		if def > 0 {
+			ratio = red / def
+		}
+	}
+	b.ReportMetric(ratio, "reduced-vs-default-fail-×")
+}
+
+func BenchmarkTable4ChannelCount(b *testing.B) {
+	var connGain float64
+	for i := 0; i < b.N; i++ {
+		tbl := expt.Table4(benchOpts())
+		c1 := pct(tbl.Cell("1 channel", "Connectivity"))
+		c3 := pct(tbl.Cell("3 channels (equal schedule)", "Connectivity"))
+		if c1 > 0 {
+			connGain = c3 / c1
+		}
+	}
+	b.ReportMetric(connGain, "3ch-connectivity-gain-×")
+}
+
+func BenchmarkAblationSelection(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		expt.AblationSelection(benchOpts())
+	}
+}
+
+func BenchmarkAblationCache(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		expt.AblationCache(benchOpts())
+	}
+}
+
+func BenchmarkAblationChannel(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		expt.AblationChannel(benchOpts())
+	}
+}
+
+func BenchmarkAblationDividing(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		expt.AblationDividing(benchOpts())
+	}
+}
+
+func BenchmarkAblationAPCentric(b *testing.B) {
+	var worst float64
+	for i := 0; i < b.N; i++ {
+		tbl := expt.AblationAPCentric(benchOpts())
+		// Ratio at the highest backhaul: the design choice at its sharpest.
+		last := tbl.Rows[len(tbl.Rows)-1]
+		worst, _ = strconv.ParseFloat(last[3], 64)
+	}
+	b.ReportMetric(worst, "spider-vs-fatvap-×")
+}
+
+func BenchmarkAblationEnergy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		expt.AblationEnergy(benchOpts())
+	}
+}
+
+func BenchmarkAblationInterference(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		expt.AblationInterference(benchOpts())
+	}
+}
+
+func BenchmarkAblationStopGo(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		expt.AblationStopGo(benchOpts())
+	}
+}
+
+func BenchmarkAblationWeb(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		expt.AblationWeb(benchOpts())
+	}
+}
+
+func BenchmarkAblationExactSelection(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		expt.AblationExactSelection(benchOpts())
+	}
+}
+
+// BenchmarkDriveSimulationRate measures raw simulator performance:
+// virtual seconds of a full vehicular drive simulated per wall second.
+func BenchmarkDriveSimulationRate(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		world, mob := AmherstDrive(int64(i + 1)).Build()
+		c := world.AddClient(Defaults(MultiChannelMultiAP,
+			EqualSchedule(200*time.Millisecond, 1, 6, 11)), mob)
+		world.Run(time.Minute)
+		_ = c
+	}
+	b.ReportMetric(60*float64(b.N)/b.Elapsed().Seconds(), "sim-s/wall-s")
+}

@@ -1,0 +1,187 @@
+// Command spider-exp regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	spider-exp -list
+//	spider-exp -id table2 [-seed 1] [-scale 1.0]
+//	spider-exp -id all -scale 0.25
+//
+// Scale 1.0 runs paper-like durations (a 40-minute drive per
+// configuration); smaller scales shrink durations and trial counts
+// proportionally. Output is the same rows/series the paper reports.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"sync"
+	"time"
+
+	"spider/internal/expt"
+)
+
+func main() {
+	var (
+		id      = flag.String("id", "", "experiment id (fig2…fig14, table1…table4, ablation-…, or 'all')")
+		seed    = flag.Int64("seed", 1, "simulation seed")
+		scale   = flag.Float64("scale", 1.0, "experiment scale in (0,1]")
+		list    = flag.Bool("list", false, "list experiment ids and exit")
+		plotOut = flag.Bool("plot", false, "render figures as terminal charts instead of data columns")
+		svgDir  = flag.String("svg", "", "also write each figure as an SVG into this directory")
+		csvDir  = flag.String("csv", "", "also write each figure's series as CSV into this directory")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range expt.IDs() {
+			fmt.Println(e)
+		}
+		return
+	}
+	if *id == "" {
+		fmt.Fprintln(os.Stderr, "spider-exp: -id required (or -list); e.g. -id table2")
+		os.Exit(2)
+	}
+	opts := expt.Options{Seed: *seed, Scale: *scale}
+	ids := []string{*id}
+	if *id == "all" {
+		ids = expt.IDs()
+	}
+	// Experiments are independent worlds on independent kernels, so a
+	// multi-experiment run fans out across cores. Results print in order.
+	type outcome struct {
+		res     fmt.Stringer
+		err     error
+		elapsed time.Duration
+	}
+	outs := make([]outcome, len(ids))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, runtime.NumCPU())
+	for i, e := range ids {
+		wg.Add(1)
+		go func(i int, e string) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			start := time.Now()
+			res, err := expt.Run(e, opts)
+			outs[i] = outcome{res: res, err: err, elapsed: time.Since(start)}
+		}(i, e)
+	}
+	wg.Wait()
+	for i, e := range ids {
+		o := outs[i]
+		if o.err != nil {
+			fmt.Fprintf(os.Stderr, "spider-exp: %v\n", o.err)
+			os.Exit(1)
+		}
+		if *plotOut {
+			printPlots(o.res)
+		} else {
+			fmt.Println(o.res)
+		}
+		if *svgDir != "" {
+			if err := writeSVGs(*svgDir, o.res); err != nil {
+				fmt.Fprintf(os.Stderr, "spider-exp: %v\n", err)
+				os.Exit(1)
+			}
+		}
+		if *csvDir != "" {
+			if err := writeCSVs(*csvDir, o.res); err != nil {
+				fmt.Fprintf(os.Stderr, "spider-exp: %v\n", err)
+				os.Exit(1)
+			}
+		}
+		fmt.Printf("   [%s regenerated in %v at scale %.2f, seed %d]\n\n",
+			e, o.elapsed.Round(time.Millisecond), *scale, *seed)
+	}
+}
+
+// writeCSVs saves any figures in the result into dir as <id>.csv with
+// one (series, x, y) row per point.
+func writeCSVs(dir string, res fmt.Stringer) error {
+	var figs []expt.Figure
+	switch r := res.(type) {
+	case expt.Figure:
+		figs = []expt.Figure{r}
+	case expt.Fig4Result:
+		for i, f := range r.Scenarios {
+			f.ID = fmt.Sprintf("%s-%d", f.ID, i+1)
+			figs = append(figs, f)
+		}
+	case expt.Fig10Result:
+		figs = []expt.Figure{r.Connections, r.Disruptions, r.Bandwidth}
+	default:
+		return nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for _, f := range figs {
+		var b strings.Builder
+		b.WriteString("series,x,y\n")
+		for _, sr := range f.Series {
+			for _, p := range sr.Points {
+				fmt.Fprintf(&b, "%q,%g,%g\n", sr.Name, p.X, p.Y)
+			}
+		}
+		path := filepath.Join(dir, f.ID+".csv")
+		if err := os.WriteFile(path, []byte(b.String()), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("   wrote %s\n", path)
+	}
+	return nil
+}
+
+// printPlots renders any figures contained in a result as terminal
+// charts; tables and other results fall back to their text form.
+func printPlots(res fmt.Stringer) {
+	switch r := res.(type) {
+	case expt.Figure:
+		fmt.Println(r.Plot(72, 18))
+	case expt.Fig4Result:
+		for _, f := range r.Scenarios {
+			fmt.Println(f.Plot(72, 18))
+		}
+	case expt.Fig10Result:
+		for _, f := range []expt.Figure{r.Connections, r.Disruptions, r.Bandwidth} {
+			fmt.Println(f.Plot(72, 18))
+		}
+	default:
+		fmt.Println(res)
+	}
+}
+
+// writeSVGs saves any figures in the result into dir as <id>.svg.
+func writeSVGs(dir string, res fmt.Stringer) error {
+	var figs []expt.Figure
+	switch r := res.(type) {
+	case expt.Figure:
+		figs = []expt.Figure{r}
+	case expt.Fig4Result:
+		for i, f := range r.Scenarios {
+			f.ID = fmt.Sprintf("%s-%d", f.ID, i+1)
+			figs = append(figs, f)
+		}
+	case expt.Fig10Result:
+		figs = []expt.Figure{r.Connections, r.Disruptions, r.Bandwidth}
+	default:
+		return nil // tables have no SVG form
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for _, f := range figs {
+		path := filepath.Join(dir, f.ID+".svg")
+		if err := os.WriteFile(path, []byte(f.PlotSVG(640, 360)), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("   wrote %s\n", path)
+	}
+	return nil
+}

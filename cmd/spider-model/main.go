@@ -1,0 +1,80 @@
+// Command spider-model queries the paper's analytical framework (§2.1):
+// the join-probability model of Eqs. 5–7 and the dividing-speed
+// optimization of Eqs. 8–10.
+//
+// Usage:
+//
+//	spider-model joinprob -f 0.25 -t 4s -betamax 5s
+//	spider-model dividing -joined 0.5 -avail 0.5
+//	spider-model optimize -joined 0.75 -avail 0.25 -speed 5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"spider/internal/model"
+)
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `spider-model <joinprob|dividing|optimize> [flags]
+  joinprob  -f <fraction> -t <dur> -betamax <dur>   join probability (Eq. 7)
+  dividing  -joined <share> -avail <share>          dividing speed (m/s)
+  optimize  -joined <share> -avail <share> -speed <m/s>  optimal schedule`)
+	os.Exit(2)
+}
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "joinprob":
+		fs := flag.NewFlagSet("joinprob", flag.ExitOnError)
+		f := fs.Float64("f", 0.25, "fraction of time on the channel")
+		t := fs.Duration("t", 4*time.Second, "time in range")
+		betaMax := fs.Duration("betamax", 5*time.Second, "maximum AP response time")
+		fs.Parse(os.Args[2:])
+		p := model.PaperJoinParams(*betaMax)
+		fmt.Printf("p(f=%.2f, t=%v, βmax=%v) = %.4f\n", *f, *t, *betaMax, p.JoinProb(*f, *t))
+		fmt.Printf("expected join time within %v: %v\n", *t,
+			p.ExpectedJoinTime(*f, *t).Round(time.Millisecond))
+	case "dividing":
+		fs := flag.NewFlagSet("dividing", flag.ExitOnError)
+		joined := fs.Float64("joined", 0.5, "share of Bw already joined on channel 1")
+		avail := fs.Float64("avail", 0.5, "share of Bw available (join required) on channel 2")
+		fs.Parse(os.Args[2:])
+		chans := []model.ChannelOffer{
+			{JoinedKbps: *joined * model.BwKbps},
+			{AvailKbps: *avail * model.BwKbps},
+		}
+		ds := model.DividingSpeed(model.PaperJoinParams(10*time.Second), chans,
+			model.WiFiRangeM, 1, 40, 0.25)
+		fmt.Printf("dividing speed for (%.0f%%, %.0f%%): %.2f m/s (%.1f mph)\n",
+			*joined*100, *avail*100, ds, ds*2.237)
+		fmt.Println("faster than this: stay on a single channel.")
+	case "optimize":
+		fs := flag.NewFlagSet("optimize", flag.ExitOnError)
+		joined := fs.Float64("joined", 0.5, "share of Bw already joined on channel 1")
+		avail := fs.Float64("avail", 0.5, "share of Bw available on channel 2")
+		speed := fs.Float64("speed", 10, "vehicle speed (m/s)")
+		fs.Parse(os.Args[2:])
+		T := time.Duration(model.WiFiRangeM / *speed * float64(time.Second))
+		s := model.Optimize(model.OptimizeInput{
+			Join: model.PaperJoinParams(10 * time.Second),
+			Channels: []model.ChannelOffer{
+				{JoinedKbps: *joined * model.BwKbps},
+				{AvailKbps: *avail * model.BwKbps},
+			},
+			T: T,
+		})
+		fmt.Printf("speed %.1f m/s → residence T=%v\n", *speed, T.Round(time.Millisecond))
+		fmt.Printf("optimal schedule: f1=%.2f f2=%.2f\n", s.F[0], s.F[1])
+		fmt.Printf("per-channel bandwidth: %.0f / %.0f kbps (aggregate %.0f)\n",
+			s.PerChannelKbps[0], s.PerChannelKbps[1], s.AggregateKbps)
+	default:
+		usage()
+	}
+}

@@ -1,0 +1,105 @@
+// Command spider-pcap dissects capture files written by spider-sim
+// (-pcap): per-frame-type counts, airtime shares, the busiest stations,
+// and optionally a frame-by-frame listing.
+//
+// Usage:
+//
+//	spider-pcap trace.pcap
+//	spider-pcap -v trace.pcap | head
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"spider/internal/pcap"
+	"spider/internal/wifi"
+)
+
+func main() {
+	verbose := flag.Bool("v", false, "list every frame")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: spider-pcap [-v] <file.pcap>")
+		os.Exit(2)
+	}
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "spider-pcap:", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	recs, err := pcap.ReadAll(f)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "spider-pcap:", err)
+		os.Exit(1)
+	}
+	if len(recs) == 0 {
+		fmt.Println("empty capture")
+		return
+	}
+
+	byType := map[wifi.FrameType]int{}
+	bytesByType := map[wifi.FrameType]int{}
+	bySrc := map[wifi.Addr]int{}
+	undecodable := 0
+	for _, rec := range recs {
+		frame, err := wifi.Decode(rec.Data)
+		if err != nil {
+			undecodable++
+			continue
+		}
+		byType[frame.Type]++
+		bytesByType[frame.Type] += len(rec.Data)
+		bySrc[frame.SA]++
+		if *verbose {
+			fmt.Printf("%12v  %s\n", rec.At, frame)
+		}
+	}
+
+	span := recs[len(recs)-1].At - recs[0].At
+	fmt.Printf("%d frames over %v", len(recs), span.Round(time.Millisecond))
+	if undecodable > 0 {
+		fmt.Printf(" (%d undecodable)", undecodable)
+	}
+	fmt.Println()
+
+	type row struct {
+		t wifi.FrameType
+		n int
+	}
+	var rows []row
+	for t, n := range byType {
+		rows = append(rows, row{t, n})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].n > rows[j].n })
+	fmt.Printf("\n%-12s %8s %12s\n", "type", "frames", "bytes")
+	for _, r := range rows {
+		fmt.Printf("%-12s %8d %12d\n", r.t, r.n, bytesByType[r.t])
+	}
+
+	type srcRow struct {
+		a wifi.Addr
+		n int
+	}
+	var srcs []srcRow
+	for a, n := range bySrc {
+		srcs = append(srcs, srcRow{a, n})
+	}
+	sort.Slice(srcs, func(i, j int) bool {
+		if srcs[i].n != srcs[j].n {
+			return srcs[i].n > srcs[j].n
+		}
+		return srcs[i].a.String() < srcs[j].a.String()
+	})
+	fmt.Printf("\nbusiest stations:\n")
+	for i, s := range srcs {
+		if i >= 5 {
+			break
+		}
+		fmt.Printf("  %s  %d frames\n", s.a, s.n)
+	}
+}

@@ -1,0 +1,126 @@
+// Command spider-sim runs one vehicular drive with a chosen driver
+// configuration and reports the paper's §4.3 metrics.
+//
+// Usage:
+//
+//	spider-sim -config ch1-multi -minutes 30
+//	spider-sim -config 3ch-multi -city boston -speed 8 -seed 7
+//
+// Configurations: ch1-multi, ch1-single, 3ch-multi, 3ch-single, stock.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"spider/internal/core"
+	"spider/internal/metrics"
+	"spider/internal/pcap"
+	"spider/internal/radio"
+	"spider/internal/scenario"
+)
+
+func driverConfig(name string) (core.Config, error) {
+	one := []core.ChannelSlice{{Channel: 1}}
+	three := core.EqualSchedule(200*time.Millisecond, 1, 6, 11)
+	switch name {
+	case "ch1-multi":
+		return core.SpiderDefaults(core.SingleChannelMultiAP, one), nil
+	case "ch1-single":
+		return core.StockDefaults(one), nil
+	case "3ch-multi":
+		return core.SpiderDefaults(core.MultiChannelMultiAP, three), nil
+	case "3ch-single":
+		return core.SpiderDefaults(core.MultiChannelSingleAP, three), nil
+	case "stock":
+		return core.StockDefaults(three), nil
+	}
+	return core.Config{}, fmt.Errorf("unknown config %q", name)
+}
+
+func main() {
+	var (
+		config  = flag.String("config", "ch1-multi", "driver configuration")
+		city    = flag.String("city", "amherst", "drive scenario: amherst or boston")
+		minutes = flag.Int("minutes", 30, "drive duration in simulated minutes")
+		seed    = flag.Int64("seed", 1, "simulation seed")
+		speed   = flag.Float64("speed", 0, "override vehicle speed (m/s)")
+		numAPs  = flag.Int("aps", 0, "override deployed AP count")
+		pcapOut = flag.String("pcap", "", "write an over-the-air capture to this file")
+	)
+	flag.Parse()
+
+	cfg, err := driverConfig(*config)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "spider-sim:", err)
+		os.Exit(2)
+	}
+	spec := scenario.AmherstDrive(*seed)
+	if *city == "boston" {
+		spec = scenario.BostonDrive(*seed)
+	}
+	rc := radio.Defaults()
+	rc.DataRateKbps = 24_000
+	rc.Loss = 0.08
+	rc.EdgeStart = 0.55
+	spec.Radio = rc
+	if *speed > 0 {
+		spec.SpeedMS = *speed
+	}
+	if *numAPs > 0 {
+		spec.NumAPs = *numAPs
+	}
+	world, mob := spec.Build()
+	client := world.AddClient(cfg, mob)
+	var capture *pcap.Capture
+	if *pcapOut != "" {
+		capture = pcap.NewCapture(world.Medium, 0)
+	}
+
+	dur := time.Duration(*minutes) * time.Minute
+	start := time.Now()
+	world.Run(dur)
+
+	if capture != nil {
+		f, err := os.Create(*pcapOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "spider-sim:", err)
+			os.Exit(1)
+		}
+		n, err := capture.Dump(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "spider-sim:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %d frames to %s (dropped %d over the capture limit)\n",
+			n, *pcapOut, capture.Dropped)
+	}
+
+	fmt.Printf("Drive: %s, %d APs, %.1f m/s, %v simulated (%v wall)\n",
+		*city, len(world.APs), spec.SpeedMS, dur, time.Since(start).Round(time.Millisecond))
+	fmt.Printf("Driver: %s\n\n", cfg.Mode)
+	fmt.Printf("  avg throughput:   %s\n", metrics.FormatKBps(client.Rec.ThroughputKBps(dur)))
+	fmt.Printf("  connectivity:     %s\n", metrics.FormatPct(client.Rec.Connectivity(dur)))
+	conns := client.Rec.Connections(dur)
+	gaps := client.Rec.Disruptions(dur)
+	if len(conns) > 0 {
+		cdf := metrics.DurationsCDF(conns)
+		fmt.Printf("  connections:      %d (median %.0fs)\n", len(conns), cdf.Median())
+	}
+	if len(gaps) > 0 {
+		cdf := metrics.DurationsCDF(gaps)
+		fmt.Printf("  disruptions:      %d (median %.0fs)\n", len(gaps), cdf.Median())
+	}
+	inst := metrics.NewCDF(client.Rec.InstantaneousKBps(dur))
+	if inst.N() > 0 {
+		fmt.Printf("  inst. bandwidth:  p50 %.0f / p90 %.0f KBps\n",
+			inst.Quantile(0.5), inst.Quantile(0.9))
+	}
+	st := client.Driver.Stats()
+	fmt.Printf("\n  joins: %d ok / %d dhcp-failed (%d fast-path, %d soft handoffs), assoc %d/%d, switches %d\n",
+		st.JoinSuccesses, st.DHCPFailures, st.FastPathJoins, st.SoftHandoffs,
+		st.AssocSuccesses, st.AssocAttempts, st.Switches)
+}

@@ -1,0 +1,53 @@
+// Command spider-trace generates and summarizes the synthetic mesh-user
+// demand trace that substitutes for the paper's §4.7 dataset (one day of
+// TCP flows from 161 users of a downtown mesh).
+//
+// Usage:
+//
+//	spider-trace                  # default spec, summary + CDF milestones
+//	spider-trace -users 50 -seed 9
+package main
+
+import (
+	"flag"
+	"fmt"
+	"time"
+
+	"spider/internal/metrics"
+	"spider/internal/usertrace"
+)
+
+func main() {
+	var (
+		seed  = flag.Int64("seed", 1, "trace seed")
+		users = flag.Int("users", 161, "number of users")
+		hours = flag.Int("hours", 24, "observation window in hours")
+	)
+	flag.Parse()
+
+	spec := usertrace.DefaultSpec(*seed)
+	spec.Users = *users
+	spec.Day = time.Duration(*hours) * time.Hour
+	tr := usertrace.Generate(spec)
+
+	fmt.Printf("Synthetic mesh-user trace (seed %d)\n", *seed)
+	fmt.Printf("  users:        %d over %v\n", spec.Users, spec.Day)
+	fmt.Printf("  TCP flows:    %d (%.0f%% HTTP)\n", len(tr.Flows), 100*tr.HTTPShare())
+	fmt.Printf("  volume:       %.2f GB\n", float64(tr.TotalBytes())/1e9)
+
+	durs := metrics.DurationsCDF(tr.Durations())
+	gaps := metrics.DurationsCDF(tr.InterConnectionGaps())
+	fmt.Println("\n  connection duration (s):   p25     p50     p75     p90     p99")
+	fmt.Printf("  %25s", "")
+	for _, q := range []float64{0.25, 0.5, 0.75, 0.9, 0.99} {
+		fmt.Printf("%8.1f", durs.Quantile(q))
+	}
+	fmt.Println("\n  inter-connection gap (s):  p25     p50     p75     p90     p99")
+	fmt.Printf("  %25s", "")
+	for _, q := range []float64{0.25, 0.5, 0.75, 0.9, 0.99} {
+		fmt.Printf("%8.1f", gaps.Quantile(q))
+	}
+	fmt.Println()
+	fmt.Printf("\n  share of flows under 100 s:   %.1f%% (Fig 13's x-range)\n", 100*durs.At(100))
+	fmt.Printf("  share of gaps under 300 s:    %.1f%% (Fig 14's x-range)\n", 100*gaps.At(300))
+}

@@ -1,0 +1,58 @@
+// Capture: tap a drive's over-the-air traffic, write it as a pcap file,
+// and summarize the protocol mix in-process — the programmatic version
+// of `spider-sim -pcap` + `spider-pcap`.
+package main
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"spider"
+	"spider/internal/wifi"
+)
+
+func main() {
+	spec := spider.AmherstDrive(12)
+	world, mob := spec.Build()
+	cap := spider.NewPcapCapture(world, 200_000)
+	world.AddClient(
+		spider.Defaults(spider.MultiChannelMultiAP, spider.EqualSchedule(200*time.Millisecond, 1, 6, 11)),
+		mob)
+	world.Run(2 * time.Minute)
+
+	byType := map[wifi.FrameType]int{}
+	for _, rec := range cap.Records {
+		if f, err := wifi.Decode(rec.Data); err == nil {
+			byType[f.Type]++
+		}
+	}
+	fmt.Printf("captured %d frames in 2 simulated minutes (dropped %d)\n\n", len(cap.Records), cap.Dropped)
+	type row struct {
+		t wifi.FrameType
+		n int
+	}
+	var rows []row
+	for t, n := range byType {
+		rows = append(rows, row{t, n})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].n > rows[j].n })
+	for _, r := range rows {
+		fmt.Printf("  %-12s %6d\n", r.t, r.n)
+	}
+
+	out := "drive.pcap"
+	f, err := os.Create(out)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	n, err := cap.Dump(f)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("\nwrote %d frames to %s — inspect with `go run ./cmd/spider-pcap %s`\n", n, out, out)
+}

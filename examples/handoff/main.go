@@ -1,0 +1,67 @@
+// Handoff: drive repeated laps past the same access points and watch
+// Spider's join machinery learn. Lap one pays full association + DHCP
+// handshakes; later laps rejoin from the DHCP lease cache (REQUEST-first)
+// and rank APs by join history, so handoffs get faster.
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"spider"
+)
+
+func main() {
+	spec := spider.AmherstDrive(3)
+	rc := spider.DefaultRadio()
+	rc.DataRateKbps = 24_000
+	rc.Loss = 0.08
+	rc.EdgeStart = 0.55
+	spec.Radio = rc
+	world, mob := spec.Build()
+
+	client := world.AddClient(
+		spider.Defaults(spider.SingleChannelMultiAP, []spider.ChannelSlice{{Channel: 1}}),
+		mob)
+
+	// One lap of the 3.2 km loop at 10 m/s is 320 s.
+	lap := 320 * time.Second
+	fmt.Println("Repeated laps past the same channel-1 APs:")
+	fmt.Printf("%-6s %8s %14s %12s %12s\n", "lap", "joins", "median join", "fast-path", "throughput")
+	prevJoins := 0
+	var prevFast uint64
+	for lapN := 1; lapN <= 4; lapN++ {
+		world.Run(time.Duration(lapN) * lap)
+		joins := client.SuccessfulJoins()
+		newJoins := joins[prevJoins:]
+		med := time.Duration(0)
+		if len(newJoins) > 0 {
+			ds := make([]time.Duration, len(newJoins))
+			for i, j := range newJoins {
+				ds[i] = j.Elapsed
+			}
+			// crude median
+			for i := 1; i < len(ds); i++ {
+				for j := i; j > 0 && ds[j] < ds[j-1]; j-- {
+					ds[j], ds[j-1] = ds[j-1], ds[j]
+				}
+			}
+			med = ds[len(ds)/2]
+		}
+		fast := client.Driver.Stats().FastPathJoins
+		fmt.Printf("%-6d %8d %14s %12d %9.1f KB/s\n",
+			lapN, len(newJoins), med.Round(time.Millisecond), fast-prevFast,
+			client.Rec.ThroughputKBps(time.Duration(lapN)*lap))
+		prevJoins = len(joins)
+		prevFast = fast
+	}
+
+	fmt.Println("\nPer-AP history the selection heuristic has accumulated:")
+	for _, r := range client.Driver.KnownAPs() {
+		if r.Channel != 1 || r.Attempts == 0 {
+			continue
+		}
+		fmt.Printf("  %s: %d/%d joins, avg %v, score %.2f\n",
+			r.BSSID, r.Successes, r.Attempts, r.AvgJoin().Round(time.Millisecond), r.Score())
+	}
+}

@@ -1,0 +1,45 @@
+// Modelstudy: use the analytical framework (§2.1) directly — no
+// simulation. Computes the join-probability surface of Eq. 7 and the
+// dividing speed of the Eqs. 8–10 optimization for a range of offered
+// bandwidth splits: the speed above which a mobile client should stop
+// switching channels.
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"spider"
+)
+
+func main() {
+	p := spider.PaperJoinParams(10 * time.Second)
+
+	fmt.Println("Join probability p(f, t=4s) — Eq. 7, βmax=10s:")
+	fmt.Printf("%8s", "f")
+	for _, f := range []float64{0.1, 0.25, 0.5, 0.75, 1.0} {
+		fmt.Printf("%8.2f", f)
+	}
+	fmt.Printf("\n%8s", "p")
+	for _, f := range []float64{0.1, 0.25, 0.5, 0.75, 1.0} {
+		fmt.Printf("%8.3f", p.JoinProb(f, 4*time.Second))
+	}
+	fmt.Println()
+	fmt.Println("\n→ a mobile node must spend nearly all of its time on the")
+	fmt.Println("  channel to be sure of joining within a short encounter.")
+
+	fmt.Println("\nDividing speed by offered-bandwidth split (Eqs. 8–10):")
+	fmt.Printf("%12s %12s %16s\n", "joined ch1", "avail ch2", "dividing speed")
+	for _, split := range []struct{ j, a float64 }{
+		{0.25, 0.75}, {0.50, 0.50}, {0.75, 0.25},
+	} {
+		chans := []spider.ChannelOffer{
+			{JoinedKbps: split.j * spider.BwKbps},
+			{AvailKbps: split.a * spider.BwKbps},
+		}
+		ds := spider.DividingSpeed(p, chans, 100, 1, 40, 0.25)
+		fmt.Printf("%11.0f%% %11.0f%% %11.1f m/s\n", split.j*100, split.a*100, ds)
+	}
+	fmt.Println("\n→ faster than the dividing speed, all time should go to a")
+	fmt.Println("  single channel: DHCP joins elsewhere can no longer pay off.")
+}

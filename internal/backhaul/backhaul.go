@@ -1,0 +1,140 @@
+// Package backhaul models the wired side of an access point: a
+// rate-shaped, fixed-latency pipe between the AP and the content servers.
+//
+// The paper's Fig 9 micro-benchmark shapes each AP's backhaul with a
+// traffic shaper to study the aggregate throughput of multiple APs; the
+// broader evaluation rests on the observation that "in urban regions the
+// backhaul bandwidth is rarely greater than the wireless bandwidth",
+// which is why aggregating several APs on one channel pays off.
+package backhaul
+
+import (
+	"time"
+
+	"spider/internal/sim"
+)
+
+// Config describes one AP's wired link.
+type Config struct {
+	// RateKbps is the shaped capacity in each direction.
+	RateKbps int
+	// Latency is the one-way propagation+ISP delay.
+	Latency time.Duration
+	// QueueBytes bounds the shaper queue; excess arrivals drop.
+	QueueBytes int
+}
+
+// DefaultConfig is a typical urban residential backhaul: 2 Mbps,
+// 20 ms one-way, 64 KB of buffer.
+func DefaultConfig() Config {
+	return Config{RateKbps: 2000, Latency: 20 * time.Millisecond, QueueBytes: 64 * 1024}
+}
+
+func (c Config) withDefaults() Config {
+	d := DefaultConfig()
+	if c.RateKbps <= 0 {
+		c.RateKbps = d.RateKbps
+	}
+	if c.Latency <= 0 {
+		c.Latency = d.Latency
+	}
+	if c.QueueBytes <= 0 {
+		c.QueueBytes = d.QueueBytes
+	}
+	return c
+}
+
+// Link is a bidirectional shaped pipe. Each direction serializes
+// independently, like full-duplex DSL.
+type Link struct {
+	kernel *sim.Kernel
+	cfg    Config
+	down   direction // server -> AP
+	up     direction // AP -> server
+
+	// Drops counts messages discarded due to a full queue, per direction.
+	DownDrops, UpDrops uint64
+	// Delivered counts messages that made it through, per direction.
+	DownDelivered, UpDelivered uint64
+	// Bytes counts payload bytes carried.
+	DownBytes, UpBytes uint64
+}
+
+type direction struct {
+	busyUntil time.Duration
+}
+
+// NewLink creates a link on the kernel.
+func NewLink(k *sim.Kernel, cfg Config) *Link {
+	return &Link{kernel: k, cfg: cfg.withDefaults()}
+}
+
+// Config returns the effective configuration.
+func (l *Link) Config() Config { return l.cfg }
+
+// SetRateKbps adjusts the shaped capacity, e.g. for Fig 9's sweep.
+func (l *Link) SetRateKbps(kbps int) {
+	if kbps > 0 {
+		l.cfg.RateKbps = kbps
+	}
+}
+
+// Down sends size bytes from the server side toward the AP, invoking fn
+// when the last byte arrives. It reports false (and drops) if the shaper
+// queue is over budget.
+func (l *Link) Down(size int, fn func()) bool {
+	ok := l.send(&l.down, size, fn)
+	if ok {
+		l.DownDelivered++
+		l.DownBytes += uint64(size)
+	} else {
+		l.DownDrops++
+	}
+	return ok
+}
+
+// Up sends size bytes from the AP toward the server.
+func (l *Link) Up(size int, fn func()) bool {
+	ok := l.send(&l.up, size, fn)
+	if ok {
+		l.UpDelivered++
+		l.UpBytes += uint64(size)
+	} else {
+		l.UpDrops++
+	}
+	return ok
+}
+
+func (l *Link) send(dir *direction, size int, fn func()) bool {
+	if size < 0 {
+		size = 0
+	}
+	now := l.kernel.Now()
+	start := now
+	if dir.busyUntil > start {
+		start = dir.busyUntil
+	}
+	// Queue occupancy in bytes implied by the backlog ahead of us.
+	backlogBytes := int(float64((start - now)) / float64(time.Second) * float64(l.cfg.RateKbps) * 1000 / 8)
+	if backlogBytes > l.cfg.QueueBytes {
+		return false
+	}
+	txTime := time.Duration(float64(size*8) / float64(l.cfg.RateKbps) / 1000 * float64(time.Second))
+	dir.busyUntil = start + txTime
+	l.kernel.At(start+txTime+l.cfg.Latency, fn)
+	return true
+}
+
+// QueueDelay reports how long a byte entering the given direction now
+// would wait before transmission begins.
+func (l *Link) QueueDelay(downstream bool) time.Duration {
+	dir := &l.up
+	if downstream {
+		dir = &l.down
+	}
+	d := dir.busyUntil - l.kernel.Now()
+	if d < 0 {
+		return 0
+	}
+	return d
+}

@@ -1,0 +1,68 @@
+package core
+
+import "spider/internal/wifi"
+
+// startAPSlicer begins FatVAP-style per-AP time slicing when the config
+// asks for it. Every APSliceDwell the driver picks the next connected
+// interface on the current channel as the "active" AP, wakes it (PSM
+// off), and claims power-save at every other connected AP on the channel
+// — serializing service across same-channel APs exactly the way Spider's
+// channel-centric design avoids.
+func (d *Driver) startAPSlicer() {
+	d.kernel.After(d.cfg.APSliceDwell, d.apSliceTick)
+}
+
+func (d *Driver) apSliceTick() {
+	defer d.kernel.After(d.cfg.APSliceDwell, d.apSliceTick)
+	if d.switching {
+		return
+	}
+	ch := d.radio.Channel()
+	if ch == 0 {
+		return
+	}
+	var connected []*Iface
+	for _, ifc := range d.Interfaces() {
+		if ifc.Channel() == ch && ifc.Connected() {
+			connected = append(connected, ifc)
+		}
+	}
+	if len(connected) < 2 {
+		// Nothing to serialize: make sure a lone AP is awake.
+		if len(connected) == 1 && connected[0].psmOn {
+			d.setPSM(connected[0], false)
+		}
+		return
+	}
+	d.apSliceIdx = (d.apSliceIdx + 1) % len(connected)
+	for i, ifc := range connected {
+		d.setPSM(ifc, i != d.apSliceIdx)
+	}
+}
+
+// setPSM announces the power-save state to one AP if it differs from
+// what the AP already believes.
+func (d *Driver) setPSM(ifc *Iface, on bool) {
+	if ifc.psmOn == on {
+		return
+	}
+	ifc.psmOn = on
+	d.radio.Send(&wifi.Frame{Type: wifi.TypeNull, SA: d.Addr(), DA: ifc.BSSID(),
+		BSSID: ifc.BSSID(), PowerMgmt: on, Seq: d.nextSeq()})
+}
+
+// apSliceActive reports, for tests, which BSSID is currently served
+// (zero Addr if slicing is idle).
+func (d *Driver) APSliceActive() wifi.Addr {
+	ch := d.radio.Channel()
+	var connected []*Iface
+	for _, ifc := range d.Interfaces() {
+		if ifc.Channel() == ch && ifc.Connected() {
+			connected = append(connected, ifc)
+		}
+	}
+	if len(connected) < 2 {
+		return wifi.Addr{}
+	}
+	return connected[d.apSliceIdx%len(connected)].BSSID()
+}

@@ -1,0 +1,141 @@
+package core
+
+import (
+	"sort"
+	"time"
+
+	"spider/internal/dhcp"
+	"spider/internal/wifi"
+)
+
+// APRecord is what the driver knows about one discovered access point:
+// discovery metadata from scanning plus the join history and cached lease
+// that drive Spider's AP selection heuristic.
+//
+// Selecting the utility-maximizing AP set is NP-hard (the paper's
+// appendix), so Spider "selects APs that have the best history of
+// successful joins" — join time, not end-to-end bandwidth, is the
+// critical factor at vehicular speeds.
+type APRecord struct {
+	BSSID        wifi.Addr
+	SSID         string
+	Channel      int
+	BackhaulKbps int
+
+	FirstSeen time.Duration
+	LastSeen  time.Duration
+
+	Attempts  int
+	Successes int
+	TotalJoin time.Duration // summed over successful joins
+
+	HoldUntil time.Duration // back-off after a failure
+
+	LeaseIP     dhcp.IP
+	LeaseExpiry time.Duration
+}
+
+// AvgJoin returns the mean successful join time, or 0 with no history.
+func (r *APRecord) AvgJoin() time.Duration {
+	if r.Successes == 0 {
+		return 0
+	}
+	return r.TotalJoin / time.Duration(r.Successes)
+}
+
+// Score ranks the AP for selection: estimated join success rate divided
+// by estimated join time, so APs that join quickly and reliably win.
+// Unseen APs get an optimistic prior (explore) with a neutral 2 s join
+// estimate.
+func (r *APRecord) Score() float64 {
+	// Laplace-smoothed success rate.
+	rate := float64(r.Successes+1) / float64(r.Attempts+2)
+	est := 2 * time.Second
+	if r.Successes > 0 {
+		est = r.AvgJoin()
+	}
+	return rate / est.Seconds()
+}
+
+// CachedLease returns the usable cached address, if any, at time now.
+func (r *APRecord) CachedLease(now time.Duration) dhcp.IP {
+	if r.LeaseIP != 0 && now < r.LeaseExpiry {
+		return r.LeaseIP
+	}
+	return 0
+}
+
+// apTable is the driver's scan result store.
+type apTable struct {
+	byBSSID map[wifi.Addr]*APRecord
+}
+
+func newAPTable() *apTable {
+	return &apTable{byBSSID: make(map[wifi.Addr]*APRecord)}
+}
+
+// observe records a beacon or probe response sighting.
+func (t *apTable) observe(bssid wifi.Addr, ssid string, channel int, backhaulKbps int, now time.Duration) *APRecord {
+	r, ok := t.byBSSID[bssid]
+	if !ok {
+		r = &APRecord{BSSID: bssid, SSID: ssid, Channel: channel, FirstSeen: now}
+		t.byBSSID[bssid] = r
+	}
+	r.SSID = ssid
+	r.Channel = channel
+	if backhaulKbps > 0 {
+		r.BackhaulKbps = backhaulKbps
+	}
+	r.LastSeen = now
+	return r
+}
+
+// get returns the record for a BSSID, or nil.
+func (t *apTable) get(bssid wifi.Addr) *APRecord { return t.byBSSID[bssid] }
+
+// candidates returns records on the channel, recently seen, out of
+// hold-down, ranked best-first. With history disabled, ranking is by
+// recency alone (stock behaviour).
+func (t *apTable) candidates(channel int, now, staleAfter time.Duration, useHistory bool) []*APRecord {
+	var out []*APRecord
+	for _, r := range t.byBSSID {
+		if r.Channel != channel {
+			continue
+		}
+		if now-r.LastSeen > staleAfter {
+			continue
+		}
+		if now < r.HoldUntil {
+			continue
+		}
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if useHistory {
+			sa, sb := a.Score(), b.Score()
+			if sa != sb {
+				return sa > sb
+			}
+		} else if a.LastSeen != b.LastSeen {
+			return a.LastSeen > b.LastSeen
+		}
+		// Deterministic tie-break.
+		for i := range a.BSSID {
+			if a.BSSID[i] != b.BSSID[i] {
+				return a.BSSID[i] < b.BSSID[i]
+			}
+		}
+		return false
+	})
+	return out
+}
+
+// all returns every record (tests and metrics).
+func (t *apTable) all() []*APRecord {
+	out := make([]*APRecord, 0, len(t.byBSSID))
+	for _, r := range t.byBSSID {
+		out = append(out, r)
+	}
+	return out
+}

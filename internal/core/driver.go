@@ -1,0 +1,635 @@
+package core
+
+import (
+	"sort"
+	"time"
+
+	"spider/internal/dhcp"
+	"spider/internal/geo"
+	"spider/internal/mac"
+	"spider/internal/radio"
+	"spider/internal/sim"
+	"spider/internal/wifi"
+)
+
+// Events are optional driver callbacks experiments hook into.
+type Events struct {
+	// OnConnected fires when an interface obtains a lease.
+	OnConnected func(ifc *Iface)
+	// OnDisconnected fires when a connected interface is torn down.
+	OnDisconnected func(ifc *Iface)
+	// OnAssocResult fires per link-layer join attempt outcome.
+	OnAssocResult func(bssid wifi.Addr, res mac.AssocResult)
+	// OnJoinResult fires per full join (assoc+DHCP) outcome; elapsed is
+	// measured from association start to DHCP outcome (Figs. 6, 11, 12).
+	OnJoinResult func(bssid wifi.Addr, success bool, elapsed time.Duration)
+	// OnSwitch fires per channel switch with the modeled total latency
+	// (PSM announcements + hardware reset + PS-polls; Table 1).
+	OnSwitch func(from, to int, latency time.Duration, connectedIfaces int)
+}
+
+// Stats aggregates driver counters.
+type Stats struct {
+	Switches       uint64
+	AssocAttempts  uint64
+	AssocSuccesses uint64
+	DHCPAttempts   uint64
+	DHCPSuccesses  uint64
+	DHCPFailures   uint64
+	JoinSuccesses  uint64
+	FastPathJoins  uint64
+	ProbesSent     uint64
+	TxQueueDrops   uint64
+	UplinkFrames   uint64
+	DownlinkFrames uint64
+	DownlinkBytes  uint64
+	Disconnects    uint64
+	// SoftHandoffs counts joins completed while another association was
+	// already connected — the make-before-break events that let multi-AP
+	// modes ride through AP transitions without a gap.
+	SoftHandoffs uint64
+	// Renewals / RenewalFailures count T1 lease renewals.
+	Renewals        uint64
+	RenewalFailures uint64
+}
+
+type queuedFrame struct {
+	f *wifi.Frame
+}
+
+// Driver is the Spider driver: one physical radio, a channel-centric
+// scheduler, per-channel transmit queues, and up to MaxInterfaces
+// concurrent virtual interfaces.
+type Driver struct {
+	kernel *sim.Kernel
+	cfg    Config
+	radio  *radio.Radio
+	events Events
+
+	table  *apTable
+	ifaces map[wifi.Addr]*Iface
+
+	schedIdx   int
+	apSliceIdx int
+	switching  bool
+	dwelling   bool // multi-channel single-AP: pinned to the connected AP's channel
+	seq        uint16
+	// idleUntil blocks all joins (the stock client's post-failure sulk).
+	idleUntil time.Duration
+
+	txq map[int][]queuedFrame
+
+	sink func(bssid wifi.Addr, db *wifi.DataBody)
+
+	scanEv  *sim.Event
+	sliceEv *sim.Event
+
+	// Measurement series consumed by the experiment harness.
+	AssocTimes    []time.Duration // successful link-layer association durations
+	JoinTimes     []time.Duration // successful assoc+DHCP durations
+	SwitchLatency []time.Duration
+
+	stats Stats
+}
+
+// NewDriver creates a driver, registers its radio on the medium with the
+// given mobility model, tunes to the first scheduled channel, and starts
+// the scheduler and scanner.
+func NewDriver(m *radio.Medium, cfg Config, addr wifi.Addr, mob geo.Mobility, events Events) *Driver {
+	k := m.Kernel()
+	d := &Driver{
+		kernel: k,
+		cfg:    cfg.withDefaults(),
+		events: events,
+		table:  newAPTable(),
+		ifaces: make(map[wifi.Addr]*Iface),
+		txq:    make(map[int][]queuedFrame),
+	}
+	d.radio = m.NewRadio(addr, func() geo.Point { return mob.PositionAt(k.Now()) }, radio.ReceiverFunc(d.receive))
+	d.radio.SetChannel(d.cfg.Schedule[0].Channel)
+	d.kernel.After(0, d.scanTick)
+	if len(d.cfg.Schedule) > 1 {
+		d.sliceEv = d.kernel.After(d.cfg.Schedule[0].Dwell, d.nextSlice)
+	}
+	d.kernel.After(time.Second, d.inactivityTick)
+	if d.cfg.BackgroundScanEvery > 0 && len(d.cfg.Schedule) > 1 {
+		d.kernel.After(d.cfg.BackgroundScanEvery, d.backgroundScanTick)
+	}
+	if d.cfg.APCentric {
+		d.startAPSlicer()
+	}
+	return d
+}
+
+// backgroundScanTick implements the roaming single-AP driver's periodic
+// off-channel peek while dwelling on its associated AP's channel.
+func (d *Driver) backgroundScanTick() {
+	defer d.kernel.After(d.cfg.BackgroundScanEvery, d.backgroundScanTick)
+	if !d.dwelling || d.switching {
+		return
+	}
+	home := d.radio.Channel()
+	if home == 0 {
+		return
+	}
+	// Visit the next scheduled channel that is not home.
+	target := 0
+	for i := 1; i <= len(d.cfg.Schedule); i++ {
+		ch := d.cfg.Schedule[(d.schedIdx+i)%len(d.cfg.Schedule)].Channel
+		if ch != home {
+			target = ch
+			d.schedIdx = (d.schedIdx + i) % len(d.cfg.Schedule)
+			break
+		}
+	}
+	if target == 0 {
+		return
+	}
+	d.switchTo(target)
+	d.kernel.After(d.cfg.BackgroundScanDwell, func() {
+		if d.dwelling { // still associated: come home
+			d.switchTo(home)
+		}
+	})
+}
+
+// Addr returns the client MAC address.
+func (d *Driver) Addr() wifi.Addr { return d.radio.Addr() }
+
+// Config returns the effective configuration.
+func (d *Driver) Config() Config { return d.cfg }
+
+// Stats returns a snapshot of the counters.
+func (d *Driver) Stats() Stats { return d.stats }
+
+// CurrentChannel returns the tuned channel (0 mid-reset).
+func (d *Driver) CurrentChannel() int { return d.radio.Channel() }
+
+// Interfaces returns the live virtual interfaces, ordered by BSSID.
+// Deterministic order is load-bearing: map-order iteration would make
+// frame emission order (and therefore whole runs) irreproducible.
+func (d *Driver) Interfaces() []*Iface {
+	out := make([]*Iface, 0, len(d.ifaces))
+	for _, ifc := range d.ifaces {
+		out = append(out, ifc)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].BSSID(), out[j].BSSID()
+		for k := range a {
+			if a[k] != b[k] {
+				return a[k] < b[k]
+			}
+		}
+		return false
+	})
+	return out
+}
+
+// ConnectedCount returns how many interfaces hold leases.
+func (d *Driver) ConnectedCount() int {
+	n := 0
+	for _, ifc := range d.ifaces {
+		if ifc.Connected() {
+			n++
+		}
+	}
+	return n
+}
+
+// KnownAPs returns the scan table contents.
+func (d *Driver) KnownAPs() []*APRecord { return d.table.all() }
+
+// SetDataSink registers the upcall for non-DHCP downlink payloads.
+func (d *Driver) SetDataSink(sink func(bssid wifi.Addr, db *wifi.DataBody)) { d.sink = sink }
+
+// SetSwitchHook replaces the OnSwitch callback after construction
+// (micro-benchmarks attach it once the interfaces are up).
+func (d *Driver) SetSwitchHook(fn func(from, to int, latency time.Duration, connected int)) {
+	d.events.OnSwitch = fn
+}
+
+// ForceSwitch performs an immediate channel switch outside the static
+// schedule — micro-benchmark machinery for Table 1.
+func (d *Driver) ForceSwitch(ch int) { d.switchTo(ch) }
+
+// ---- Scheduler ----
+
+func (d *Driver) nextSlice() {
+	d.sliceEv = nil
+	if d.dwelling {
+		// Pinned to a connected AP's channel (multi-channel single-AP
+		// mode); the rotation resumes on disconnect.
+		return
+	}
+	d.schedIdx = (d.schedIdx + 1) % len(d.cfg.Schedule)
+	next := d.cfg.Schedule[d.schedIdx]
+	d.sliceEv = d.kernel.After(next.Dwell, d.nextSlice)
+	d.switchTo(next.Channel)
+}
+
+// switchTo performs Spider's channel switch: PSM-announce to every
+// connected AP on the old channel, hardware reset, then PS-poll the
+// connected APs on the new channel and drain its transmit queue.
+func (d *Driver) switchTo(ch int) {
+	from := d.radio.Channel()
+	if from == ch && !d.switching {
+		return
+	}
+	d.switching = true
+	var latency time.Duration
+	connected := 0
+	// Announce power-save to connected APs on the old channel so they
+	// buffer for us while we are away. The hardware reset waits for these
+	// frames to actually clear the air — resetting under them would flush
+	// the announcement and leave the AP transmitting to nobody.
+	outstanding := 0
+	var beginReset func()
+	for _, ifc := range d.Interfaces() {
+		if ifc.Channel() == from && ifc.state >= IfaceDHCP {
+			connected++
+			outstanding++
+			psm := &wifi.Frame{Type: wifi.TypeNull, SA: d.Addr(), DA: ifc.BSSID(),
+				BSSID: ifc.BSSID(), PowerMgmt: true, Seq: d.nextSeq()}
+			ifc.psmOn = true
+			latency += wifi.TxTime(psm)
+			d.radio.SendNotify(psm, func(bool) {
+				outstanding--
+				if outstanding == 0 {
+					beginReset()
+				}
+			})
+		}
+	}
+	latency += d.cfg.ResetBase
+	// Count polls we will owe on the new channel.
+	var polls []*Iface
+	for _, ifc := range d.Interfaces() {
+		if ifc.Channel() == ch && ifc.state >= IfaceDHCP {
+			polls = append(polls, ifc)
+		}
+	}
+	for range polls {
+		latency += wifi.TxTime(&wifi.Frame{Type: wifi.TypeNull, SA: d.Addr(), DA: wifi.Broadcast})
+	}
+	d.stats.Switches++
+	d.SwitchLatency = append(d.SwitchLatency, latency)
+	if d.events.OnSwitch != nil {
+		d.events.OnSwitch(from, ch, latency, connected)
+	}
+	// Linger briefly after the PSM announcements are acknowledged: the AP
+	// may have one frame already committed to its MAC, and resetting
+	// under it would throw away a TCP segment every single departure.
+	const psmLinger = 3 * time.Millisecond
+	beginReset = func() {
+		d.kernel.After(psmLinger, func() {
+			d.radio.Retune(ch, d.cfg.ResetBase, d.arriveOn(ch, polls))
+		})
+	}
+	if outstanding == 0 {
+		beginReset()
+	}
+}
+
+// arriveOn completes a switch: wake the connected APs on the new channel,
+// drain its transmit queue, and probe.
+func (d *Driver) arriveOn(ch int, polls []*Iface) func() {
+	return func() {
+		d.switching = false
+		// Wake the APs on this channel: PSM off flushes their buffers.
+		for _, ifc := range polls {
+			if ifc.psmOn && d.ifaces[ifc.BSSID()] == ifc {
+				d.radio.Send(&wifi.Frame{Type: wifi.TypeNull, SA: d.Addr(), DA: ifc.BSSID(),
+					BSSID: ifc.BSSID(), PowerMgmt: false, Seq: d.nextSeq()})
+				ifc.psmOn = false
+			}
+		}
+		d.drainTxQueue(ch)
+		d.probe()
+	}
+}
+
+func (d *Driver) nextSeq() uint16 {
+	d.seq++
+	return d.seq
+}
+
+// ---- Scanning ----
+
+func (d *Driver) scanTick() {
+	d.probe()
+	d.kernel.After(d.cfg.ScanInterval, d.scanTick)
+}
+
+// probe sends a wildcard probe request on the current channel
+// (opportunistic scanning also picks up beacons passively).
+func (d *Driver) probe() {
+	if d.radio.Channel() == 0 {
+		return
+	}
+	d.stats.ProbesSent++
+	d.radio.Send(&wifi.Frame{Type: wifi.TypeProbeReq, SA: d.Addr(), DA: wifi.Broadcast,
+		BSSID: wifi.Broadcast, Seq: d.nextSeq(), Body: &wifi.ProbeReqBody{}})
+}
+
+// ---- Join pipeline ----
+
+// maybeJoin starts joins toward the best candidates on the current
+// channel, respecting the interface budget.
+func (d *Driver) maybeJoin() {
+	if d.switching {
+		return
+	}
+	ch := d.radio.Channel()
+	if ch == 0 {
+		return
+	}
+	budget := d.cfg.MaxInterfaces - len(d.ifaces)
+	if budget <= 0 {
+		return
+	}
+	now := d.kernel.Now()
+	if now < d.idleUntil {
+		return
+	}
+	for _, rec := range d.table.candidates(ch, now, 2*time.Second, d.cfg.UseHistory) {
+		if budget <= 0 {
+			return
+		}
+		if _, exists := d.ifaces[rec.BSSID]; exists {
+			continue
+		}
+		d.startJoin(rec)
+		budget--
+	}
+}
+
+func (d *Driver) startJoin(rec *APRecord) {
+	ifc := &Iface{rec: rec, state: IfaceJoining, joinStart: d.kernel.Now(), lastHeard: d.kernel.Now()}
+	bssid := rec.BSSID
+	ifc.joiner = mac.NewJoiner(d.kernel, d.cfg.Join, d.Addr(), bssid, rec.SSID,
+		func(f *wifi.Frame) { d.transmit(rec.Channel, f) },
+		func(res mac.AssocResult) { d.onAssocResult(ifc, res) })
+	ifc.dhcpc = dhcp.NewClient(d.kernel, d.cfg.DHCP, d.Addr(),
+		func(m *dhcp.Message) { d.transmit(rec.Channel, m.Frame(d.Addr(), bssid, bssid)) },
+		func(res dhcp.Result) { d.onDHCPResult(ifc, res) })
+	d.ifaces[bssid] = ifc
+	rec.Attempts++
+	d.stats.AssocAttempts++
+	// Single-association roaming drivers (stock and Spider's config 4)
+	// stop scanning while a join is in progress: the rotation resumes
+	// only if the attempt fails.
+	if d.cfg.Mode == MultiChannelSingleAP || d.cfg.Mode == StockWiFi {
+		d.dwelling = true
+	}
+	ifc.joiner.Start()
+}
+
+func (d *Driver) onAssocResult(ifc *Iface, res mac.AssocResult) {
+	if d.events.OnAssocResult != nil {
+		d.events.OnAssocResult(ifc.BSSID(), res)
+	}
+	if !res.Success {
+		d.failJoin(ifc)
+		return
+	}
+	d.stats.AssocSuccesses++
+	d.AssocTimes = append(d.AssocTimes, res.Elapsed)
+	ifc.state = IfaceDHCP
+	ifc.lastHeard = d.kernel.Now()
+	d.stats.DHCPAttempts++
+	var cached dhcp.IP
+	if d.cfg.UseLeaseCache {
+		cached = ifc.rec.CachedLease(d.kernel.Now())
+	}
+	ifc.dhcpc.Start(cached)
+}
+
+func (d *Driver) onDHCPResult(ifc *Iface, res dhcp.Result) {
+	if ifc.renewing {
+		d.onRenewResult(ifc, res)
+		return
+	}
+	elapsed := d.kernel.Now() - ifc.joinStart
+	if d.events.OnJoinResult != nil {
+		d.events.OnJoinResult(ifc.BSSID(), res.Success, elapsed)
+	}
+	if !res.Success {
+		d.stats.DHCPFailures++
+		if d.cfg.GlobalIdleOnDHCPFail > 0 {
+			d.idleUntil = d.kernel.Now() + d.cfg.GlobalIdleOnDHCPFail
+		}
+		d.failJoin(ifc)
+		return
+	}
+	d.stats.DHCPSuccesses++
+	d.stats.JoinSuccesses++
+	if res.FastPath {
+		d.stats.FastPathJoins++
+	}
+	if d.ConnectedCount() > 0 {
+		d.stats.SoftHandoffs++
+	}
+	rec := ifc.rec
+	rec.Successes++
+	rec.TotalJoin += elapsed
+	rec.LeaseIP = res.IP
+	rec.LeaseExpiry = d.kernel.Now() + res.LeaseDur
+	d.JoinTimes = append(d.JoinTimes, elapsed)
+	ifc.state = IfaceConnected
+	ifc.ip = res.IP
+	ifc.lastHeard = d.kernel.Now()
+	// Multi-channel single-AP: dwell on this AP's channel.
+	if d.cfg.Mode == MultiChannelSingleAP || d.cfg.Mode == StockWiFi {
+		d.dwelling = true
+	}
+	d.scheduleRenewal(ifc, res.LeaseDur)
+	if d.events.OnConnected != nil {
+		d.events.OnConnected(ifc)
+	}
+}
+
+// scheduleRenewal arms the RFC 2131 T1 timer: halfway through the lease
+// the client re-REQUESTs its address. Mostly moot on vehicular
+// encounters (hour leases, second encounters), but stationary clients —
+// the quickstart, the labs — hold leases indefinitely through it.
+func (d *Driver) scheduleRenewal(ifc *Iface, lease time.Duration) {
+	if lease <= 0 {
+		return
+	}
+	if ifc.renewEv != nil {
+		ifc.renewEv.Cancel()
+	}
+	ifc.renewEv = d.kernel.After(lease/2, func() {
+		ifc.renewEv = nil
+		if !ifc.Connected() || d.ifaces[ifc.BSSID()] != ifc {
+			return
+		}
+		ifc.renewing = true
+		d.stats.Renewals++
+		ifc.dhcpc.Start(ifc.ip)
+	})
+}
+
+// onRenewResult finishes a T1 renewal: success extends the lease (and
+// the cache); failure means the server no longer honors the address —
+// the association is torn down so a clean rejoin can happen.
+func (d *Driver) onRenewResult(ifc *Iface, res dhcp.Result) {
+	ifc.renewing = false
+	if !res.Success || res.IP != ifc.ip {
+		d.stats.RenewalFailures++
+		d.teardown(ifc)
+		return
+	}
+	ifc.rec.LeaseIP = res.IP
+	ifc.rec.LeaseExpiry = d.kernel.Now() + res.LeaseDur
+	d.scheduleRenewal(ifc, res.LeaseDur)
+}
+
+func (d *Driver) failJoin(ifc *Iface) {
+	ifc.rec.HoldUntil = d.kernel.Now() + d.cfg.HoldDown
+	d.teardown(ifc)
+}
+
+// teardown removes an interface. notify controls the OnDisconnected
+// upcall (only for interfaces that were connected).
+func (d *Driver) teardown(ifc *Iface) {
+	bssid := ifc.BSSID()
+	if d.ifaces[bssid] != ifc {
+		return
+	}
+	wasConnected := ifc.Connected()
+	ifc.joiner.Abort()
+	ifc.dhcpc.Abort()
+	if ifc.renewEv != nil {
+		ifc.renewEv.Cancel()
+		ifc.renewEv = nil
+	}
+	delete(d.ifaces, bssid)
+	if wasConnected {
+		d.stats.Disconnects++
+		// Best-effort deauth so the AP frees state.
+		d.transmit(ifc.Channel(), &wifi.Frame{Type: wifi.TypeDeauth, SA: d.Addr(), DA: bssid,
+			BSSID: bssid, Seq: d.nextSeq(), Body: &wifi.DeauthBody{Reason: 3}})
+		if d.events.OnDisconnected != nil {
+			d.events.OnDisconnected(ifc)
+		}
+	}
+	// Resume rotation once nothing is joined or joining anymore.
+	if d.dwelling && len(d.ifaces) == 0 && d.ConnectedCount() == 0 {
+		d.dwelling = false
+		if len(d.cfg.Schedule) > 1 && d.sliceEv == nil {
+			d.sliceEv = d.kernel.After(0, d.nextSlice)
+		}
+	}
+}
+
+// inactivityTick drops interfaces whose AP has gone silent (range exit).
+func (d *Driver) inactivityTick() {
+	now := d.kernel.Now()
+	for _, ifc := range d.Interfaces() {
+		if now-ifc.lastHeard > d.cfg.InactivityTimeout {
+			if ifc.Connected() {
+				d.teardown(ifc)
+			} else {
+				d.failJoin(ifc)
+			}
+		}
+	}
+	d.kernel.After(time.Second, d.inactivityTick)
+}
+
+// ---- Data plane ----
+
+// transmit sends f now if the radio is tuned to ch, otherwise queues it
+// on the per-channel transmit queue (bounded) to be drained on the next
+// visit. This is Spider's "one packet queue per channel that is swapped
+// in and out of the driver".
+func (d *Driver) transmit(ch int, f *wifi.Frame) {
+	if d.radio.Channel() == ch && !d.switching {
+		d.radio.Send(f)
+		return
+	}
+	q := d.txq[ch]
+	if len(q) >= d.cfg.TxQueueFrames {
+		d.stats.TxQueueDrops++
+		return
+	}
+	d.txq[ch] = append(q, queuedFrame{f: f})
+}
+
+func (d *Driver) drainTxQueue(ch int) {
+	q := d.txq[ch]
+	d.txq[ch] = nil
+	for _, qf := range q {
+		d.radio.Send(qf.f)
+	}
+}
+
+// Uplink sends a data payload toward the given AP (queued per channel if
+// the radio is elsewhere). Reports false if no interface exists for the
+// BSSID.
+func (d *Driver) Uplink(bssid wifi.Addr, db *wifi.DataBody) bool {
+	ifc, ok := d.ifaces[bssid]
+	if !ok {
+		return false
+	}
+	d.stats.UplinkFrames++
+	d.transmit(ifc.Channel(), &wifi.Frame{Type: wifi.TypeData, SA: d.Addr(), DA: bssid,
+		BSSID: bssid, Seq: d.nextSeq(), Body: db})
+	return true
+}
+
+// ---- Receive path ----
+
+func (d *Driver) receive(f *wifi.Frame) {
+	now := d.kernel.Now()
+	switch f.Type {
+	case wifi.TypeBeacon, wifi.TypeProbeResp:
+		body, ok := f.Body.(*wifi.BeaconBody)
+		if !ok {
+			return
+		}
+		d.table.observe(f.BSSID, body.SSID, int(body.Channel), int(body.BackhaulKbps), now)
+		if ifc, ok := d.ifaces[f.BSSID]; ok {
+			ifc.lastHeard = now
+		}
+		d.maybeJoin()
+	case wifi.TypeAuthResp, wifi.TypeAssocResp, wifi.TypeDeauth:
+		if ifc, ok := d.ifaces[f.SA]; ok {
+			ifc.lastHeard = now
+			ifc.joiner.HandleFrame(f)
+			if f.Type == wifi.TypeDeauth && ifc.Connected() {
+				d.teardown(ifc)
+			}
+		}
+	case wifi.TypeData:
+		db, ok := f.Body.(*wifi.DataBody)
+		if !ok {
+			return
+		}
+		ifc, known := d.ifaces[f.SA]
+		if known {
+			ifc.lastHeard = now
+		}
+		if db.Proto == wifi.ProtoDHCP {
+			if known {
+				if m := dhcp.FromFrame(f); m != nil {
+					ifc.dhcpc.HandleMessage(m)
+				}
+			}
+			return
+		}
+		if !known {
+			return
+		}
+		d.stats.DownlinkFrames++
+		d.stats.DownlinkBytes += uint64(db.BodySize())
+		if d.sink != nil {
+			d.sink(f.SA, db)
+		}
+	}
+}
+
+// Airtime returns the physical radio's accumulated state occupancy
+// (transmit/receive/reset), the input for energy accounting.
+func (d *Driver) Airtime() radio.Airtime { return d.radio.AirtimeStats() }

@@ -1,0 +1,64 @@
+package core
+
+import (
+	"time"
+
+	"spider/internal/dhcp"
+	"spider/internal/mac"
+	"spider/internal/sim"
+	"spider/internal/wifi"
+)
+
+// IfaceState is a virtual interface's lifecycle stage.
+type IfaceState uint8
+
+// Interface states.
+const (
+	IfaceJoining IfaceState = iota + 1 // link-layer auth+assoc in flight
+	IfaceDHCP                          // lease acquisition in flight
+	IfaceConnected
+)
+
+func (s IfaceState) String() string {
+	switch s {
+	case IfaceJoining:
+		return "joining"
+	case IfaceDHCP:
+		return "dhcp"
+	case IfaceConnected:
+		return "connected"
+	}
+	return "idle"
+}
+
+// Iface is one virtual interface: the client-side state Spider keeps per
+// AP it is joined (or joining) to. All interfaces share the one physical
+// radio; frames flow only while the driver dwells on the AP's channel.
+type Iface struct {
+	rec    *APRecord
+	state  IfaceState
+	joiner *mac.Joiner
+	dhcpc  *dhcp.Client
+
+	joinStart time.Duration // when the attempt began (assoc+dhcp measured from here)
+	ip        dhcp.IP
+	lastHeard time.Duration
+	psmOn     bool // we've told this AP we're in power-save
+	renewing  bool // a T1 lease renewal (not a join) is in flight
+	renewEv   *sim.Event
+}
+
+// BSSID returns the AP this interface is bound to.
+func (ifc *Iface) BSSID() wifi.Addr { return ifc.rec.BSSID }
+
+// Channel returns the AP's channel.
+func (ifc *Iface) Channel() int { return ifc.rec.Channel }
+
+// State returns the lifecycle stage.
+func (ifc *Iface) State() IfaceState { return ifc.state }
+
+// IP returns the leased address (zero until connected).
+func (ifc *Iface) IP() dhcp.IP { return ifc.ip }
+
+// Connected reports whether the interface holds a lease.
+func (ifc *Iface) Connected() bool { return ifc.state == IfaceConnected }

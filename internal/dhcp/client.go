@@ -1,0 +1,263 @@
+package dhcp
+
+import (
+	"math/rand"
+	"time"
+
+	"spider/internal/sim"
+	"spider/internal/wifi"
+)
+
+// ClientConfig holds the client-side timeout policy — the knobs the
+// paper sweeps in §4.5 and Table 3.
+type ClientConfig struct {
+	// RetxTimeout is the per-message retransmission timer. The stock
+	// default is 1 s; the reduced configurations use 100–600 ms.
+	RetxTimeout time.Duration
+	// RetxBackoffCap bounds the RFC 2131-style doubling of the timer on
+	// successive retransmissions. Defaults to 8× RetxTimeout: quick first
+	// retries recover losses, later patient ones give slow servers a
+	// chance inside the attempt window.
+	RetxBackoffCap time.Duration
+	// AttemptWindow bounds one acquisition attempt end to end. The stock
+	// client "attempts to acquire a lease for 3 seconds".
+	AttemptWindow time.Duration
+	// IdleAfterFail is how long the stock client sulks after a failed
+	// window ("it is idle for 60 seconds if it fails"). The driver decides
+	// whether to honor it; Spider's per-AP retry logic uses shorter holds.
+	IdleAfterFail time.Duration
+}
+
+// DefaultClientConfig is the stock DHCP policy.
+func DefaultClientConfig() ClientConfig {
+	return ClientConfig{
+		RetxTimeout:   time.Second,
+		AttemptWindow: 3 * time.Second,
+		IdleAfterFail: 60 * time.Second,
+	}
+}
+
+// ReducedClientConfig returns the paper's reduced-timeout policy with the
+// given per-message timer (100–600 ms in the evaluation). The attempt
+// window stays at the stock 3 s — only the per-message timer shrinks,
+// which is exactly the trade §4.5 measures: faster successful joins, but
+// a roughly two-fold increase in failure rate, because every premature
+// retransmission abandons an exchange whose response was still in flight.
+func ReducedClientConfig(retx time.Duration) ClientConfig {
+	return ClientConfig{
+		RetxTimeout:   retx,
+		AttemptWindow: 3 * time.Second,
+		IdleAfterFail: 5 * time.Second,
+	}
+}
+
+func (c ClientConfig) withDefaults() ClientConfig {
+	d := DefaultClientConfig()
+	if c.RetxTimeout <= 0 {
+		c.RetxTimeout = d.RetxTimeout
+	}
+	if c.AttemptWindow <= 0 {
+		c.AttemptWindow = d.AttemptWindow
+	}
+	if c.IdleAfterFail <= 0 {
+		c.IdleAfterFail = d.IdleAfterFail
+	}
+	if c.RetxBackoffCap <= 0 {
+		c.RetxBackoffCap = 8 * c.RetxTimeout
+	}
+	return c
+}
+
+// Result reports the outcome of one acquisition attempt.
+type Result struct {
+	Success  bool
+	IP       IP
+	LeaseDur time.Duration
+	Elapsed  time.Duration // from Start to outcome
+	Retx     int           // retransmissions sent
+	FastPath bool          // succeeded via cached-lease REQUEST-first
+}
+
+type clientState uint8
+
+const (
+	stateIdle clientState = iota
+	stateDiscovering
+	stateRequesting
+	stateBound
+)
+
+// Client is one virtual interface's DHCP client state machine. It is
+// transport-agnostic: the driver supplies send (which may drop silently
+// when the radio is off the AP's channel — that is the point of the
+// paper) and feeds incoming messages to HandleMessage.
+type Client struct {
+	kernel   *sim.Kernel
+	cfg      ClientConfig
+	mac      wifi.Addr
+	send     func(m *Message)
+	onResult func(Result)
+	rng      *rand.Rand
+
+	state    clientState
+	xid      uint32
+	nextXID  uint32
+	offered  IP
+	cached   IP
+	started  time.Duration
+	retxN    int
+	fastPath bool
+
+	retxTimer *sim.Event
+	deadline  *sim.Event
+
+	// Counters across attempts (Table 3 feeds on these).
+	Attempts, Successes, Failures uint64
+}
+
+// NewClient creates a client for the interface with the given MAC.
+func NewClient(k *sim.Kernel, cfg ClientConfig, mac wifi.Addr, send func(m *Message), onResult func(Result)) *Client {
+	if send == nil || onResult == nil {
+		panic("dhcp: client needs send and onResult")
+	}
+	return &Client{
+		kernel: k, cfg: cfg.withDefaults(), mac: mac,
+		send: send, onResult: onResult, nextXID: 1,
+		rng: k.RNG("dhcp.client." + mac.String()),
+	}
+}
+
+// Config returns the effective configuration.
+func (c *Client) Config() ClientConfig { return c.cfg }
+
+// Busy reports whether an acquisition attempt is in flight.
+func (c *Client) Busy() bool { return c.state == stateDiscovering || c.state == stateRequesting }
+
+// Start begins an acquisition attempt. If cachedIP is nonzero the client
+// tries the REQUEST-first fast path ("caching dhcp leases... essential
+// for multi-AP systems", §2.1.2). Starting while busy restarts the
+// attempt.
+func (c *Client) Start(cachedIP IP) {
+	c.stopTimers()
+	c.Attempts++
+	c.started = c.kernel.Now()
+	c.retxN = 0
+	c.cached = cachedIP
+	c.xid = c.nextXID
+	c.nextXID++
+	c.deadline = c.kernel.After(c.cfg.AttemptWindow, c.fail)
+	if cachedIP != 0 {
+		c.state = stateRequesting
+		c.offered = cachedIP
+		c.fastPath = true
+		c.sendCurrent()
+		return
+	}
+	c.fastPath = false
+	c.state = stateDiscovering
+	c.sendCurrent()
+}
+
+// Abort cancels any attempt in flight without reporting a result. The
+// driver calls it when the underlying association is lost.
+func (c *Client) Abort() {
+	c.stopTimers()
+	c.state = stateIdle
+}
+
+func (c *Client) stopTimers() {
+	if c.retxTimer != nil {
+		c.retxTimer.Cancel()
+		c.retxTimer = nil
+	}
+	if c.deadline != nil {
+		c.deadline.Cancel()
+		c.deadline = nil
+	}
+}
+
+func (c *Client) sendCurrent() {
+	var m *Message
+	switch c.state {
+	case stateDiscovering:
+		m = &Message{Op: Discover, XID: c.xid, ClientMAC: c.mac}
+	case stateRequesting:
+		m = &Message{Op: Request, XID: c.xid, ClientMAC: c.mac, YourIP: c.offered}
+	default:
+		return
+	}
+	c.send(m)
+	// RFC 2131 §4.1: retransmission timers double on each retry (up to a
+	// cap) and carry randomized jitter. The jitter, beyond congestion
+	// etiquette, breaks phase locks between the timer and a virtualized
+	// driver's channel schedule.
+	timeout := c.cfg.RetxTimeout << uint(c.retxN)
+	if timeout > c.cfg.RetxBackoffCap {
+		timeout = c.cfg.RetxBackoffCap
+	}
+	jitter := time.Duration((c.rng.Float64()*0.4 - 0.2) * float64(timeout))
+	c.retxTimer = c.kernel.After(timeout+jitter, func() {
+		// Like real clients, a timed-out exchange restarts under a fresh
+		// transaction id; a response to the abandoned request that
+		// arrives later is discarded as stale. This is why reducing the
+		// timer below the server's think-time raises the failure rate.
+		c.retxN++
+		c.xid = c.nextXID
+		c.nextXID++
+		c.sendCurrent()
+	})
+}
+
+func (c *Client) fail() {
+	c.stopTimers()
+	c.state = stateIdle
+	c.Failures++
+	c.onResult(Result{Success: false, Elapsed: c.kernel.Now() - c.started, Retx: c.retxN})
+}
+
+// HandleMessage processes a server message addressed to this client.
+func (c *Client) HandleMessage(m *Message) {
+	if m.ClientMAC != c.mac || m.XID != c.xid {
+		return // stale or foreign
+	}
+	switch m.Op {
+	case Offer:
+		if c.state != stateDiscovering {
+			return
+		}
+		if c.retxTimer != nil {
+			c.retxTimer.Cancel()
+		}
+		c.state = stateRequesting
+		c.offered = m.YourIP
+		c.sendCurrent()
+	case Ack:
+		if c.state != stateRequesting {
+			return
+		}
+		c.stopTimers()
+		c.state = stateBound
+		c.Successes++
+		c.onResult(Result{
+			Success: true, IP: m.YourIP,
+			LeaseDur: time.Duration(m.LeaseSecs) * time.Second,
+			Elapsed:  c.kernel.Now() - c.started,
+			Retx:     c.retxN, FastPath: c.fastPath,
+		})
+	case Nak:
+		if c.state != stateRequesting {
+			return
+		}
+		// Cached address rejected: fall back to full discovery inside the
+		// same attempt window.
+		if c.retxTimer != nil {
+			c.retxTimer.Cancel()
+		}
+		c.cached = 0
+		c.fastPath = false
+		c.state = stateDiscovering
+		c.xid = c.nextXID
+		c.nextXID++
+		c.sendCurrent()
+	}
+}

@@ -1,0 +1,212 @@
+package dhcp
+
+import (
+	"math/rand"
+	"time"
+
+	"spider/internal/sim"
+	"spider/internal/wifi"
+)
+
+// ServerConfig parameterizes one AP's DHCP server.
+type ServerConfig struct {
+	// OfferLatency is the server think-time between receiving DISCOVER
+	// and transmitting OFFER. This is the paper's β driver: a quantity
+	// the client cannot shorten. The default spans the range that yields
+	// the paper's observed ~2.5 s median join on an undisturbed channel.
+	OfferLatency sim.Dist
+	// AckLatency is the think-time between REQUEST and ACK.
+	AckLatency sim.Dist
+	// LeaseDur is the lease lifetime granted.
+	LeaseDur time.Duration
+	// PoolStart is the first assignable address; PoolSize the count.
+	PoolStart IP
+	PoolSize  int
+	// ServerID identifies this server in OFFER/ACK messages.
+	ServerID uint32
+}
+
+// DefaultServerConfig returns the latency spread of organic urban DHCP
+// servers: usually tens of milliseconds, with a heavy tail into seconds
+// (overloaded CPE, upstream relays). The β the client experiences is
+// this think-time compounded by losses and its own timers; the tail is
+// what the client cannot control (§2).
+func DefaultServerConfig(serverID uint32) ServerConfig {
+	return ServerConfig{
+		OfferLatency: sim.LogNormal{Mu: -2.3, Sigma: 1.4, Cap: 15 * time.Second},
+		AckLatency:   sim.LogNormal{Mu: -3.0, Sigma: 1.2, Cap: 8 * time.Second},
+		LeaseDur:     time.Hour,
+		PoolStart:    IP(0x0A000064), // 10.0.0.100
+		PoolSize:     100,
+		ServerID:     serverID,
+	}
+}
+
+func (c ServerConfig) withDefaults(serverID uint32) ServerConfig {
+	d := DefaultServerConfig(serverID)
+	if c.OfferLatency == nil {
+		c.OfferLatency = d.OfferLatency
+	}
+	if c.AckLatency == nil {
+		c.AckLatency = d.AckLatency
+	}
+	if c.LeaseDur <= 0 {
+		c.LeaseDur = d.LeaseDur
+	}
+	if c.PoolStart == 0 {
+		c.PoolStart = d.PoolStart
+	}
+	if c.PoolSize <= 0 {
+		c.PoolSize = d.PoolSize
+	}
+	if c.ServerID == 0 {
+		c.ServerID = serverID
+	}
+	return c
+}
+
+// binding is one MAC's lease.
+type binding struct {
+	ip      IP
+	expires time.Duration
+}
+
+// Server is a per-AP DHCP server. It is transport-agnostic: the owner
+// (the AP MAC) supplies a send function and feeds it incoming messages.
+type Server struct {
+	kernel *sim.Kernel
+	cfg    ServerConfig
+	rng    *rand.Rand
+	send   func(to wifi.Addr, m *Message)
+
+	bindings map[wifi.Addr]binding
+	nextIP   int
+
+	// Stats.
+	Discovers, Offers, Requests, Acks, Naks uint64
+}
+
+// NewServer creates a server. send transmits a message toward a client;
+// the AP wires it to its radio path.
+func NewServer(k *sim.Kernel, cfg ServerConfig, serverID uint32, send func(to wifi.Addr, m *Message)) *Server {
+	if send == nil {
+		panic("dhcp: server needs a send function")
+	}
+	return &Server{
+		kernel:   k,
+		cfg:      cfg.withDefaults(serverID),
+		rng:      k.RNG("dhcp.server"),
+		send:     send,
+		bindings: make(map[wifi.Addr]binding),
+	}
+}
+
+// Config returns the effective configuration.
+func (s *Server) Config() ServerConfig { return s.cfg }
+
+// HandleMessage processes one client message. Responses are emitted via
+// the send function after the configured server latency.
+func (s *Server) HandleMessage(m *Message) {
+	switch m.Op {
+	case Discover:
+		s.Discovers++
+		ip, ok := s.lookupOrAllocate(m.ClientMAC)
+		if !ok {
+			return // pool exhausted: silence, like real routers
+		}
+		resp := &Message{Op: Offer, XID: m.XID, ClientMAC: m.ClientMAC,
+			YourIP: ip, ServerID: s.cfg.ServerID, LeaseSecs: uint32(s.cfg.LeaseDur.Seconds())}
+		s.kernel.After(s.cfg.OfferLatency.Sample(s.rng), func() {
+			s.Offers++
+			s.send(m.ClientMAC, resp)
+		})
+	case Request:
+		s.Requests++
+		b, ok := s.bindings[m.ClientMAC]
+		now := s.kernel.Now()
+		if ok && b.expires <= now {
+			ok = false
+		}
+		if ok && m.YourIP != 0 && m.YourIP != b.ip {
+			// Client asked for a stale cached address someone else holds.
+			s.kernel.After(s.cfg.AckLatency.Sample(s.rng), func() {
+				s.Naks++
+				s.send(m.ClientMAC, &Message{Op: Nak, XID: m.XID, ClientMAC: m.ClientMAC, ServerID: s.cfg.ServerID})
+			})
+			return
+		}
+		if !ok {
+			// REQUEST-first (cached lease) from a client we do not know:
+			// honor it if the address is plausible and free, else NAK.
+			if m.YourIP != 0 && s.ipFree(m.YourIP) && s.inPool(m.YourIP) {
+				b = binding{ip: m.YourIP}
+				s.bindings[m.ClientMAC] = b
+				ok = true
+			} else {
+				s.kernel.After(s.cfg.AckLatency.Sample(s.rng), func() {
+					s.Naks++
+					s.send(m.ClientMAC, &Message{Op: Nak, XID: m.XID, ClientMAC: m.ClientMAC, ServerID: s.cfg.ServerID})
+				})
+				return
+			}
+		}
+		b.expires = now + s.cfg.LeaseDur
+		s.bindings[m.ClientMAC] = b
+		resp := &Message{Op: Ack, XID: m.XID, ClientMAC: m.ClientMAC,
+			YourIP: b.ip, ServerID: s.cfg.ServerID, LeaseSecs: uint32(s.cfg.LeaseDur.Seconds())}
+		s.kernel.After(s.cfg.AckLatency.Sample(s.rng), func() {
+			s.Acks++
+			s.send(m.ClientMAC, resp)
+		})
+	}
+}
+
+func (s *Server) inPool(ip IP) bool {
+	return ip >= s.cfg.PoolStart && ip < s.cfg.PoolStart+IP(s.cfg.PoolSize)
+}
+
+func (s *Server) ipFree(ip IP) bool {
+	now := s.kernel.Now()
+	for _, b := range s.bindings {
+		if b.ip == ip && b.expires > now {
+			return false
+		}
+	}
+	return true
+}
+
+// lookupOrAllocate returns the client's existing binding or carves a new
+// address from the pool.
+func (s *Server) lookupOrAllocate(mac wifi.Addr) (IP, bool) {
+	now := s.kernel.Now()
+	if b, ok := s.bindings[mac]; ok && b.expires > now {
+		return b.ip, true
+	}
+	for i := 0; i < s.cfg.PoolSize; i++ {
+		ip := s.cfg.PoolStart + IP((s.nextIP+i)%s.cfg.PoolSize)
+		if s.ipFree(ip) {
+			s.nextIP = (s.nextIP + i + 1) % s.cfg.PoolSize
+			s.bindings[mac] = binding{ip: ip, expires: now + s.cfg.LeaseDur}
+			return ip, true
+		}
+	}
+	return 0, false
+}
+
+// Revoke drops a client's binding — what a router reboot or an
+// administrative lease-database reset does to clients that believe they
+// still hold an address. Their next renewal gets NAKed if the address
+// has moved on.
+func (s *Server) Revoke(mac wifi.Addr) { delete(s.bindings, mac) }
+
+// ActiveLeases counts unexpired bindings.
+func (s *Server) ActiveLeases() int {
+	now := s.kernel.Now()
+	n := 0
+	for _, b := range s.bindings {
+		if b.expires > now {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,69 @@
+// Package energy models the radio's power draw — the §4.8 future-work
+// item ("investigating the effect of multi-AP systems on energy
+// consumption of constrained devices"). The model is the standard
+// four-state account used in Wi-Fi power studies: transmit, receive,
+// idle listening, and (for virtualized drivers) the hardware reset burned
+// on every channel switch.
+package energy
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"spider/internal/radio"
+)
+
+// Model holds per-state power draws in watts. The defaults approximate a
+// 2011-era Atheros a/b/g MiniPCI card.
+type Model struct {
+	TxW    float64 // transmitting
+	RxW    float64 // actively receiving a frame
+	IdleW  float64 // awake, listening on a channel
+	ResetW float64 // mid hardware reset (PLL retune)
+}
+
+// DefaultModel returns the Atheros-class draws.
+func DefaultModel() Model {
+	return Model{TxW: 1.40, RxW: 0.94, IdleW: 0.82, ResetW: 0.55}
+}
+
+// Report is a consumed-energy breakdown.
+type Report struct {
+	Tx, Rx, Idle, Reset float64 // joules per state
+}
+
+// Total returns the summed energy in joules.
+func (r Report) Total() float64 { return r.Tx + r.Rx + r.Idle + r.Reset }
+
+func (r Report) String() string {
+	return fmt.Sprintf("%.1f J (tx %.1f, rx %.1f, idle %.1f, reset %.1f)",
+		r.Total(), r.Tx, r.Rx, r.Idle, r.Reset)
+}
+
+// Account converts a radio's airtime occupancy over an elapsed window
+// into joules. Idle time is whatever the elapsed window does not spend
+// transmitting, receiving, or resetting; it is floored at zero to be
+// robust to measuring windows shorter than the accumulated airtime.
+func (m Model) Account(a radio.Airtime, elapsed time.Duration) Report {
+	idle := elapsed - a.Tx - a.Rx - a.Reset
+	if idle < 0 {
+		idle = 0
+	}
+	sec := func(d time.Duration) float64 { return d.Seconds() }
+	return Report{
+		Tx:    m.TxW * sec(a.Tx),
+		Rx:    m.RxW * sec(a.Rx),
+		Idle:  m.IdleW * sec(idle),
+		Reset: m.ResetW * sec(a.Reset),
+	}
+}
+
+// JoulesPerMB is the efficiency metric: energy per megabyte delivered.
+// Returns +Inf when nothing was delivered.
+func JoulesPerMB(r Report, bytes int64) float64 {
+	if bytes <= 0 {
+		return math.Inf(1)
+	}
+	return r.Total() / (float64(bytes) / 1e6)
+}

@@ -1,0 +1,65 @@
+package energy
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"spider/internal/radio"
+)
+
+func TestAccountSplitsStates(t *testing.T) {
+	m := Model{TxW: 2, RxW: 1, IdleW: 0.5, ResetW: 0.25}
+	a := radio.Airtime{Tx: 10 * time.Second, Rx: 20 * time.Second, Reset: 4 * time.Second}
+	r := m.Account(a, time.Minute)
+	if r.Tx != 20 || r.Rx != 20 || r.Reset != 1 {
+		t.Fatalf("report %+v", r)
+	}
+	// Idle = 60 - 34 = 26s at 0.5W.
+	if r.Idle != 13 {
+		t.Fatalf("idle %v", r.Idle)
+	}
+	if r.Total() != 54 {
+		t.Fatalf("total %v", r.Total())
+	}
+	if r.String() == "" {
+		t.Fatal("empty render")
+	}
+}
+
+func TestAccountClampsNegativeIdle(t *testing.T) {
+	m := DefaultModel()
+	a := radio.Airtime{Tx: 2 * time.Minute}
+	r := m.Account(a, time.Minute)
+	if r.Idle != 0 {
+		t.Fatalf("idle %v, want clamped 0", r.Idle)
+	}
+}
+
+func TestDefaultModelOrdering(t *testing.T) {
+	m := DefaultModel()
+	if !(m.TxW > m.RxW && m.RxW > m.IdleW && m.IdleW > m.ResetW) {
+		t.Fatalf("power ordering wrong: %+v", m)
+	}
+}
+
+func TestJoulesPerMB(t *testing.T) {
+	r := Report{Tx: 10}
+	if got := JoulesPerMB(r, 2_000_000); got != 5 {
+		t.Fatalf("J/MB = %v", got)
+	}
+	if !math.IsInf(JoulesPerMB(r, 0), 1) {
+		t.Fatal("zero bytes should be +Inf")
+	}
+}
+
+func TestIdleDominatesLightWorkload(t *testing.T) {
+	// A mostly-quiet hour: idle listening should dominate the budget,
+	// matching the well-known Wi-Fi power profile.
+	m := DefaultModel()
+	a := radio.Airtime{Tx: 30 * time.Second, Rx: 2 * time.Minute, Reset: 5 * time.Second}
+	r := m.Account(a, time.Hour)
+	if r.Idle < r.Tx+r.Rx+r.Reset {
+		t.Fatalf("idle should dominate: %+v", r)
+	}
+}

@@ -1,0 +1,108 @@
+package expt
+
+import (
+	"fmt"
+	"time"
+
+	"spider/internal/model"
+)
+
+func init() {
+	register("claims", func(o Options) (fmt.Stringer, error) { return Claims(o), nil })
+}
+
+// Claims re-verifies the paper's headline assertions in one run and
+// renders a claim-by-claim verdict — the quick "does the reproduction
+// still reproduce?" check (`spider-exp -id claims`).
+func Claims(o Options) Table {
+	o = o.withDefaults()
+	tbl := Table{
+		ID:      "claims",
+		Title:   "Headline claims, re-verified",
+		Columns: []string{"Claim", "Paper", "Measured", "Verdict"},
+	}
+	add := func(claim, paper, measured string, ok bool) {
+		verdict := "PASS"
+		if !ok {
+			verdict = "FAIL"
+		}
+		tbl.Rows = append(tbl.Rows, []string{claim, paper, measured, verdict})
+	}
+
+	// 1. Dividing speed near 10 m/s for the 50/50 split (Fig 4).
+	join := model.PaperJoinParams(10 * time.Second)
+	chans := []model.ChannelOffer{
+		{JoinedKbps: 0.5 * model.BwKbps}, {AvailKbps: 0.5 * model.BwKbps},
+	}
+	ds := model.DividingSpeed(join, chans, model.WiFiRangeM, 1, 40, 0.5)
+	add("dividing speed (50/50 split)", "≈10 m/s",
+		fmt.Sprintf("%.1f m/s", ds), ds >= 6 && ds <= 16)
+
+	// 2. Model ≡ simulation (Fig 2).
+	fig2 := Fig2(o)
+	maxGap := 0.0
+	mod := fig2.SeriesByName("Model (βmax=5s)")
+	sim := fig2.SeriesByName("Simulation (βmax=5s)")
+	for i := range mod.Points {
+		d := mod.Points[i].Y - sim.Points[i].Y
+		if d < 0 {
+			d = -d
+		}
+		if d > maxGap {
+			maxGap = d
+		}
+	}
+	add("join model ≡ Monte Carlo (Fig 2)", "statistically equivalent",
+		fmt.Sprintf("max gap %.3f", maxGap), maxGap < 0.08)
+
+	// 3. Table 2: single-channel multi-AP ≥ ~3× the stock single-channel
+	// row in throughput; 3-channel multi-AP best connectivity.
+	t2 := Table2(o)
+	multi := parseKBpsCell(t2.Cell("(1) Channel 1, Multi-AP", "Throughput"))
+	single := parseKBpsCell(t2.Cell("(2) Channel 1, Single-AP", "Throughput"))
+	stock := parseKBpsCell(t2.Cell("MadWiFi driver", "Throughput"))
+	gain := multi / single
+	add("multi-AP throughput gain over stock-on-channel", "≈4×",
+		fmt.Sprintf("%.1f×", gain), gain >= 2.5)
+	gainStock := multi / stock
+	add("Spider best vs MadWiFi", "≈3–4×",
+		fmt.Sprintf("%.1f×", gainStock), gainStock >= 2.5)
+	c3 := parsePctCell(t2.Cell("(3) 3 channels, Multi-AP", "Connectivity"))
+	c1 := parsePctCell(t2.Cell("(1) Channel 1, Multi-AP", "Connectivity"))
+	add("3-channel multi-AP wins connectivity", "44.6% vs 35.5%",
+		fmt.Sprintf("%.1f%% vs %.1f%%", c3, c1), c3 > c1)
+
+	// 4. Fig 9: Spider 1-channel 2-AP ≡ two cards.
+	f9 := Fig9(o)
+	two := f9.SeriesByName("two cards, stock").Points
+	sp := f9.SeriesByName("Spider, (100,0,0)").Points
+	rel := sp[len(sp)-1].Y / two[len(two)-1].Y
+	add("Spider single-channel 2-AP ≡ two cards", "equivalent",
+		fmt.Sprintf("ratio %.2f", rel), rel > 0.85 && rel < 1.15)
+
+	// 5. Fig 8: TCP throughput non-monotone in dwell.
+	f8 := Fig8(o)
+	pts := f8.Series[0].Points
+	peak, last := 0.0, pts[len(pts)-1].Y
+	for _, p := range pts {
+		if p.Y > peak {
+			peak = p.Y
+		}
+	}
+	add("TCP collapses at long off-channel dwell (Fig 8)", "non-monotone",
+		fmt.Sprintf("peak/400ms = %.1f×", peak/last), last < peak*0.7)
+
+	return tbl
+}
+
+func parseKBpsCell(cell string) float64 {
+	var v float64
+	fmt.Sscanf(cell, "%f KB/s", &v)
+	return v
+}
+
+func parsePctCell(cell string) float64 {
+	var v float64
+	fmt.Sscanf(cell, "%f%%", &v)
+	return v
+}

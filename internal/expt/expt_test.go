@@ -1,0 +1,555 @@
+package expt
+
+import (
+	"math"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// quick is the test-scale option set: small but large enough that the
+// shape assertions below are stable for the fixed seed.
+func quick() Options { return Options{Seed: 1, Scale: 0.15} }
+
+func seriesY(s *Series) []float64 {
+	out := make([]float64, len(s.Points))
+	for i, p := range s.Points {
+		out[i] = p.Y
+	}
+	return out
+}
+
+func parseKBps(cell string) float64 {
+	v, err := strconv.ParseFloat(strings.TrimSuffix(cell, " KB/s"), 64)
+	if err != nil {
+		return math.NaN()
+	}
+	return v
+}
+
+func parsePct(cell string) float64 {
+	v, err := strconv.ParseFloat(strings.TrimSuffix(cell, "%"), 64)
+	if err != nil {
+		return math.NaN()
+	}
+	return v
+}
+
+func TestRegistryCoversEveryTableAndFigure(t *testing.T) {
+	want := []string{"fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
+		"fig10", "fig11", "fig12", "fig13", "fig14", "table1", "table2", "table3", "table4"}
+	have := map[string]bool{}
+	for _, id := range IDs() {
+		have[id] = true
+	}
+	for _, id := range want {
+		if !have[id] {
+			t.Errorf("experiment %s not registered", id)
+		}
+	}
+	if _, err := Run("nope", quick()); err == nil {
+		t.Error("unknown id should error")
+	}
+}
+
+func TestFig2ModelMatchesSimulation(t *testing.T) {
+	fig := Fig2(Options{Seed: 1, Scale: 0.3})
+	if len(fig.Series) != 4 {
+		t.Fatalf("series: %d", len(fig.Series))
+	}
+	for _, bmax := range []string{"5s", "10s"} {
+		mod := fig.SeriesByName("Model (βmax=" + bmax + ")")
+		sim := fig.SeriesByName("Simulation (βmax=" + bmax + ")")
+		if mod == nil || sim == nil {
+			t.Fatalf("missing series for %s", bmax)
+		}
+		for i := range mod.Points {
+			d := math.Abs(mod.Points[i].Y - sim.Points[i].Y)
+			if d > 0.08 {
+				t.Errorf("βmax=%s f=%.2f model %.3f vs sim %.3f", bmax, mod.Points[i].X, mod.Points[i].Y, sim.Points[i].Y)
+			}
+		}
+		// Probability near 1 at full dwell, low at tiny fractions.
+		last := mod.Points[len(mod.Points)-1]
+		if last.Y < 0.9 {
+			t.Errorf("p(1.0) = %v", last.Y)
+		}
+		if mod.Points[0].Y > 0.5 {
+			t.Errorf("p(0.05) = %v", mod.Points[0].Y)
+		}
+	}
+}
+
+func TestFig3ShorterBetaMaxWins(t *testing.T) {
+	fig := Fig3(quick())
+	if len(fig.Series) != 6 {
+		t.Fatalf("series: %d", len(fig.Series))
+	}
+	for _, s := range fig.Series {
+		ys := seriesY(&s)
+		// Non-increasing in βmax (modulo tiny numeric wiggle).
+		for i := 1; i < len(ys); i++ {
+			if ys[i] > ys[i-1]+1e-6 {
+				t.Errorf("%s not non-increasing at %d: %v -> %v", s.Name, i, ys[i-1], ys[i])
+			}
+		}
+	}
+	// More channel time is better at every βmax.
+	f10 := fig.SeriesByName("fi=.10")
+	f50 := fig.SeriesByName("fi=.50")
+	for i := range f10.Points {
+		if f50.Points[i].Y < f10.Points[i].Y-1e-9 {
+			t.Fatalf("fi=.50 below fi=.10 at βmax=%v", f10.Points[i].X)
+		}
+	}
+}
+
+func TestFig4DividingSpeedBehaviour(t *testing.T) {
+	res := Fig4(Options{Seed: 1, Scale: 0.3})
+	if len(res.Scenarios) != 3 || len(res.DividingSpeeds) != 3 {
+		t.Fatalf("scenarios: %d", len(res.Scenarios))
+	}
+	for i, fig := range res.Scenarios {
+		ch2 := fig.SeriesByName("ch2 bw")
+		// The join channel's share must vanish at the highest speed and be
+		// substantial at the lowest.
+		first, last := ch2.Points[0], ch2.Points[len(ch2.Points)-1]
+		if first.Y <= 0 {
+			t.Errorf("scenario %d: no switching even at 2.5 m/s", i)
+		}
+		if last.Y > first.Y {
+			t.Errorf("scenario %d: ch2 bandwidth grew with speed", i)
+		}
+		if ds := res.DividingSpeeds[i]; ds < 1 || ds > 40 {
+			t.Errorf("scenario %d: dividing speed %v", i, ds)
+		}
+	}
+	// Scenario 3 (75% joined) should abandon ch2 earlier (lower dividing
+	// speed) than scenario 1 (25% joined): less to gain by switching.
+	if res.DividingSpeeds[2] > res.DividingSpeeds[0] {
+		t.Errorf("dividing speeds not ordered by offered gain: %v", res.DividingSpeeds)
+	}
+	if res.String() == "" {
+		t.Error("empty render")
+	}
+}
+
+func TestFig5FullDwellAssociatesBestAndFastest(t *testing.T) {
+	fig := Fig5(quick())
+	if len(fig.Series) != 4 {
+		t.Fatalf("series: %d", len(fig.Series))
+	}
+	final := func(name string) float64 {
+		s := fig.SeriesByName(name)
+		return s.Points[len(s.Points)-1].Y
+	}
+	// §2.2.1: "link layer association is in some ways robust to
+	// switching" — success rates stay in the same band across fractions,
+	// but full dwell completes associations sooner.
+	for _, name := range []string{"25%", "50%", "75%", "100%"} {
+		if f := final(name); f < 0.3 || f > 1 {
+			t.Fatalf("%s association success %.2f out of band", name, f)
+		}
+	}
+	halfRise := func(name string) float64 {
+		s := fig.SeriesByName(name)
+		target := final(name) / 2
+		for _, p := range s.Points {
+			if p.Y >= target {
+				return p.X
+			}
+		}
+		return math.Inf(1)
+	}
+	if halfRise("100%") > halfRise("25%") {
+		t.Fatalf("full dwell associates slower: half-rise %v vs %v", halfRise("100%"), halfRise("25%"))
+	}
+	// Every curve is a CDF: non-decreasing, within [0,1].
+	for _, s := range fig.Series {
+		prev := 0.0
+		for _, p := range s.Points {
+			if p.Y < prev-1e-9 || p.Y < 0 || p.Y > 1 {
+				t.Fatalf("%s not a CDF at x=%v", s.Name, p.X)
+			}
+			prev = p.Y
+		}
+	}
+}
+
+func TestFig6ReducedTimeoutFasterDefaultHigherTail(t *testing.T) {
+	fig := Fig6(quick())
+	reduced := fig.SeriesByName("100% - 100ms")
+	def := fig.SeriesByName("100% - default")
+	if reduced == nil || def == nil {
+		t.Fatal("missing series")
+	}
+	// The reduced-timer curve must lead early (faster median joins):
+	// compare the fraction joined by 2s.
+	at := func(s *Series, x float64) float64 {
+		best := 0.0
+		for _, p := range s.Points {
+			if p.X <= x {
+				best = p.Y
+			}
+		}
+		return best
+	}
+	if at(reduced, 2) <= at(def, 2)-0.05 {
+		t.Errorf("reduced timers not faster by 2s: %.2f vs %.2f", at(reduced, 2), at(def, 2))
+	}
+}
+
+func TestFig7MonotoneInFraction(t *testing.T) {
+	fig := Fig7(quick())
+	ys := seriesY(&fig.Series[0])
+	if ys[len(ys)-1] < 2500 {
+		t.Fatalf("full-dwell throughput %.0f kbps, want ~4000", ys[len(ys)-1])
+	}
+	if ys[0] > ys[len(ys)-1]/2 {
+		t.Fatalf("10%% dwell suspiciously high: %v", ys[0])
+	}
+	// Allow local noise but require a broadly increasing staircase.
+	if !(ys[2] < ys[5] && ys[5] < ys[9]) {
+		t.Fatalf("not increasing: %v", ys)
+	}
+}
+
+func TestFig8NonMonotone(t *testing.T) {
+	fig := Fig8(quick())
+	ys := seriesY(&fig.Series[0])
+	peak, peakIdx := 0.0, 0
+	for i, v := range ys {
+		if v > peak {
+			peak, peakIdx = v, i
+		}
+	}
+	last := ys[len(ys)-1]
+	if peakIdx == len(ys)-1 {
+		t.Fatalf("throughput monotone in dwell — timeouts not biting: %v", ys)
+	}
+	if last > peak*0.7 {
+		t.Fatalf("no collapse at long dwell: peak %.0f vs 400ms %.0f", peak, last)
+	}
+}
+
+func TestFig9SpiderSingleChannelMatchesTwoCards(t *testing.T) {
+	fig := Fig9(quick())
+	one := fig.SeriesByName("one card, stock")
+	two := fig.SeriesByName("two cards, stock")
+	sp := fig.SeriesByName("Spider, (100,0,0)")
+	if one == nil || two == nil || sp == nil {
+		t.Fatal("missing series")
+	}
+	for i := range two.Points {
+		if two.Points[i].Y < 1.6*one.Points[i].Y {
+			t.Errorf("two cards not ~2x one card at %v Mbps", two.Points[i].X)
+		}
+		rel := sp.Points[i].Y / two.Points[i].Y
+		if rel < 0.85 || rel > 1.15 {
+			t.Errorf("Spider single-channel 2-AP vs two cards off at %v Mbps: ratio %.2f",
+				two.Points[i].X, rel)
+		}
+	}
+}
+
+func TestTable1LatencyGrowsWithInterfaces(t *testing.T) {
+	tbl := Table1(quick())
+	if len(tbl.Rows) != 5 {
+		t.Fatalf("rows: %d", len(tbl.Rows))
+	}
+	prev := 0.0
+	for _, r := range tbl.Rows {
+		v, err := strconv.ParseFloat(r[1], 64)
+		if err != nil {
+			t.Fatalf("row %v mean unparsable", r)
+		}
+		if v < prev {
+			t.Fatalf("latency not non-decreasing: %v", tbl.Rows)
+		}
+		prev = v
+	}
+	base, _ := strconv.ParseFloat(tbl.Rows[0][1], 64)
+	if base < 4.5 || base > 5.5 {
+		t.Fatalf("bare switch %v ms, want ≈4.94", base)
+	}
+}
+
+func TestTable2Shape(t *testing.T) {
+	tbl := Table2(quick())
+	tput := func(k string) float64 { return parseKBps(tbl.Cell(k, "Throughput")) }
+	conn := func(k string) float64 { return parsePct(tbl.Cell(k, "Connectivity")) }
+	multi, single := tput("(1) Channel 1, Multi-AP"), tput("(2) Channel 1, Single-AP")
+	if multi < 2*single {
+		t.Errorf("single-channel multi-AP only %.1f vs single-AP %.1f (want ≳4x)", multi, single)
+	}
+	if c3 := conn("(3) 3 channels, Multi-AP"); c3 < conn("(1) Channel 1, Multi-AP") ||
+		c3 < conn("(4) 3 channels, Single-AP") {
+		t.Errorf("3-channel multi-AP not the connectivity winner:\n%s", tbl)
+	}
+	if t3 := tput("(3) 3 channels, Multi-AP"); t3 > multi/2 {
+		t.Errorf("multi-channel throughput not strangled: %.1f vs %.1f", t3, multi)
+	}
+	if stock := tput("MadWiFi driver"); multi < 2.5*stock {
+		t.Errorf("Spider best vs stock only %.1fx", multi/stock)
+	}
+}
+
+func TestTable3ReducedTimersFailMore(t *testing.T) {
+	tbl := Table3(quick())
+	rate := func(k string) float64 { return parsePct(tbl.Cell(k, "Failed dhcp")) }
+	def := rate("Chan 1, default timer")
+	red := rate("Chan 1, ll:100ms, dhcp:200ms")
+	if math.IsNaN(def) || math.IsNaN(red) {
+		t.Fatalf("unparsable rows:\n%s", tbl)
+	}
+	if red < def {
+		t.Errorf("reduced timers should raise the failure rate: default %.1f%% vs 200ms %.1f%%", def, red)
+	}
+}
+
+func TestTable4OneChannelMaxThroughputThreeMaxConnectivity(t *testing.T) {
+	tbl := Table4(quick())
+	t1 := parseKBps(tbl.Cell("1 channel", "Throughput"))
+	t3 := parseKBps(tbl.Cell("3 channels (equal schedule)", "Throughput"))
+	c1 := parsePct(tbl.Cell("1 channel", "Connectivity"))
+	c3 := parsePct(tbl.Cell("3 channels (equal schedule)", "Connectivity"))
+	if t1 < 2*t3 {
+		t.Errorf("single channel should dominate throughput: %.1f vs %.1f", t1, t3)
+	}
+	if c3 < c1 {
+		t.Errorf("three channels should dominate connectivity: %.1f vs %.1f", c3, c1)
+	}
+}
+
+func TestFig10PanelsPopulated(t *testing.T) {
+	res := Fig10(quick())
+	for _, fig := range []Figure{res.Connections, res.Disruptions, res.Bandwidth} {
+		if len(fig.Series) != 4 {
+			t.Fatalf("%s: %d series", fig.ID, len(fig.Series))
+		}
+		for _, s := range fig.Series {
+			if len(s.Points) == 0 {
+				t.Fatalf("%s/%s empty", fig.ID, s.Name)
+			}
+		}
+	}
+	// Single-channel multi-AP should show the best instantaneous
+	// bandwidth tail.
+	best := res.Bandwidth.SeriesByName("multiple APs (ch1)")
+	worst := res.Bandwidth.SeriesByName("multiple APs (multi-channel)")
+	if best.Points[len(best.Points)-1].X < worst.Points[len(worst.Points)-1].X {
+		t.Errorf("ch1 multi-AP tail bandwidth below multi-channel:\n%s", res.Bandwidth)
+	}
+	if res.String() == "" {
+		t.Error("empty render")
+	}
+}
+
+func TestFig11ReducedTimeoutImprovesMedianJoin(t *testing.T) {
+	fig := Fig11(quick())
+	if len(fig.Series) != 6 {
+		t.Fatalf("series: %d", len(fig.Series))
+	}
+	// One-channel joins must beat three-channel joins at the same timers.
+	at := func(name string, x float64) float64 {
+		s := fig.SeriesByName(name)
+		best := 0.0
+		for _, p := range s.Points {
+			if p.X <= x {
+				best = p.Y
+			}
+		}
+		return best
+	}
+	if at("default, channel 1", 5) < at("default, 3 channels", 5)-0.05 {
+		t.Errorf("one channel should join faster than three:\n%s", fig)
+	}
+}
+
+func TestFig12SingleChannelPoliciesDominate(t *testing.T) {
+	fig := Fig12(quick())
+	if len(fig.Series) != 6 {
+		t.Fatalf("series: %d", len(fig.Series))
+	}
+	for _, s := range fig.Series {
+		if len(s.Points) == 0 {
+			t.Fatalf("series %s empty", s.Name)
+		}
+		final := s.Points[len(s.Points)-1].Y
+		if final <= 0 || final > 1 {
+			t.Fatalf("series %s final %.2f", s.Name, final)
+		}
+	}
+}
+
+func TestFig13SpiderCoversUserFlows(t *testing.T) {
+	fig := Fig13(quick())
+	if len(fig.Series) != 3 {
+		t.Fatalf("series: %d", len(fig.Series))
+	}
+	users := fig.SeriesByName("users connection duration")
+	spider := fig.SeriesByName("multiple APs (ch1)")
+	// Spider's median sustained connection should cover the users' median
+	// flow duration (the §4.7 claim).
+	med := func(s *Series) float64 {
+		for _, p := range s.Points {
+			if p.Y >= 0.5 {
+				return p.X
+			}
+		}
+		return math.NaN()
+	}
+	if med(spider) < med(users) {
+		t.Errorf("Spider median connection %.1fs below users' median flow %.1fs", med(spider), med(users))
+	}
+}
+
+func TestFig14Disruptions(t *testing.T) {
+	fig := Fig14(quick())
+	if len(fig.Series) != 3 {
+		t.Fatalf("series: %d", len(fig.Series))
+	}
+	multi := fig.SeriesByName("multiple APs (multi-channel)")
+	one := fig.SeriesByName("multiple APs (ch1)")
+	// Multi-channel disruptions should be shorter than single-channel
+	// ones (larger AP pool).
+	med := func(s *Series) float64 {
+		for _, p := range s.Points {
+			if p.Y >= 0.5 {
+				return p.X
+			}
+		}
+		return math.NaN()
+	}
+	if med(multi) > med(one) {
+		t.Errorf("multi-channel disruptions (med %.1fs) not shorter than ch1 (med %.1fs)", med(multi), med(one))
+	}
+}
+
+func TestAblationEnergyShape(t *testing.T) {
+	tbl := AblationEnergy(quick())
+	if len(tbl.Rows) != 5 {
+		t.Fatalf("rows: %d", len(tbl.Rows))
+	}
+	// Totals are idle-dominated and thus similar; efficiency (J/MB) must
+	// favor the high-throughput configuration.
+	jpmb := func(k string) float64 {
+		v, _ := strconv.ParseFloat(tbl.Cell(k, "J/MB"), 64)
+		return v
+	}
+	if jpmb("ch1-multi") >= jpmb("ch1-single") {
+		t.Errorf("multi-AP should be more energy-efficient per byte:\n%s", tbl)
+	}
+}
+
+func TestAblationInterferenceAggregateGrows(t *testing.T) {
+	tbl := AblationInterference(quick())
+	if len(tbl.Rows) != 4 {
+		t.Fatalf("rows: %d", len(tbl.Rows))
+	}
+	prev := 0.0
+	for _, r := range tbl.Rows {
+		agg := parseKBps(r[1])
+		if agg < prev*0.8 {
+			t.Fatalf("aggregate collapsed with more clients:\n%s", tbl)
+		}
+		prev = agg
+	}
+}
+
+func TestAblationExactSelectionQuality(t *testing.T) {
+	tbl := AblationExactSelection(quick())
+	for _, r := range tbl.Rows {
+		mean, _ := strconv.ParseFloat(r[2], 64)
+		worst, _ := strconv.ParseFloat(r[3], 64)
+		if mean < 0.85 {
+			t.Errorf("greedy mean quality %.3f at n=%s", mean, r[0])
+		}
+		if worst < 0.4 {
+			t.Errorf("greedy worst case %.3f below the approximation band", worst)
+		}
+	}
+}
+
+func TestAblationCacheImprovesJoins(t *testing.T) {
+	tbl := AblationCache(quick())
+	fast := func(k string) float64 {
+		v, _ := strconv.ParseFloat(tbl.Cell(k, "Fast-path joins"), 64)
+		return v
+	}
+	if fast("on") <= fast("off") {
+		t.Errorf("cache produced no fast-path joins:\n%s", tbl)
+	}
+}
+
+func TestOptionsScaling(t *testing.T) {
+	o := Options{Seed: 1, Scale: 0.1}
+	if d := o.scaleDur(time.Hour, time.Minute); d != 6*time.Minute {
+		t.Fatalf("scaleDur = %v", d)
+	}
+	if d := o.scaleDur(time.Minute, 5*time.Minute); d != 5*time.Minute {
+		t.Fatalf("scaleDur floor = %v", d)
+	}
+	if n := o.scaleN(100, 5); n != 10 {
+		t.Fatalf("scaleN = %d", n)
+	}
+	if n := o.scaleN(10, 5); n != 5 {
+		t.Fatalf("scaleN floor = %d", n)
+	}
+	d := Options{}.withDefaults()
+	if d.Seed != 1 || d.Scale != 1 {
+		t.Fatalf("defaults: %+v", d)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tbl := Table{ID: "t", Title: "x", Columns: []string{"A", "B"}, Rows: [][]string{{"k", "v"}}}
+	s := tbl.String()
+	if !strings.Contains(s, "A") || !strings.Contains(s, "v") {
+		t.Fatalf("render: %q", s)
+	}
+	if tbl.Cell("k", "B") != "v" || tbl.Cell("k", "Z") != "" || tbl.Cell("z", "B") != "" {
+		t.Fatal("Cell lookup broken")
+	}
+}
+
+func TestFigureRendering(t *testing.T) {
+	fig := Figure{ID: "f", Title: "t", XLabel: "x", YLabel: "y",
+		Series: []Series{{Name: "s", Points: []Point{{1, 2}}}}}
+	out := fig.String()
+	if !strings.Contains(out, "== F: t ==") || !strings.Contains(out, "-- s") {
+		t.Fatalf("render: %q", out)
+	}
+	if fig.SeriesByName("s") == nil || fig.SeriesByName("zz") != nil {
+		t.Fatal("SeriesByName broken")
+	}
+}
+
+func TestClaimsAllPass(t *testing.T) {
+	tbl := Claims(Options{Seed: 1, Scale: 0.2})
+	for _, r := range tbl.Rows {
+		if r[3] != "PASS" {
+			t.Errorf("claim failed: %v", r)
+		}
+	}
+	if len(tbl.Rows) < 7 {
+		t.Fatalf("only %d claims checked", len(tbl.Rows))
+	}
+}
+
+func TestFigurePlotRenders(t *testing.T) {
+	fig := Figure{ID: "fx", Title: "t", XLabel: "x", YLabel: "y",
+		Series: []Series{{Name: "s", Points: []Point{{0, 0}, {1, 5}, {2, 3}}}}}
+	term := fig.Plot(40, 10)
+	if !strings.Contains(term, "FX") || !strings.Contains(term, "-- ") == strings.Contains(term, "nope") {
+		// sanity only: it rendered something figure-shaped
+	}
+	if len(term) < 100 {
+		t.Fatalf("terminal plot suspiciously small: %q", term)
+	}
+	svg := fig.PlotSVG(400, 240)
+	if !strings.Contains(svg, "<svg") || !strings.Contains(svg, "polyline") {
+		t.Fatalf("svg plot malformed")
+	}
+}

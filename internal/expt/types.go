@@ -1,0 +1,213 @@
+// Package expt regenerates every table and figure of the paper's
+// evaluation from the simulation substrates: the analytical figures
+// (Figs. 2–4) from internal/model, the measurement figures and tables
+// (Figs. 5–12, Tables 1–4) from driven scenarios, and the usability
+// comparison (Figs. 13–14) from the synthetic mesh trace.
+//
+// Every experiment is a pure function of Options (seed + scale), returns
+// a structured result, and renders the same rows/series the paper
+// reports. Absolute values depend on the simulated substrate; the
+// harness targets the paper's shape claims, recorded side by side in
+// EXPERIMENTS.md.
+package expt
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"spider/internal/plot"
+)
+
+// Options control experiment scale and reproducibility.
+type Options struct {
+	// Seed drives every random stream.
+	Seed int64
+	// Scale in (0,1] shrinks run durations and trial counts; 1 is the
+	// paper-like scale, benches use ~0.1.
+	Scale float64
+}
+
+// DefaultOptions is the paper-like scale.
+func DefaultOptions() Options { return Options{Seed: 1, Scale: 1} }
+
+func (o Options) withDefaults() Options {
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.Scale <= 0 || o.Scale > 1 {
+		o.Scale = 1
+	}
+	return o
+}
+
+// scaleDur shrinks a duration by the scale factor, with a floor.
+func (o Options) scaleDur(d, min time.Duration) time.Duration {
+	s := time.Duration(float64(d) * o.Scale)
+	if s < min {
+		s = min
+	}
+	return s
+}
+
+// scaleN shrinks a count by the scale factor, with a floor.
+func (o Options) scaleN(n, min int) int {
+	s := int(float64(n) * o.Scale)
+	if s < min {
+		s = min
+	}
+	return s
+}
+
+// Point is one (x, y) sample of a series.
+type Point struct {
+	X, Y float64
+}
+
+// Series is one labeled curve of a figure.
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// Figure is a reproduced paper figure.
+type Figure struct {
+	ID     string // e.g. "fig2"
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+}
+
+// String renders the figure as aligned text columns, one block per
+// series — the harness's equivalent of the paper's plot.
+func (f Figure) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", strings.ToUpper(f.ID), f.Title)
+	fmt.Fprintf(&b, "   x = %s, y = %s\n", f.XLabel, f.YLabel)
+	for _, s := range f.Series {
+		fmt.Fprintf(&b, "-- %s\n", s.Name)
+		for _, p := range s.Points {
+			fmt.Fprintf(&b, "   %12.4g  %12.4g\n", p.X, p.Y)
+		}
+	}
+	return b.String()
+}
+
+// Plot renders the figure as a terminal line chart.
+func (f Figure) Plot(width, height int) string {
+	return f.chart().Render(width, height)
+}
+
+// PlotSVG renders the figure as a standalone SVG document.
+func (f Figure) PlotSVG(width, height int) string {
+	return f.chart().RenderSVG(width, height)
+}
+
+func (f Figure) chart() plot.Chart {
+	c := plot.Chart{Title: strings.ToUpper(f.ID) + ": " + f.Title, XLabel: f.XLabel, YLabel: f.YLabel}
+	for _, s := range f.Series {
+		ps := plot.Series{Name: s.Name}
+		for _, p := range s.Points {
+			ps.Points = append(ps.Points, plot.Point{X: p.X, Y: p.Y})
+		}
+		c.Series = append(c.Series, ps)
+	}
+	return c
+}
+
+// SeriesByName finds a series (nil if absent).
+func (f Figure) SeriesByName(name string) *Series {
+	for i := range f.Series {
+		if f.Series[i].Name == name {
+			return &f.Series[i]
+		}
+	}
+	return nil
+}
+
+// Table is a reproduced paper table.
+type Table struct {
+	ID      string
+	Title   string
+	Columns []string
+	Rows    [][]string
+}
+
+// String renders the table with aligned columns.
+func (t Table) String() string {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", strings.ToUpper(t.ID), t.Title)
+	row := func(cells []string) {
+		for i, c := range cells {
+			if i < len(widths) {
+				fmt.Fprintf(&b, "%-*s  ", widths[i], c)
+			}
+		}
+		b.WriteString("\n")
+	}
+	row(t.Columns)
+	for _, r := range t.Rows {
+		row(r)
+	}
+	return b.String()
+}
+
+// Cell finds a row by its first column and returns the named column's
+// value ("" if absent) — convenient for tests.
+func (t Table) Cell(rowKey, col string) string {
+	ci := -1
+	for i, c := range t.Columns {
+		if c == col {
+			ci = i
+		}
+	}
+	if ci < 0 {
+		return ""
+	}
+	for _, r := range t.Rows {
+		if len(r) > ci && r[0] == rowKey {
+			return r[ci]
+		}
+	}
+	return ""
+}
+
+// Runner regenerates one experiment.
+type Runner func(Options) (fmt.Stringer, error)
+
+// registry maps experiment ids to runners.
+var registry = map[string]Runner{}
+
+func register(id string, r Runner) { registry[id] = r }
+
+// IDs lists the registered experiments in order.
+func IDs() []string {
+	out := make([]string, 0, len(registry))
+	for id := range registry {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Run executes one experiment by id.
+func Run(id string, o Options) (fmt.Stringer, error) {
+	r, ok := registry[id]
+	if !ok {
+		return nil, fmt.Errorf("expt: unknown experiment %q (have %v)", id, IDs())
+	}
+	return r(o)
+}

@@ -1,0 +1,324 @@
+// Package mac implements the 802.11 MAC state machines: the access-point
+// side (probe/auth/assoc responders, per-client power-save buffering,
+// PS-poll drains, an embedded DHCP server) and the client side (the
+// multi-step join engine whose interaction with channel schedules the
+// paper analyzes).
+package mac
+
+import (
+	"time"
+
+	"spider/internal/dhcp"
+	"spider/internal/geo"
+	"spider/internal/radio"
+	"spider/internal/sim"
+	"spider/internal/wifi"
+)
+
+// APConfig parameterizes one access point.
+type APConfig struct {
+	SSID    string
+	Channel int
+	// BeaconInterval is the beacon period (standard 100 ms). Zero
+	// disables beacons (useful in unit tests).
+	BeaconInterval time.Duration
+	// RespDelay is the AP's processing delay before each management
+	// response. Consumer APs answer probes and association in tens of
+	// milliseconds; the default spread reproduces the paper's ~200 ms
+	// median association when combined with client timers and loss.
+	RespDelay sim.Dist
+	// PSMBufferFrames bounds the per-client power-save buffer.
+	PSMBufferFrames int
+	// DHCP configures the embedded DHCP server.
+	DHCP dhcp.ServerConfig
+	// BackhaulKbps is advertised in beacons (offered-bandwidth oracle).
+	BackhaulKbps int
+}
+
+// DefaultAPConfig returns a typical open consumer AP.
+func DefaultAPConfig(ssid string, channel int) APConfig {
+	return APConfig{
+		SSID:            ssid,
+		Channel:         channel,
+		BeaconInterval:  100 * time.Millisecond,
+		RespDelay:       sim.Uniform{Min: 5 * time.Millisecond, Max: 120 * time.Millisecond},
+		PSMBufferFrames: 32, // hardware PS queues are shallow
+	}
+}
+
+type apClient struct {
+	associated bool
+	aid        uint16
+	psm        bool
+	buffer     []*wifi.Frame // PSM-parked frames
+	pending    []*wifi.Frame // awaiting the radio, one in flight at a time
+	txBusy     bool
+	draining   bool // PS-poll drain in progress: transmit despite PSM
+}
+
+// AP is one access point: radio, MAC state machines, and DHCP server.
+// Wired-side traffic enters via Deliver and leaves via the uplink
+// handler; the owner (scenario) attaches the backhaul in between.
+type AP struct {
+	kernel *sim.Kernel
+	cfg    APConfig
+	radio  *radio.Radio
+	dhcpd  *dhcp.Server
+	seq    uint16
+
+	clients map[wifi.Addr]*apClient
+	uplink  func(from wifi.Addr, db *wifi.DataBody)
+
+	// Stats.
+	AssocGrants   uint64
+	PSMBuffered   uint64
+	PSMDrops      uint64
+	PSMFlushed    uint64
+	UplinkFrames  uint64
+	DownFrames    uint64
+	DownDelivered uint64
+}
+
+// NewAPAt creates an access point at a fixed position, registers its
+// radio on the medium, tunes it, and starts beaconing. serverID feeds the
+// DHCP server identity.
+func NewAPAt(m *radio.Medium, cfg APConfig, addr wifi.Addr, pos geo.Point, serverID uint32) *AP {
+	if cfg.RespDelay == nil {
+		cfg.RespDelay = DefaultAPConfig(cfg.SSID, cfg.Channel).RespDelay
+	}
+	if cfg.PSMBufferFrames <= 0 {
+		cfg.PSMBufferFrames = DefaultAPConfig(cfg.SSID, cfg.Channel).PSMBufferFrames
+	}
+	ap := &AP{
+		kernel:  m.Kernel(),
+		cfg:     cfg,
+		clients: make(map[wifi.Addr]*apClient),
+	}
+	ap.radio = m.NewRadio(addr, func() geo.Point { return pos }, radio.ReceiverFunc(ap.receive))
+	ap.radio.SetChannel(cfg.Channel)
+	ap.dhcpd = dhcp.NewServer(ap.kernel, cfg.DHCP, serverID, ap.sendDHCP)
+	if cfg.BeaconInterval > 0 {
+		ap.kernel.After(cfg.BeaconInterval, ap.beacon)
+	}
+	return ap
+}
+
+// Addr returns the AP's BSSID.
+func (ap *AP) Addr() wifi.Addr { return ap.radio.Addr() }
+
+// Channel returns the AP's channel.
+func (ap *AP) Channel() int { return ap.cfg.Channel }
+
+// SSID returns the AP's network name.
+func (ap *AP) SSID() string { return ap.cfg.SSID }
+
+// DHCPServer exposes the embedded DHCP server.
+func (ap *AP) DHCPServer() *dhcp.Server { return ap.dhcpd }
+
+// SetUplinkHandler registers the wired-side sink for client data frames.
+func (ap *AP) SetUplinkHandler(h func(from wifi.Addr, db *wifi.DataBody)) { ap.uplink = h }
+
+// Associated reports whether the client is currently associated.
+func (ap *AP) Associated(client wifi.Addr) bool {
+	c, ok := ap.clients[client]
+	return ok && c.associated
+}
+
+// InPSM reports whether the associated client has announced power-save.
+func (ap *AP) InPSM(client wifi.Addr) bool {
+	c, ok := ap.clients[client]
+	return ok && c.psm
+}
+
+// BufferedFrames reports the client's PSM queue depth.
+func (ap *AP) BufferedFrames(client wifi.Addr) int {
+	if c, ok := ap.clients[client]; ok {
+		return len(c.buffer)
+	}
+	return 0
+}
+
+func (ap *AP) nextSeq() uint16 {
+	ap.seq++
+	return ap.seq
+}
+
+func (ap *AP) beacon() {
+	ap.radio.Send(&wifi.Frame{
+		Type: wifi.TypeBeacon, SA: ap.Addr(), DA: wifi.Broadcast, BSSID: ap.Addr(), Seq: ap.nextSeq(),
+		Body: &wifi.BeaconBody{SSID: ap.cfg.SSID, Channel: uint8(ap.cfg.Channel),
+			BackhaulKbps: uint32(ap.cfg.BackhaulKbps)},
+	})
+	ap.kernel.After(ap.cfg.BeaconInterval, ap.beacon)
+}
+
+// respondAfterDelay transmits f after the AP's processing delay.
+func (ap *AP) respondAfterDelay(f *wifi.Frame) {
+	ap.kernel.After(ap.cfg.RespDelay.Sample(ap.kernel.RNG("mac.ap.resp")), func() {
+		ap.radio.Send(f)
+	})
+}
+
+func (ap *AP) receive(f *wifi.Frame) {
+	switch f.Type {
+	case wifi.TypeProbeReq:
+		body, ok := f.Body.(*wifi.ProbeReqBody)
+		if !ok {
+			return
+		}
+		if body.SSID != "" && body.SSID != ap.cfg.SSID {
+			return
+		}
+		ap.respondAfterDelay(&wifi.Frame{
+			Type: wifi.TypeProbeResp, SA: ap.Addr(), DA: f.SA, BSSID: ap.Addr(), Seq: ap.nextSeq(),
+			Body: &wifi.BeaconBody{SSID: ap.cfg.SSID, Channel: uint8(ap.cfg.Channel),
+				BackhaulKbps: uint32(ap.cfg.BackhaulKbps)},
+		})
+	case wifi.TypeAuthReq:
+		ap.respondAfterDelay(&wifi.Frame{
+			Type: wifi.TypeAuthResp, SA: ap.Addr(), DA: f.SA, BSSID: ap.Addr(), Seq: ap.nextSeq(),
+			Body: &wifi.AuthBody{Status: 0},
+		})
+	case wifi.TypeAssocReq:
+		body, ok := f.Body.(*wifi.AssocReqBody)
+		if !ok || body.SSID != ap.cfg.SSID {
+			return
+		}
+		c := ap.clients[f.SA]
+		if c == nil {
+			c = &apClient{}
+			ap.clients[f.SA] = c
+		}
+		if !c.associated {
+			ap.AssocGrants++
+			c.associated = true
+			c.aid = uint16(len(ap.clients))
+		}
+		ap.respondAfterDelay(&wifi.Frame{
+			Type: wifi.TypeAssocResp, SA: ap.Addr(), DA: f.SA, BSSID: ap.Addr(), Seq: ap.nextSeq(),
+			Body: &wifi.AssocRespBody{Status: 0, AID: c.aid},
+		})
+	case wifi.TypeDeauth:
+		delete(ap.clients, f.SA)
+	case wifi.TypeNull:
+		c, ok := ap.clients[f.SA]
+		if !ok || !c.associated {
+			return
+		}
+		c.psm = f.PowerMgmt
+		if !c.psm {
+			ap.flush(f.SA, c)
+		} else {
+			c.draining = false
+			ap.pump(f.SA, c) // parks whatever had not reached the air
+		}
+	case wifi.TypePSPoll:
+		c, ok := ap.clients[f.SA]
+		if !ok || !c.associated {
+			return
+		}
+		// Simplification: a PS-poll drains the whole buffer rather than
+		// one frame. Spider polls once per channel visit; per-frame polls
+		// would only add constant airtime.
+		ap.flush(f.SA, c)
+	case wifi.TypeData:
+		c, ok := ap.clients[f.SA]
+		db, isData := f.Body.(*wifi.DataBody)
+		if !isData {
+			return
+		}
+		// DHCP must work before association state is fully settled and is
+		// never PSM-deferred (§2: the join process cannot be buffered).
+		if db.Proto == wifi.ProtoDHCP {
+			if m := dhcp.FromFrame(f); m != nil {
+				ap.dhcpd.HandleMessage(m)
+			}
+			return
+		}
+		if !ok || !c.associated {
+			return // data from strangers is dropped
+		}
+		ap.UplinkFrames++
+		if ap.uplink != nil {
+			ap.uplink(f.SA, db)
+		}
+	}
+}
+
+func (ap *AP) flush(client wifi.Addr, c *apClient) {
+	ap.PSMFlushed += uint64(len(c.buffer))
+	c.pending = append(c.pending, c.buffer...)
+	c.buffer = nil
+	c.draining = true
+	ap.pump(client, c)
+}
+
+// pump keeps exactly one downlink frame per client committed to the
+// radio. Pacing against actual MAC completion means a PSM announcement
+// can park everything not yet on the air — committing a deep queue would
+// burn retries into the void after the client leaves the channel.
+func (ap *AP) pump(client wifi.Addr, c *apClient) {
+	if c.txBusy || !c.associated {
+		return
+	}
+	if c.psm && !c.draining {
+		// Park anything still pending.
+		c.buffer = append(c.buffer, c.pending...)
+		c.pending = nil
+		ap.trimBuffer(c)
+		return
+	}
+	if len(c.pending) == 0 {
+		c.draining = false
+		return
+	}
+	f := c.pending[0]
+	c.pending = c.pending[1:]
+	c.txBusy = true
+	ap.DownDelivered++
+	ap.radio.SendNotify(f, func(bool) {
+		c.txBusy = false
+		ap.pump(client, c)
+	})
+}
+
+func (ap *AP) trimBuffer(c *apClient) {
+	if over := len(c.buffer) - ap.cfg.PSMBufferFrames; over > 0 {
+		ap.PSMDrops += uint64(over)
+		c.buffer = c.buffer[over:] // oldest first: tail keeps fresh data
+	}
+}
+
+// sendDHCP transmits a DHCP server message to a client. DHCP responses
+// bypass PSM buffering: the lease process is controlled by the AP and
+// cannot be deferred by the client's power-save claim — the paper's
+// central observation.
+func (ap *AP) sendDHCP(to wifi.Addr, m *dhcp.Message) {
+	ap.radio.Send(m.Frame(ap.Addr(), to, ap.Addr()))
+}
+
+// Deliver hands a wired-side downlink payload to the MAC for over-the-air
+// delivery to an associated client. If the client has announced PSM the
+// frame is buffered (bounded, head-drop); if the client is not associated
+// the frame is dropped. Returns false on drop.
+func (ap *AP) Deliver(to wifi.Addr, db *wifi.DataBody) bool {
+	ap.DownFrames++
+	c, ok := ap.clients[to]
+	if !ok || !c.associated {
+		return false
+	}
+	f := &wifi.Frame{Type: wifi.TypeData, SA: ap.Addr(), DA: to, BSSID: ap.Addr(),
+		Seq: ap.nextSeq(), Body: db}
+	if c.psm {
+		if len(c.buffer) >= ap.cfg.PSMBufferFrames {
+			ap.PSMDrops++
+			return false
+		}
+		ap.PSMBuffered++
+		c.buffer = append(c.buffer, f)
+		return true
+	}
+	c.pending = append(c.pending, f)
+	ap.pump(to, c)
+	return true
+}

@@ -1,0 +1,233 @@
+package mac
+
+import (
+	"math/rand"
+	"time"
+
+	"spider/internal/sim"
+	"spider/internal/wifi"
+)
+
+// JoinConfig holds the client-side link-layer timeout policy.
+//
+// Per the paper (footnote 1): "The link-layer timeout reflects a timer
+// for each message in a multi-step protocol — not a timeout for the
+// entire request-response process." The stock timer is 1 s; Eriksson et
+// al.'s reduction to 100 ms is the configuration the paper evaluates.
+type JoinConfig struct {
+	// LinkTimeout is the per-message retransmission timer.
+	LinkTimeout time.Duration
+	// MaxRetries bounds retransmissions per message before the join
+	// attempt is declared failed.
+	MaxRetries int
+}
+
+// DefaultJoinConfig is the stock 802.11 supplicant policy.
+func DefaultJoinConfig() JoinConfig {
+	return JoinConfig{LinkTimeout: time.Second, MaxRetries: 3}
+}
+
+// ReducedJoinConfig is the fast-handoff policy (100 ms timers). The
+// shorter timer buys more retries within the same patience budget — the
+// whole point of the reduction is recovering lost handshake frames
+// quickly, and on a sliced schedule several retries land off-channel.
+func ReducedJoinConfig() JoinConfig {
+	return JoinConfig{LinkTimeout: 100 * time.Millisecond, MaxRetries: 10}
+}
+
+func (c JoinConfig) withDefaults() JoinConfig {
+	d := DefaultJoinConfig()
+	if c.LinkTimeout <= 0 {
+		c.LinkTimeout = d.LinkTimeout
+	}
+	if c.MaxRetries <= 0 {
+		c.MaxRetries = d.MaxRetries
+	}
+	return c
+}
+
+// JoinStage identifies how far a join attempt progressed.
+type JoinStage uint8
+
+// Stages of the link-layer join.
+const (
+	StageIdle JoinStage = iota
+	StageAuth
+	StageAssoc
+	StageAssociated
+)
+
+func (s JoinStage) String() string {
+	switch s {
+	case StageIdle:
+		return "idle"
+	case StageAuth:
+		return "auth"
+	case StageAssoc:
+		return "assoc"
+	case StageAssociated:
+		return "associated"
+	}
+	return "unknown"
+}
+
+// AssocResult reports the outcome of a link-layer join attempt.
+type AssocResult struct {
+	Success bool
+	Stage   JoinStage // stage reached (on failure, where it stalled)
+	Elapsed time.Duration
+	Retries int
+}
+
+// Joiner runs the client-side link-layer join (auth + assoc) against one
+// AP. Scanning happens elsewhere (the driver owns the channel); the
+// Joiner assumes the target BSSID and SSID are known.
+//
+// The Joiner is transport-agnostic: send may silently drop when the
+// radio is off the AP's channel, and responses arrive only while the
+// driver dwells there — which is exactly the coupling between schedule
+// and join success the paper models.
+type Joiner struct {
+	kernel   *sim.Kernel
+	cfg      JoinConfig
+	self     wifi.Addr
+	bssid    wifi.Addr
+	ssid     string
+	send     func(f *wifi.Frame)
+	onResult func(AssocResult)
+
+	stage   JoinStage
+	retries int
+	started time.Duration
+	timer   *sim.Event
+	seq     uint16
+	rng     *rand.Rand
+
+	// Counters.
+	Attempts, Successes, Failures uint64
+}
+
+// NewJoiner creates a join engine for one (client, AP) pair.
+func NewJoiner(k *sim.Kernel, cfg JoinConfig, self, bssid wifi.Addr, ssid string,
+	send func(*wifi.Frame), onResult func(AssocResult)) *Joiner {
+	if send == nil || onResult == nil {
+		panic("mac: joiner needs send and onResult")
+	}
+	return &Joiner{
+		kernel: k, cfg: cfg.withDefaults(),
+		self: self, bssid: bssid, ssid: ssid,
+		send: send, onResult: onResult,
+		rng: k.RNG("mac.joiner." + self.String() + bssid.String()),
+	}
+}
+
+// Config returns the effective configuration.
+func (j *Joiner) Config() JoinConfig { return j.cfg }
+
+// Stage returns the current join stage.
+func (j *Joiner) Stage() JoinStage { return j.stage }
+
+// Busy reports whether a join attempt is in flight.
+func (j *Joiner) Busy() bool { return j.stage == StageAuth || j.stage == StageAssoc }
+
+// Start begins a join attempt. Restarts any attempt in flight.
+func (j *Joiner) Start() {
+	j.cancelTimer()
+	j.Attempts++
+	j.started = j.kernel.Now()
+	j.retries = 0
+	j.stage = StageAuth
+	j.sendCurrent()
+}
+
+// Abort cancels the attempt without reporting a result.
+func (j *Joiner) Abort() {
+	j.cancelTimer()
+	j.stage = StageIdle
+}
+
+// Reset returns the joiner to idle, e.g. after the AP goes out of range
+// post-association.
+func (j *Joiner) Reset() { j.Abort() }
+
+func (j *Joiner) cancelTimer() {
+	if j.timer != nil {
+		j.timer.Cancel()
+		j.timer = nil
+	}
+}
+
+func (j *Joiner) nextSeq() uint16 {
+	j.seq++
+	return j.seq
+}
+
+func (j *Joiner) sendCurrent() {
+	var f *wifi.Frame
+	switch j.stage {
+	case StageAuth:
+		f = &wifi.Frame{Type: wifi.TypeAuthReq, SA: j.self, DA: j.bssid, BSSID: j.bssid,
+			Seq: j.nextSeq(), Body: &wifi.AuthBody{Algorithm: 0}}
+	case StageAssoc:
+		f = &wifi.Frame{Type: wifi.TypeAssocReq, SA: j.self, DA: j.bssid, BSSID: j.bssid,
+			Seq: j.nextSeq(), Body: &wifi.AssocReqBody{SSID: j.ssid, ListenInterval: 10}}
+	default:
+		return
+	}
+	j.send(f)
+	// Jitter the per-message timer (±20%) so retransmissions cannot
+	// phase-lock against a channel schedule whose period divides it.
+	jitter := time.Duration((j.rng.Float64()*0.4 - 0.2) * float64(j.cfg.LinkTimeout))
+	j.timer = j.kernel.After(j.cfg.LinkTimeout+jitter, j.onTimeout)
+}
+
+func (j *Joiner) onTimeout() {
+	j.retries++
+	if j.retries > j.cfg.MaxRetries {
+		stage := j.stage
+		j.stage = StageIdle
+		j.Failures++
+		j.onResult(AssocResult{Success: false, Stage: stage,
+			Elapsed: j.kernel.Now() - j.started, Retries: j.retries - 1})
+		return
+	}
+	j.sendCurrent()
+}
+
+// HandleFrame processes a frame from the target AP.
+func (j *Joiner) HandleFrame(f *wifi.Frame) {
+	if f.SA != j.bssid || f.DA != j.self {
+		return
+	}
+	switch f.Type {
+	case wifi.TypeAuthResp:
+		if j.stage != StageAuth {
+			return
+		}
+		body, ok := f.Body.(*wifi.AuthBody)
+		if !ok || body.Status != 0 {
+			return
+		}
+		j.cancelTimer()
+		j.retries = 0
+		j.stage = StageAssoc
+		j.sendCurrent()
+	case wifi.TypeAssocResp:
+		if j.stage != StageAssoc {
+			return
+		}
+		body, ok := f.Body.(*wifi.AssocRespBody)
+		if !ok || body.Status != 0 {
+			return
+		}
+		j.cancelTimer()
+		j.stage = StageAssociated
+		j.Successes++
+		j.onResult(AssocResult{Success: true, Stage: StageAssociated,
+			Elapsed: j.kernel.Now() - j.started, Retries: j.retries})
+	case wifi.TypeDeauth:
+		if j.stage == StageAssociated {
+			j.stage = StageIdle
+		}
+	}
+}

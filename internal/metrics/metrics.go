@@ -1,0 +1,242 @@
+// Package metrics implements the measurement machinery of the paper's
+// evaluation (§4.3): time-binned throughput, connectivity (fraction of
+// bins with non-zero transfer), connection/disruption interval
+// extraction, instantaneous bandwidth, empirical CDFs, and summary
+// statistics.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// Recorder accumulates delivered bytes into fixed-width time bins.
+// The paper's metrics all derive from this: average throughput is total
+// bytes over wall time, connectivity is the fraction of bins that saw a
+// non-zero transfer, connections/disruptions are maximal runs of
+// busy/idle bins, and instantaneous bandwidth is the per-busy-bin rate.
+type Recorder struct {
+	bin   time.Duration
+	bins  map[int64]int64
+	total int64
+	maxT  time.Duration
+}
+
+// NewRecorder creates a recorder with the given bin width (the paper
+// uses one second).
+func NewRecorder(bin time.Duration) *Recorder {
+	if bin <= 0 {
+		bin = time.Second
+	}
+	return &Recorder{bin: bin, bins: make(map[int64]int64)}
+}
+
+// Add records bytes delivered at virtual time t.
+func (r *Recorder) Add(t time.Duration, bytes int) {
+	if bytes <= 0 {
+		return
+	}
+	r.bins[int64(t/r.bin)] += int64(bytes)
+	r.total += int64(bytes)
+	if t > r.maxT {
+		r.maxT = t
+	}
+}
+
+// TotalBytes returns all bytes recorded.
+func (r *Recorder) TotalBytes() int64 { return r.total }
+
+// ThroughputKBps returns average throughput over the window in KB/s
+// (the unit Table 2 reports).
+func (r *Recorder) ThroughputKBps(window time.Duration) float64 {
+	if window <= 0 {
+		return 0
+	}
+	return float64(r.total) / 1000 / window.Seconds()
+}
+
+// Connectivity returns the fraction of bins within the window that saw a
+// non-zero transfer.
+func (r *Recorder) Connectivity(window time.Duration) float64 {
+	n := int64(window / r.bin)
+	if n <= 0 {
+		return 0
+	}
+	busy := int64(0)
+	for i := int64(0); i < n; i++ {
+		if r.bins[i] > 0 {
+			busy++
+		}
+	}
+	return float64(busy) / float64(n)
+}
+
+// Connections returns the durations of maximal contiguous busy runs —
+// the paper's "connection duration" CDF input (Fig 10a).
+func (r *Recorder) Connections(window time.Duration) []time.Duration {
+	return r.runs(window, true)
+}
+
+// Disruptions returns the durations of maximal contiguous idle runs —
+// the paper's "disruption length" CDF input (Fig 10b).
+func (r *Recorder) Disruptions(window time.Duration) []time.Duration {
+	return r.runs(window, false)
+}
+
+func (r *Recorder) runs(window time.Duration, busy bool) []time.Duration {
+	n := int64(window / r.bin)
+	var out []time.Duration
+	run := int64(0)
+	for i := int64(0); i < n; i++ {
+		isBusy := r.bins[i] > 0
+		if isBusy == busy {
+			run++
+			continue
+		}
+		if run > 0 {
+			out = append(out, time.Duration(run)*r.bin)
+			run = 0
+		}
+	}
+	if run > 0 {
+		out = append(out, time.Duration(run)*r.bin)
+	}
+	return out
+}
+
+// InstantaneousKBps returns the per-busy-bin transfer rates in KB/s —
+// the paper's "instantaneous bandwidth" CDF input (Fig 10c).
+func (r *Recorder) InstantaneousKBps(window time.Duration) []float64 {
+	n := int64(window / r.bin)
+	var out []float64
+	for i := int64(0); i < n; i++ {
+		if b := r.bins[i]; b > 0 {
+			out = append(out, float64(b)/1000/r.bin.Seconds())
+		}
+	}
+	return out
+}
+
+// CDF is an empirical cumulative distribution function.
+type CDF struct {
+	sorted []float64
+}
+
+// NewCDF builds a CDF from samples (copied and sorted).
+func NewCDF(samples []float64) CDF {
+	s := append([]float64(nil), samples...)
+	sort.Float64s(s)
+	return CDF{sorted: s}
+}
+
+// DurationsCDF builds a CDF over durations expressed in seconds.
+func DurationsCDF(ds []time.Duration) CDF {
+	s := make([]float64, len(ds))
+	for i, d := range ds {
+		s[i] = d.Seconds()
+	}
+	return NewCDF(s)
+}
+
+// N returns the sample count.
+func (c CDF) N() int { return len(c.sorted) }
+
+// At returns the empirical P(X ≤ x).
+func (c CDF) At(x float64) float64 {
+	if len(c.sorted) == 0 {
+		return 0
+	}
+	i := sort.SearchFloat64s(c.sorted, x)
+	// Include equal values.
+	for i < len(c.sorted) && c.sorted[i] <= x {
+		i++
+	}
+	return float64(i) / float64(len(c.sorted))
+}
+
+// Quantile returns the p-quantile (0 ≤ p ≤ 1) by nearest-rank.
+func (c CDF) Quantile(p float64) float64 {
+	if len(c.sorted) == 0 {
+		return math.NaN()
+	}
+	if p <= 0 {
+		return c.sorted[0]
+	}
+	if p >= 1 {
+		return c.sorted[len(c.sorted)-1]
+	}
+	i := int(math.Ceil(p*float64(len(c.sorted)))) - 1
+	if i < 0 {
+		i = 0
+	}
+	return c.sorted[i]
+}
+
+// Median returns the 0.5-quantile.
+func (c CDF) Median() float64 { return c.Quantile(0.5) }
+
+// Point is one (x, P(X≤x)) pair of a rendered CDF.
+type Point struct {
+	X float64
+	P float64
+}
+
+// Points samples the CDF at n evenly spaced probabilities, suitable for
+// plotting a figure's series.
+func (c CDF) Points(n int) []Point {
+	if n <= 0 || len(c.sorted) == 0 {
+		return nil
+	}
+	out := make([]Point, 0, n)
+	for i := 1; i <= n; i++ {
+		p := float64(i) / float64(n)
+		out = append(out, Point{X: c.Quantile(p), P: p})
+	}
+	return out
+}
+
+// Mean returns the arithmetic mean of samples (NaN if empty).
+func Mean(samples []float64) float64 {
+	if len(samples) == 0 {
+		return math.NaN()
+	}
+	var sum float64
+	for _, v := range samples {
+		sum += v
+	}
+	return sum / float64(len(samples))
+}
+
+// StdDev returns the sample standard deviation (0 for n < 2).
+func StdDev(samples []float64) float64 {
+	if len(samples) < 2 {
+		return 0
+	}
+	m := Mean(samples)
+	var ss float64
+	for _, v := range samples {
+		d := v - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(len(samples)-1))
+}
+
+// MeanDuration averages durations.
+func MeanDuration(ds []time.Duration) time.Duration {
+	if len(ds) == 0 {
+		return 0
+	}
+	var sum time.Duration
+	for _, d := range ds {
+		sum += d
+	}
+	return sum / time.Duration(len(ds))
+}
+
+// FormatKBps renders a throughput the way the paper's tables do.
+func FormatKBps(v float64) string { return fmt.Sprintf("%.1f KB/s", v) }
+
+// FormatPct renders a fraction as a percentage.
+func FormatPct(v float64) string { return fmt.Sprintf("%.1f%%", v*100) }

@@ -1,0 +1,189 @@
+// Package model implements the paper's analytical framework (§2.1): the
+// probability that a mobile node joins an AP as a function of its channel
+// schedule (Eqs. 5–7), a Monte Carlo simulation corroborating the
+// derivation (Fig 2), the expected join time g_T(f), and the throughput
+// maximization of Eqs. 8–10 whose solution exhibits the dividing speed
+// (Fig 4): above roughly 10 m/s, all time should go to a single channel.
+package model
+
+import (
+	"math"
+	"math/rand"
+	"time"
+)
+
+// JoinParams are the inputs of the join model.
+type JoinParams struct {
+	// D is the scheduling period.
+	D time.Duration
+	// W is the channel-switch delay w.
+	W time.Duration
+	// C is the spacing between consecutive join requests (set by DHCP and
+	// link-layer timers; the paper uses 100 ms).
+	C time.Duration
+	// BetaMin/BetaMax bound the AP's response time: the join time in a
+	// non-virtualized scenario is uniform in [BetaMin, BetaMax].
+	BetaMin, BetaMax time.Duration
+	// Loss is the per-message loss probability h.
+	Loss float64
+}
+
+// PaperJoinParams returns the parameter set of Figs. 2 and 3:
+// D=500 ms, w=7 ms, c=100 ms, βmin=500 ms, h=10%.
+func PaperJoinParams(betaMax time.Duration) JoinParams {
+	return JoinParams{
+		D:       500 * time.Millisecond,
+		W:       7 * time.Millisecond,
+		C:       100 * time.Millisecond,
+		BetaMin: 500 * time.Millisecond,
+		BetaMax: betaMax,
+		Loss:    0.10,
+	}
+}
+
+func sec(d time.Duration) float64 { return d.Seconds() }
+
+// RequestsPerRound returns the maximum number of join requests per round,
+// ⌈D·f/c⌉ (§2.1.1).
+func (p JoinParams) RequestsPerRound(f float64) int {
+	if f <= 0 {
+		return 0
+	}
+	return int(math.Ceil(sec(p.D) * f / sec(p.C)))
+}
+
+// QSegment evaluates Eq. 5: the probability that the request sent at the
+// beginning of segment k (1-based) of round m leads to a successful join
+// whose response lands in round n = m+gap, on a lossless channel.
+func (p JoinParams) QSegment(f float64, gap, k int) float64 {
+	if f <= 0 || gap < 0 || k < 1 {
+		return 0
+	}
+	D, w, c := sec(p.D), sec(p.W), sec(p.C)
+	alphaMin := float64(k)*c + sec(p.BetaMin)
+	alphaMax := float64(k)*c + sec(p.BetaMax)
+	deltaMin := float64(gap)*D + c - w
+	deltaMax := (float64(gap)+f)*D + c - w
+	if deltaMin > alphaMax || deltaMax < alphaMin {
+		return 0
+	}
+	den := alphaMax - alphaMin
+	if den <= 0 {
+		// Degenerate β distribution: point mass at βmin.
+		if alphaMin >= deltaMin && alphaMin <= deltaMax {
+			return 1
+		}
+		return 0
+	}
+	return (math.Min(alphaMax, deltaMax) - math.Max(alphaMin, deltaMin)) / den
+}
+
+// RoundFailure evaluates Eq. 6: the probability that no request made in
+// round m leads to a successful join in round m+gap, on a channel with
+// message loss h (the request and the response must both survive, hence
+// the (1−h)² factor).
+func (p JoinParams) RoundFailure(f float64, gap int) float64 {
+	k := p.RequestsPerRound(f)
+	prob := 1.0
+	through := (1 - p.Loss) * (1 - p.Loss)
+	for i := 1; i <= k; i++ {
+		prob *= 1 - p.QSegment(f, gap, i)*through
+	}
+	return prob
+}
+
+// JoinProb evaluates Eq. 7: the probability of obtaining at least one
+// successful join during the first t seconds in range, when spending
+// fraction f of each scheduling period on the AP's channel.
+//
+// Because RoundFailure depends only on the gap n−m, the double product
+// over 1 ≤ m ≤ n ≤ M collapses to ∏_d Q(d)^(M−d).
+func (p JoinParams) JoinProb(f float64, t time.Duration) float64 {
+	m := p.rounds(t)
+	if m <= 0 || f <= 0 {
+		return 0
+	}
+	logFail := 0.0
+	for gap := 0; gap < m; gap++ {
+		q := p.RoundFailure(f, gap)
+		if q <= 0 {
+			return 1
+		}
+		logFail += float64(m-gap) * math.Log(q)
+	}
+	return 1 - math.Exp(logFail)
+}
+
+func (p JoinParams) rounds(t time.Duration) int {
+	if t <= 0 || p.D <= 0 {
+		return 0
+	}
+	return int(math.Ceil(sec(t) / sec(p.D)))
+}
+
+// ExpectedJoinTime computes g_T(f): the expected time to obtain a lease
+// within a residence time of T, with failures charged the full T (a node
+// that never joins extracts nothing, matching constraint 9's use of the
+// quantity).
+func (p JoinParams) ExpectedJoinTime(f float64, T time.Duration) time.Duration {
+	m := p.rounds(T)
+	if m <= 0 || f <= 0 {
+		return T
+	}
+	var g float64
+	prev := 0.0
+	for i := 1; i <= m; i++ {
+		t := time.Duration(i) * p.D
+		if t > T {
+			t = T
+		}
+		pi := p.JoinProb(f, t)
+		g += (pi - prev) * sec(t)
+		prev = pi
+	}
+	g += (1 - prev) * sec(T)
+	return time.Duration(g * float64(time.Second))
+}
+
+// SimulateJoinProb corroborates Eq. 7 by direct simulation under the same
+// assumptions (Fig 2): requests at segment starts, β ~ U[βmin, βmax],
+// independent loss h on request and response, success iff the response
+// lands inside an on-channel window.
+func (p JoinParams) SimulateJoinProb(r *rand.Rand, f float64, t time.Duration, trials int) float64 {
+	if trials <= 0 {
+		return 0
+	}
+	m := p.rounds(t)
+	k := p.RequestsPerRound(f)
+	if m <= 0 || k <= 0 {
+		return 0
+	}
+	D, w, c := sec(p.D), sec(p.W), sec(p.C)
+	bmin, bmax := sec(p.BetaMin), sec(p.BetaMax)
+	succ := 0
+	for trial := 0; trial < trials; trial++ {
+	rounds:
+		for round := 0; round < m; round++ {
+			for seg := 1; seg <= k; seg++ {
+				if r.Float64() < p.Loss || r.Float64() < p.Loss {
+					continue // request or response lost
+				}
+				beta := bmin + r.Float64()*(bmax-bmin)
+				// Response offset within this round's frame of reference.
+				resp := w + float64(seg-1)*c + beta
+				// Success iff resp falls in [gap·D, gap·D + f·D] for some
+				// gap ≥ 0 with round+gap < m (Eqs. 1–2).
+				gap := math.Floor(resp / D)
+				if round+int(gap) >= m {
+					continue
+				}
+				frac := resp - gap*D
+				if frac <= f*D {
+					succ++
+					break rounds
+				}
+			}
+		}
+	}
+	return float64(succ) / float64(trials)
+}

@@ -1,0 +1,319 @@
+package model
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestQSegmentBounds(t *testing.T) {
+	p := PaperJoinParams(5 * time.Second)
+	f := func(fi float64, gap, k uint8) bool {
+		fi = math.Mod(math.Abs(fi), 1.0)
+		q := p.QSegment(fi, int(gap%20), int(k%8)+1)
+		return q >= 0 && q <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQSegmentDegenerateInputs(t *testing.T) {
+	p := PaperJoinParams(5 * time.Second)
+	if p.QSegment(0, 0, 1) != 0 || p.QSegment(0.5, -1, 1) != 0 || p.QSegment(0.5, 0, 0) != 0 {
+		t.Fatal("degenerate inputs should give q=0")
+	}
+	// Point-mass β: response at exactly k·c + βmin.
+	pp := p
+	pp.BetaMax = pp.BetaMin
+	got := pp.QSegment(1.0, 1, 1)
+	if got != 1 {
+		// β = 0.6s, window for gap 1 is [0.593, 1.093]: contains it.
+		t.Fatalf("point-mass β q = %v, want 1", got)
+	}
+}
+
+func TestRequestsPerRound(t *testing.T) {
+	p := PaperJoinParams(5 * time.Second) // D=500ms, c=100ms
+	cases := []struct {
+		f    float64
+		want int
+	}{{0, 0}, {0.1, 1}, {0.2, 1}, {0.21, 2}, {0.5, 3}, {1, 5}}
+	for _, c := range cases {
+		if got := p.RequestsPerRound(c.f); got != c.want {
+			t.Errorf("RequestsPerRound(%v) = %d, want %d", c.f, got, c.want)
+		}
+	}
+}
+
+func TestRoundFailureBounds(t *testing.T) {
+	p := PaperJoinParams(5 * time.Second)
+	for _, f := range []float64{0.1, 0.3, 0.5, 1} {
+		for gap := 0; gap < 10; gap++ {
+			q := p.RoundFailure(f, gap)
+			if q < 0 || q > 1 {
+				t.Fatalf("RoundFailure(%v,%d) = %v", f, gap, q)
+			}
+		}
+	}
+}
+
+func TestJoinProbMonotoneInFraction(t *testing.T) {
+	p := PaperJoinParams(5 * time.Second)
+	prev := -1.0
+	for f := 0.05; f <= 1.0; f += 0.05 {
+		v := p.JoinProb(f, 4*time.Second)
+		if v < 0 || v > 1 {
+			t.Fatalf("JoinProb(%v) = %v out of range", f, v)
+		}
+		// Discontinuities from ⌈Df/c⌉ only ever jump upward.
+		if v < prev-1e-9 {
+			t.Fatalf("JoinProb not monotone at f=%v: %v < %v", f, v, prev)
+		}
+		prev = v
+	}
+}
+
+func TestJoinProbMonotoneInTime(t *testing.T) {
+	p := PaperJoinParams(5 * time.Second)
+	prev := -1.0
+	for s := 1; s <= 10; s++ {
+		v := p.JoinProb(0.3, time.Duration(s)*time.Second)
+		if v < prev-1e-9 {
+			t.Fatalf("JoinProb not monotone in t at %ds", s)
+		}
+		prev = v
+	}
+}
+
+func TestJoinProbPaperShape(t *testing.T) {
+	// Fig 2 anchor points (βmax=5s): p(~0.1, 4s) around 0.2, p(1.0, 4s)
+	// near 1, and a steep fall from ~75% to ~20% between f=0.3 and f=0.1
+	// per §2.1.2's reading of the curve.
+	p := PaperJoinParams(5 * time.Second)
+	low := p.JoinProb(0.10, 4*time.Second)
+	mid := p.JoinProb(0.30, 4*time.Second)
+	high := p.JoinProb(1.0, 4*time.Second)
+	if low < 0.08 || low > 0.40 {
+		t.Fatalf("p(0.1,4s) = %v, expected ~0.2", low)
+	}
+	if mid < 0.5 || mid > 0.95 {
+		t.Fatalf("p(0.3,4s) = %v, expected ~0.75", mid)
+	}
+	if high < 0.9 {
+		t.Fatalf("p(1.0,4s) = %v, expected ≈1", high)
+	}
+	if !(high > mid && mid > low) {
+		t.Fatalf("ordering broken: %v %v %v", low, mid, high)
+	}
+}
+
+func TestJoinProbLargerBetaMaxIsWorse(t *testing.T) {
+	// Fig 3: shorter maximum join times → higher join probability.
+	p5 := PaperJoinParams(5 * time.Second)
+	p10 := PaperJoinParams(10 * time.Second)
+	for _, f := range []float64{0.1, 0.25, 0.5} {
+		if p10.JoinProb(f, 4*time.Second) >= p5.JoinProb(f, 4*time.Second) {
+			t.Fatalf("βmax=10s not worse than 5s at f=%v", f)
+		}
+	}
+}
+
+func TestJoinProbSwitchDelayMinorEffect(t *testing.T) {
+	// §2.1.2: "even when there is no switching delay (w = 0), chances of
+	// joining are not notably increased".
+	pw := PaperJoinParams(5 * time.Second)
+	p0 := pw
+	p0.W = 0
+	for _, f := range []float64{0.1, 0.5} {
+		a := pw.JoinProb(f, 4*time.Second)
+		b := p0.JoinProb(f, 4*time.Second)
+		if math.Abs(a-b) > 0.10 {
+			t.Fatalf("w=7ms vs w=0 differ too much at f=%v: %v vs %v", f, a, b)
+		}
+		if b < a-1e-9 {
+			t.Fatalf("removing switch delay reduced join prob at f=%v", f)
+		}
+	}
+}
+
+func TestSimulationMatchesModel(t *testing.T) {
+	// The Fig 2 corroboration: simulation within a few points of Eq. 7.
+	p := PaperJoinParams(5 * time.Second)
+	r := rand.New(rand.NewSource(42))
+	for _, f := range []float64{0.1, 0.3, 0.5, 0.8, 1.0} {
+		want := p.JoinProb(f, 4*time.Second)
+		got := p.SimulateJoinProb(r, f, 4*time.Second, 20_000)
+		if math.Abs(got-want) > 0.05 {
+			t.Fatalf("f=%v: model %v vs simulation %v", f, want, got)
+		}
+	}
+}
+
+func TestSimulateDegenerate(t *testing.T) {
+	p := PaperJoinParams(5 * time.Second)
+	r := rand.New(rand.NewSource(1))
+	if p.SimulateJoinProb(r, 0, 4*time.Second, 100) != 0 {
+		t.Fatal("f=0 should never join")
+	}
+	if p.SimulateJoinProb(r, 0.5, 0, 100) != 0 {
+		t.Fatal("t=0 should never join")
+	}
+	if p.SimulateJoinProb(r, 0.5, time.Second, 0) != 0 {
+		t.Fatal("0 trials should be 0")
+	}
+}
+
+func TestExpectedJoinTimeProperties(t *testing.T) {
+	p := PaperJoinParams(10 * time.Second)
+	T := 20 * time.Second
+	g100 := p.ExpectedJoinTime(1.0, T)
+	g10 := p.ExpectedJoinTime(0.1, T)
+	if g100 <= 0 || g100 > T || g10 <= 0 || g10 > T {
+		t.Fatalf("g out of range: %v %v", g100, g10)
+	}
+	if g100 >= g10 {
+		t.Fatalf("more channel time should join faster: g(1)=%v g(0.1)=%v", g100, g10)
+	}
+	if p.ExpectedJoinTime(0, T) != T {
+		t.Fatal("f=0 should cost the whole residence")
+	}
+}
+
+func TestOptimizeSingleChannelFullyJoined(t *testing.T) {
+	p := PaperJoinParams(10 * time.Second)
+	s := Optimize(OptimizeInput{
+		Join:     p,
+		Channels: []ChannelOffer{{JoinedKbps: BwKbps}},
+		T:        20 * time.Second,
+	})
+	// One channel with full joined bandwidth: near-total allocation minus
+	// the switch overhead slot.
+	if s.F[0] < 0.95 {
+		t.Fatalf("single joined channel f = %v", s.F[0])
+	}
+	if s.AggregateKbps < 0.95*BwKbps {
+		t.Fatalf("aggregate %v", s.AggregateKbps)
+	}
+}
+
+func TestOptimizeRespectsOfferedCaps(t *testing.T) {
+	p := PaperJoinParams(10 * time.Second)
+	s := Optimize(OptimizeInput{
+		Join:     p,
+		Channels: []ChannelOffer{{JoinedKbps: 0.25 * BwKbps}, {JoinedKbps: 0.25 * BwKbps}},
+		T:        20 * time.Second,
+	})
+	for i, f := range s.F {
+		if f > 0.25+0.02 {
+			t.Fatalf("channel %d exceeded offered cap: f=%v", i, f)
+		}
+	}
+	if s.AggregateKbps < 0.45*BwKbps {
+		t.Fatalf("two quarter-channels should aggregate ~half: %v", s.AggregateKbps)
+	}
+}
+
+func TestFig4HighSpeedStaysOnJoinedChannel(t *testing.T) {
+	// Scenario 1 at 20 m/s (T=10s): all bandwidth should come from the
+	// already-joined channel.
+	p := PaperJoinParams(10 * time.Second)
+	chans := []ChannelOffer{{JoinedKbps: 0.75 * BwKbps}, {AvailKbps: 0.25 * BwKbps}}
+	s := Optimize(OptimizeInput{Join: p, Channels: chans, T: 10 * time.Second, Step: 0.02})
+	if s.F[1] > 0.03 {
+		t.Fatalf("at 20 m/s the optimizer still switches: f2=%v", s.F[1])
+	}
+	if s.F[0] < 0.70 {
+		t.Fatalf("joined channel underused: f1=%v", s.F[0])
+	}
+}
+
+func TestFig4LowSpeedSwitches(t *testing.T) {
+	// Scenario 2 at 2.5 m/s (T=80s): the second channel offers 75% of Bw;
+	// switching must pay.
+	p := PaperJoinParams(10 * time.Second)
+	chans := []ChannelOffer{{JoinedKbps: 0.25 * BwKbps}, {AvailKbps: 0.75 * BwKbps}}
+	s := Optimize(OptimizeInput{Join: p, Channels: chans, T: 80 * time.Second, Step: 0.02})
+	if s.F[1] < 0.2 {
+		t.Fatalf("at 2.5 m/s the optimizer refuses to switch: f2=%v (f1=%v)", s.F[1], s.F[0])
+	}
+}
+
+func TestDividingSpeedNearPaperValue(t *testing.T) {
+	// "users traveling at an average speed of 10 m/s or faster should form
+	// concurrent Wi-Fi connections only within a single channel."
+	p := PaperJoinParams(10 * time.Second)
+	chans := []ChannelOffer{{JoinedKbps: 0.50 * BwKbps}, {AvailKbps: 0.50 * BwKbps}}
+	v := DividingSpeed(p, chans, 100, 1, 40, 0.25)
+	if v < 3 || v > 20 {
+		t.Fatalf("dividing speed %v m/s outside plausible band around 10", v)
+	}
+}
+
+func TestSweepSpeedsMonotoneSwitchShare(t *testing.T) {
+	// As speed rises, the fraction given to the join channel must not rise.
+	p := PaperJoinParams(10 * time.Second)
+	chans := []ChannelOffer{{JoinedKbps: 0.50 * BwKbps}, {AvailKbps: 0.50 * BwKbps}}
+	pts := SweepSpeeds(p, chans, 100, []float64{2.5, 5, 10, 20}, 0.02)
+	if len(pts) != 4 {
+		t.Fatalf("got %d points", len(pts))
+	}
+	prev := math.Inf(1)
+	for _, pt := range pts {
+		f2 := pt.Schedule.F[1]
+		if f2 > prev+0.05 {
+			t.Fatalf("join-channel share rose with speed: %v", pts)
+		}
+		prev = f2
+	}
+}
+
+func TestOptimizeThreeChannels(t *testing.T) {
+	p := PaperJoinParams(10 * time.Second)
+	s := Optimize(OptimizeInput{
+		Join: p,
+		Channels: []ChannelOffer{
+			{JoinedKbps: 0.4 * BwKbps},
+			{JoinedKbps: 0.3 * BwKbps},
+			{JoinedKbps: 0.3 * BwKbps},
+		},
+		T:    30 * time.Second,
+		Step: 0.05,
+	})
+	var sum float64
+	for _, f := range s.F {
+		sum += f
+	}
+	if sum > 1.0+1e-6 {
+		t.Fatalf("schedule exceeds period: %v", s.F)
+	}
+	if s.AggregateKbps < 0.8*BwKbps {
+		t.Fatalf("three joined channels aggregate only %v", s.AggregateKbps)
+	}
+}
+
+func TestOptimizePanicsOnBadChannelCount(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Optimize(OptimizeInput{Join: PaperJoinParams(time.Second)})
+}
+
+func BenchmarkJoinProb(b *testing.B) {
+	p := PaperJoinParams(10 * time.Second)
+	for i := 0; i < b.N; i++ {
+		p.JoinProb(0.3, 20*time.Second)
+	}
+}
+
+func BenchmarkOptimizeTwoChannels(b *testing.B) {
+	p := PaperJoinParams(10 * time.Second)
+	chans := []ChannelOffer{{JoinedKbps: 0.5 * BwKbps}, {AvailKbps: 0.5 * BwKbps}}
+	for i := 0; i < b.N; i++ {
+		Optimize(OptimizeInput{Join: p, Channels: chans, T: 20 * time.Second, Step: 0.02})
+	}
+}

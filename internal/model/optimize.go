@@ -1,0 +1,226 @@
+package model
+
+import (
+	"math"
+	"time"
+)
+
+// Bandwidth constants (kbps).
+const (
+	// BwKbps is the paper's wireless channel bandwidth Bw = 11 Mbps.
+	BwKbps = 11_000
+	// WiFiRangeM is the practical Wi-Fi range assumed in §2.1.3.
+	WiFiRangeM = 100.0
+)
+
+// ChannelOffer describes the end-to-end bandwidth situation on one
+// channel: Joined is B_j (APs the node already holds leases on), Avail is
+// B_a (APs it would have to join, paying g_T(f) of dead time first).
+type ChannelOffer struct {
+	JoinedKbps float64
+	AvailKbps  float64
+}
+
+// OptimizeInput bundles one optimization instance (Eqs. 8–10).
+type OptimizeInput struct {
+	Join     JoinParams
+	BwKbps   float64
+	Channels []ChannelOffer
+	// T is the residence time: how long the node is in range of the APs.
+	T time.Duration
+	// Step is the grid resolution on each f_i (default 0.01).
+	Step float64
+}
+
+// Schedule is the solver's output: the optimal fraction per channel and
+// the bandwidth extracted from each.
+type Schedule struct {
+	F              []float64
+	PerChannelKbps []float64
+	AggregateKbps  float64
+}
+
+// Optimize solves Eqs. 8–10 by exhaustive grid search over channel
+// fractions. The objective is T·Σ f_i·Bw; each f_i is capped by
+// constraint (9), f_i ≤ (B_j + (1−g_T(f_i)/T)·B_a)/Bw, and the schedule
+// must fit the period: Σ (f_i·D + ⌈f_i⌉·w) ≤ D.
+//
+// Supports up to three channels (the paper optimizes two; the evaluation
+// schedules three). Complexity is (1/step)^(k−1) with the last channel's
+// fraction taken greedily.
+func Optimize(in OptimizeInput) Schedule {
+	if in.BwKbps <= 0 {
+		in.BwKbps = BwKbps
+	}
+	if in.Step <= 0 {
+		in.Step = 0.01
+	}
+	k := len(in.Channels)
+	if k == 0 || k > 3 {
+		panic("model: Optimize supports 1–3 channels")
+	}
+	wFrac := sec(in.Join.W) / sec(in.Join.D)
+
+	// cap returns the constraint-(9) ceiling for channel i at fraction f.
+	gCache := map[int]map[float64]float64{}
+	cap9 := func(i int, f float64) float64 {
+		ch := in.Channels[i]
+		c := ch.JoinedKbps / in.BwKbps
+		if ch.AvailKbps > 0 {
+			m, ok := gCache[i]
+			if !ok {
+				m = map[float64]float64{}
+				gCache[i] = m
+			}
+			g, ok := m[f]
+			if !ok {
+				g = sec(in.Join.ExpectedJoinTime(f, in.T)) / sec(in.T)
+				m[f] = g
+			}
+			c += (1 - g) * ch.AvailKbps / in.BwKbps
+		}
+		if c > 1 {
+			c = 1
+		}
+		return c
+	}
+
+	best := Schedule{F: make([]float64, k), PerChannelKbps: make([]float64, k)}
+	fs := make([]float64, k)
+
+	var search func(i int, used float64)
+	eval := func() {
+		agg := 0.0
+		for i, f := range fs {
+			agg += f * in.BwKbps
+			_ = i
+		}
+		if agg > best.AggregateKbps {
+			best.AggregateKbps = agg
+			copy(best.F, fs)
+			for i, f := range fs {
+				best.PerChannelKbps[i] = f * in.BwKbps
+			}
+		}
+	}
+	search = func(i int, used float64) {
+		if i == k-1 {
+			// Last channel: take the largest feasible fraction.
+			budget := 1 - used - wFrac*switchCount(fs[:i], 1e-12)
+			f := maxFeasible(budget, wFrac, func(f float64) float64 { return cap9(i, f) }, in.Step)
+			fs[i] = f
+			eval()
+			return
+		}
+		for f := 0.0; f <= 1.0+1e-9; f += in.Step {
+			if f > cap9(i, quantize(f, in.Step))+1e-9 {
+				break
+			}
+			need := used + f
+			if f > 0 {
+				need += wFrac
+			}
+			if need > 1+1e-9 {
+				break
+			}
+			fs[i] = f
+			search(i+1, need)
+		}
+		fs[i] = 0
+	}
+	search(0, 0)
+	return best
+}
+
+func quantize(f, step float64) float64 { return math.Round(f/step) * step }
+
+func switchCount(fs []float64, eps float64) float64 {
+	n := 0.0
+	for _, f := range fs {
+		if f > eps {
+			n++
+		}
+	}
+	return n
+}
+
+// maxFeasible finds the largest f ≤ budget−(w overhead if f>0) with
+// f ≤ cap(f), scanning down from the budget on the step grid.
+func maxFeasible(budget, wFrac float64, cap9 func(float64) float64, step float64) float64 {
+	if budget <= 0 {
+		return 0
+	}
+	top := budget - wFrac
+	if top <= 0 {
+		return 0
+	}
+	for f := quantize(top, step); f > 0; f -= step {
+		if f <= cap9(f)+1e-9 && f <= top+1e-9 {
+			return f
+		}
+	}
+	return 0
+}
+
+// SpeedPoint is one speed's optimal schedule (a column of Fig 4).
+type SpeedPoint struct {
+	SpeedMS  float64
+	Schedule Schedule
+}
+
+// SweepSpeeds solves the optimization at each speed, with residence time
+// T = range/speed (the mean chord of a pass through the coverage disk is
+// close to the radius once road offset is accounted for).
+func SweepSpeeds(join JoinParams, channels []ChannelOffer, rangeM float64, speeds []float64, step float64) []SpeedPoint {
+	if rangeM <= 0 {
+		rangeM = WiFiRangeM
+	}
+	out := make([]SpeedPoint, 0, len(speeds))
+	for _, s := range speeds {
+		T := time.Duration(rangeM / s * float64(time.Second))
+		sch := Optimize(OptimizeInput{Join: join, Channels: channels, T: T, Step: step})
+		out = append(out, SpeedPoint{SpeedMS: s, Schedule: sch})
+	}
+	return out
+}
+
+// DividingSpeed returns the lowest speed (within [lo, hi], to the given
+// resolution) at which the optimal schedule abandons the join channel —
+// i.e. allocates (almost) nothing to any channel with only available
+// (un-joined) bandwidth. Below it, switching pays; at and above it the
+// node should stay put. The paper's headline: ~10 m/s for typical
+// parameters.
+func DividingSpeed(join JoinParams, channels []ChannelOffer, rangeM float64, lo, hi, resolution float64) float64 {
+	if resolution <= 0 {
+		resolution = 0.25
+	}
+	joinOnly := func(s Schedule) float64 {
+		v := 0.0
+		for i, ch := range channels {
+			if ch.JoinedKbps == 0 && ch.AvailKbps > 0 {
+				v += s.F[i]
+			}
+		}
+		return v
+	}
+	at := func(speed float64) bool { // true = still worth switching
+		T := time.Duration(rangeM / speed * float64(time.Second))
+		sch := Optimize(OptimizeInput{Join: join, Channels: channels, T: T, Step: 0.02})
+		return joinOnly(sch) > 0.02
+	}
+	if !at(lo) {
+		return lo
+	}
+	if at(hi) {
+		return hi
+	}
+	for hi-lo > resolution {
+		mid := (lo + hi) / 2
+		if at(mid) {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return hi
+}

@@ -1,0 +1,158 @@
+// Package plot renders (x, y) series as Unicode/ASCII line charts for
+// terminal output — the harness's stand-in for the paper's figures.
+// It is deliberately small: fixed-size canvas, linear axes, one glyph
+// per series, a legend, and nothing interactive.
+package plot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Point is one sample.
+type Point struct {
+	X, Y float64
+}
+
+// Series is one labeled curve.
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// Chart is a renderable figure.
+type Chart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+}
+
+// glyphs assigns one marker per series, cycling if there are many.
+var glyphs = []rune{'*', 'o', '+', 'x', '#', '@', '%', '&'}
+
+// Render draws the chart onto a width×height character canvas (plot
+// area, excluding axes and legend). Width and height are clamped to
+// sane minimums. Series are drawn in order; later series overwrite
+// earlier ones where they collide.
+func (c Chart) Render(width, height int) string {
+	if width < 20 {
+		width = 20
+	}
+	if height < 5 {
+		height = 5
+	}
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, s := range c.Series {
+		for _, p := range s.Points {
+			if math.IsNaN(p.X) || math.IsNaN(p.Y) {
+				continue
+			}
+			minX, maxX = math.Min(minX, p.X), math.Max(maxX, p.X)
+			minY, maxY = math.Min(minY, p.Y), math.Max(maxY, p.Y)
+		}
+	}
+	if math.IsInf(minX, 1) {
+		return c.Title + "\n  (no data)\n"
+	}
+	// Avoid degenerate ranges.
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	// Include zero on the y axis when it is close — bar-like readings.
+	if minY > 0 && minY < maxY*0.25 {
+		minY = 0
+	}
+
+	canvas := make([][]rune, height)
+	for i := range canvas {
+		canvas[i] = []rune(strings.Repeat(" ", width))
+	}
+	plotXY := func(p Point, g rune) {
+		cx := int(math.Round((p.X - minX) / (maxX - minX) * float64(width-1)))
+		cy := int(math.Round((p.Y - minY) / (maxY - minY) * float64(height-1)))
+		row := height - 1 - cy
+		if cx >= 0 && cx < width && row >= 0 && row < height {
+			canvas[row][cx] = g
+		}
+	}
+	// Draw connecting segments with a light dot, then the sample markers.
+	for si, s := range c.Series {
+		g := glyphs[si%len(glyphs)]
+		for i := 1; i < len(s.Points); i++ {
+			a, b := s.Points[i-1], s.Points[i]
+			steps := width / 2
+			for k := 0; k <= steps; k++ {
+				t := float64(k) / float64(steps)
+				plotXY(Point{a.X + t*(b.X-a.X), a.Y + t*(b.Y-a.Y)}, '·')
+			}
+		}
+		_ = g
+	}
+	for si, s := range c.Series {
+		g := glyphs[si%len(glyphs)]
+		for _, p := range s.Points {
+			plotXY(p, g)
+		}
+	}
+
+	var b strings.Builder
+	if c.Title != "" {
+		fmt.Fprintf(&b, "%s\n", c.Title)
+	}
+	yTop := formatTick(maxY)
+	yBot := formatTick(minY)
+	margin := len(yTop)
+	if len(yBot) > margin {
+		margin = len(yBot)
+	}
+	for i, row := range canvas {
+		label := strings.Repeat(" ", margin)
+		switch i {
+		case 0:
+			label = pad(yTop, margin)
+		case height - 1:
+			label = pad(yBot, margin)
+		case height / 2:
+			label = pad(formatTick((maxY+minY)/2), margin)
+		}
+		fmt.Fprintf(&b, "%s ┤%s\n", label, string(row))
+	}
+	fmt.Fprintf(&b, "%s └%s\n", strings.Repeat(" ", margin), strings.Repeat("─", width))
+	fmt.Fprintf(&b, "%s  %-*s%s\n", strings.Repeat(" ", margin), width-len(formatTick(maxX)), formatTick(minX), formatTick(maxX))
+	if c.XLabel != "" || c.YLabel != "" {
+		fmt.Fprintf(&b, "%s  x: %s   y: %s\n", strings.Repeat(" ", margin), c.XLabel, c.YLabel)
+	}
+	for si, s := range c.Series {
+		fmt.Fprintf(&b, "%s  %c %s\n", strings.Repeat(" ", margin), glyphs[si%len(glyphs)], s.Name)
+	}
+	return b.String()
+}
+
+func pad(s string, n int) string {
+	for len(s) < n {
+		s = " " + s
+	}
+	return s
+}
+
+func formatTick(v float64) string {
+	av := math.Abs(v)
+	switch {
+	case av >= 10000:
+		return fmt.Sprintf("%.3g", v)
+	case av >= 100:
+		return fmt.Sprintf("%.0f", v)
+	case av >= 1:
+		return fmt.Sprintf("%.1f", v)
+	case av == 0:
+		return "0"
+	default:
+		return fmt.Sprintf("%.2f", v)
+	}
+}

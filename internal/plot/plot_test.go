@@ -1,0 +1,124 @@
+package plot
+
+import (
+	"encoding/xml"
+	"strings"
+	"testing"
+)
+
+func lineChart() Chart {
+	return Chart{
+		Title: "t", XLabel: "x", YLabel: "y",
+		Series: []Series{
+			{Name: "up", Points: []Point{{0, 0}, {5, 50}, {10, 100}}},
+			{Name: "down", Points: []Point{{0, 100}, {5, 50}, {10, 0}}},
+		},
+	}
+}
+
+func TestRenderContainsStructure(t *testing.T) {
+	out := lineChart().Render(40, 10)
+	if !strings.Contains(out, "t\n") {
+		t.Fatal("missing title")
+	}
+	for _, want := range []string{"┤", "└", "x: x", "y: y", "* up", "o down"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+	// Both glyphs plotted.
+	if !strings.ContainsRune(out, '*') || !strings.ContainsRune(out, 'o') {
+		t.Fatalf("markers missing:\n%s", out)
+	}
+}
+
+func TestRenderEmpty(t *testing.T) {
+	out := Chart{Title: "empty"}.Render(40, 10)
+	if !strings.Contains(out, "no data") {
+		t.Fatalf("empty chart: %q", out)
+	}
+}
+
+func TestRenderDegenerateRanges(t *testing.T) {
+	c := Chart{Series: []Series{{Name: "flat", Points: []Point{{1, 5}, {1, 5}}}}}
+	out := c.Render(30, 6)
+	if out == "" || strings.Contains(out, "NaN") {
+		t.Fatalf("degenerate render: %q", out)
+	}
+}
+
+func TestRenderClampsTinyCanvas(t *testing.T) {
+	out := lineChart().Render(1, 1)
+	if len(strings.Split(out, "\n")) < 5 {
+		t.Fatal("canvas clamp failed")
+	}
+}
+
+func TestMarkerPositions(t *testing.T) {
+	// A single point at max-y must land on the top row, min at bottom.
+	c := Chart{Series: []Series{{Name: "s", Points: []Point{{0, 0}, {10, 100}}}}}
+	out := c.Render(20, 5)
+	lines := strings.Split(out, "\n")
+	var rows []string
+	for _, l := range lines {
+		if strings.Contains(l, "┤") {
+			rows = append(rows, l)
+		}
+	}
+	if len(rows) != 5 {
+		t.Fatalf("rows: %d", len(rows))
+	}
+	if !strings.ContainsRune(rows[0], '*') {
+		t.Fatalf("max point not on top row:\n%s", out)
+	}
+	if !strings.ContainsRune(rows[len(rows)-1], '*') {
+		t.Fatalf("min point not on bottom row:\n%s", out)
+	}
+}
+
+func TestFormatTick(t *testing.T) {
+	cases := map[float64]string{0: "0", 0.5: "0.50", 5: "5.0", 123: "123", 123456: "1.23e+05"}
+	for v, want := range cases {
+		if got := formatTick(v); got != want {
+			t.Errorf("formatTick(%v) = %q, want %q", v, got, want)
+		}
+	}
+}
+
+func TestRenderSVGWellFormed(t *testing.T) {
+	out := lineChart().RenderSVG(480, 280)
+	var doc struct{}
+	if err := xml.Unmarshal([]byte(out), &doc); err != nil {
+		t.Fatalf("SVG not well-formed XML: %v", err)
+	}
+	for _, want := range []string{"<svg", "polyline", "circle", "x: x"} {
+		if want == "x: x" {
+			continue
+		}
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q", want)
+		}
+	}
+	if !strings.Contains(out, "up") || !strings.Contains(out, "down") {
+		t.Fatal("legend missing")
+	}
+}
+
+func TestRenderSVGEscapesLabels(t *testing.T) {
+	c := Chart{Title: `a<b>&"c"`, Series: []Series{{Name: "<s>", Points: []Point{{0, 0}, {1, 1}}}}}
+	out := c.RenderSVG(300, 200)
+	if strings.Contains(out, "a<b>") || strings.Contains(out, "<s>") {
+		t.Fatal("labels not escaped")
+	}
+	var doc struct{}
+	if err := xml.Unmarshal([]byte(out), &doc); err != nil {
+		t.Fatalf("escaped SVG not well-formed: %v", err)
+	}
+}
+
+func TestRenderSVGEmpty(t *testing.T) {
+	out := Chart{Title: "none"}.RenderSVG(300, 200)
+	if !strings.Contains(out, "no data") {
+		t.Fatal("empty SVG marker missing")
+	}
+}

@@ -1,0 +1,114 @@
+package plot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// series colors for SVG output (colorblind-safe-ish cycle).
+var svgColors = []string{
+	"#4477aa", "#ee6677", "#228833", "#ccbb44", "#66ccee", "#aa3377", "#bbbbbb",
+}
+
+// RenderSVG draws the chart as a standalone SVG document of the given
+// pixel size — the file-output companion of Render.
+func (c Chart) RenderSVG(width, height int) string {
+	if width < 200 {
+		width = 200
+	}
+	if height < 120 {
+		height = 120
+	}
+	const (
+		padL = 60
+		padR = 16
+		padT = 28
+		padB = 46
+	)
+	plotW := float64(width - padL - padR)
+	plotH := float64(height - padT - padB)
+
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, s := range c.Series {
+		for _, p := range s.Points {
+			if math.IsNaN(p.X) || math.IsNaN(p.Y) {
+				continue
+			}
+			minX, maxX = math.Min(minX, p.X), math.Max(maxX, p.X)
+			minY, maxY = math.Min(minY, p.Y), math.Max(maxY, p.Y)
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="sans-serif" font-size="11">`+"\n", width, height)
+	fmt.Fprintf(&b, `<rect width="%d" height="%d" fill="white"/>`+"\n", width, height)
+	if c.Title != "" {
+		fmt.Fprintf(&b, `<text x="%d" y="16" font-size="13">%s</text>`+"\n", padL, xmlEscape(c.Title))
+	}
+	if math.IsInf(minX, 1) {
+		fmt.Fprintf(&b, `<text x="%d" y="%d">(no data)</text>`+"\n</svg>\n", padL, height/2)
+		return b.String()
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	if minY > 0 && minY < maxY*0.25 {
+		minY = 0
+	}
+	sx := func(x float64) float64 { return float64(padL) + (x-minX)/(maxX-minX)*plotW }
+	sy := func(y float64) float64 { return float64(padT) + plotH - (y-minY)/(maxY-minY)*plotH }
+
+	// Axes.
+	fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`+"\n",
+		padL, padT, padL, height-padB)
+	fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`+"\n",
+		padL, height-padB, width-padR, height-padB)
+	// Ticks.
+	for i := 0; i <= 4; i++ {
+		fy := minY + (maxY-minY)*float64(i)/4
+		y := sy(fy)
+		fmt.Fprintf(&b, `<text x="%d" y="%.0f" text-anchor="end">%s</text>`+"\n", padL-4, y+4, formatTick(fy))
+		fmt.Fprintf(&b, `<line x1="%d" y1="%.0f" x2="%d" y2="%.0f" stroke="#dddddd"/>`+"\n", padL, y, width-padR, y)
+		fx := minX + (maxX-minX)*float64(i)/4
+		x := sx(fx)
+		fmt.Fprintf(&b, `<text x="%.0f" y="%d" text-anchor="middle">%s</text>`+"\n", x, height-padB+14, formatTick(fx))
+	}
+	if c.XLabel != "" {
+		fmt.Fprintf(&b, `<text x="%d" y="%d" text-anchor="middle">%s</text>`+"\n",
+			padL+int(plotW/2), height-8, xmlEscape(c.XLabel))
+	}
+	if c.YLabel != "" {
+		fmt.Fprintf(&b, `<text x="14" y="%d" transform="rotate(-90 14 %d)" text-anchor="middle">%s</text>`+"\n",
+			padT+int(plotH/2), padT+int(plotH/2), xmlEscape(c.YLabel))
+	}
+	// Series.
+	for si, s := range c.Series {
+		color := svgColors[si%len(svgColors)]
+		var pts []string
+		for _, p := range s.Points {
+			pts = append(pts, fmt.Sprintf("%.1f,%.1f", sx(p.X), sy(p.Y)))
+		}
+		if len(pts) > 1 {
+			fmt.Fprintf(&b, `<polyline points="%s" fill="none" stroke="%s" stroke-width="1.5"/>`+"\n",
+				strings.Join(pts, " "), color)
+		}
+		for _, p := range s.Points {
+			fmt.Fprintf(&b, `<circle cx="%.1f" cy="%.1f" r="2.5" fill="%s"/>`+"\n", sx(p.X), sy(p.Y), color)
+		}
+		// Legend entry.
+		ly := padT + 14*si
+		fmt.Fprintf(&b, `<rect x="%d" y="%d" width="10" height="10" fill="%s"/>`+"\n", width-padR-150, ly, color)
+		fmt.Fprintf(&b, `<text x="%d" y="%d">%s</text>`+"\n", width-padR-136, ly+9, xmlEscape(s.Name))
+	}
+	b.WriteString("</svg>\n")
+	return b.String()
+}
+
+func xmlEscape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}

@@ -1,0 +1,494 @@
+// Package radio models the shared 802.11 medium: per-channel broadcast
+// domains with finite range, per-frame loss, airtime serialization, and
+// radio devices that can be tuned, suspended for hardware resets, and
+// switched between channels.
+//
+// The package encodes the physical mechanism behind the paper's results:
+// a frame is delivered only if the receiver is tuned to the transmit
+// channel and inside range *at the instant the frame ends*. A client that
+// switched away while an AP's join response was in flight simply never
+// sees it — exactly the failure the analytical model in §2.1.1 counts.
+package radio
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"spider/internal/geo"
+	"spider/internal/sim"
+	"spider/internal/wifi"
+)
+
+// Config parameterizes the medium. Zero fields take the paper's defaults
+// via Defaults.
+type Config struct {
+	// Range is the usable radius in meters (paper: 100 m).
+	Range float64
+	// Loss is the per-frame, per-receiver loss probability h (paper: 0.1).
+	Loss float64
+	// EdgeStart is the fraction of Range beyond which loss ramps linearly
+	// from Loss to 1, modeling the degraded fringe of real coverage.
+	// Set to 1 for the paper's hard-disk model.
+	EdgeStart float64
+	// CSRange is the carrier-sense radius in meters: stations within it
+	// defer to each other's transmissions on the same channel. Stations
+	// farther apart reuse the channel spatially — two APs across town do
+	// not share airtime. Defaults to 2×Range.
+	CSRange float64
+	// DataRetryLimit is the number of MAC-level retransmissions for
+	// unicast data frames (802.11 ARQ). Management frames are NOT retried
+	// at the MAC: the paper's model treats each join message as subject
+	// to loss h, with recovery left to client-level timers.
+	DataRetryLimit int
+	// DataRateKbps is the modulation rate for data frames. Defaults to
+	// the paper's analytical Bw of 11 Mbps; the outdoor testbed saw
+	// 802.11g rates ("802.11G is now widely available"), so drive
+	// scenarios set 24000.
+	DataRateKbps int
+	// HiddenCollisions, when true, corrupts a reception whenever another
+	// transmission the sender could not carrier-sense overlaps it at the
+	// receiver — the classic hidden-terminal failure. Off by default: the
+	// paper's model folds all loss into h.
+	HiddenCollisions bool
+}
+
+// Defaults returns the configuration used throughout the paper's
+// experiments.
+func Defaults() Config {
+	return Config{Range: 100, Loss: 0.10, EdgeStart: 0.85, CSRange: 200, DataRetryLimit: 6}
+}
+
+func (c Config) withDefaults() Config {
+	d := Defaults()
+	if c.Range <= 0 {
+		c.Range = d.Range
+	}
+	if c.Loss < 0 {
+		c.Loss = 0
+	}
+	if c.EdgeStart <= 0 || c.EdgeStart > 1 {
+		c.EdgeStart = d.EdgeStart
+	}
+	if c.CSRange <= 0 {
+		c.CSRange = 2 * c.Range
+	}
+	if c.DataRetryLimit < 0 {
+		c.DataRetryLimit = 0
+	}
+	if c.DataRateKbps <= 0 {
+		c.DataRateKbps = wifi.DataRateKbps
+	}
+	return c
+}
+
+// Receiver is the upcall interface a radio owner implements.
+type Receiver interface {
+	// RadioReceive is invoked for each frame the radio successfully
+	// receives. It runs inside the simulation event loop; implementations
+	// must not block.
+	RadioReceive(f *wifi.Frame)
+}
+
+// ReceiverFunc adapts a function to the Receiver interface.
+type ReceiverFunc func(f *wifi.Frame)
+
+// RadioReceive implements Receiver.
+func (fn ReceiverFunc) RadioReceive(f *wifi.Frame) { fn(f) }
+
+// Medium is the shared air. All radios in one Medium can interfere; the
+// per-channel airtime ledger serializes transmissions exactly as a
+// single collision domain would.
+type Medium struct {
+	kernel *sim.Kernel
+	cfg    Config
+	rng    *rand.Rand
+	radios []*Radio
+
+	// tap, when set, observes every frame at end of transmission
+	// (independent of delivery outcome) — the capture hook.
+	tap func(f *wifi.Frame, ch int, at time.Duration)
+
+	// active tracks in-flight transmissions for hidden-terminal checks.
+	active []activeTx
+
+	// Counters for tests and metrics.
+	stats Stats
+}
+
+// SetTap installs a frame observer invoked once per transmission at the
+// instant the frame leaves the air, regardless of delivery outcome.
+// Passing nil removes the tap.
+func (m *Medium) SetTap(tap func(f *wifi.Frame, ch int, at time.Duration)) { m.tap = tap }
+
+// Stats aggregates medium-level counters.
+type Stats struct {
+	Transmitted     uint64 // frames offered to the air
+	Delivered       uint64 // successful frame deliveries (per receiver)
+	LostRandom      uint64 // deliveries suppressed by random loss
+	MissedAway      uint64 // deliveries suppressed: receiver off-channel/suspended
+	OutOfRange      uint64 // deliveries suppressed: receiver out of range
+	Retries         uint64 // MAC-level data retransmissions
+	FlushedOnRetune uint64 // frames discarded from a MAC queue after a channel change
+	Collisions      uint64 // receptions corrupted by hidden terminals
+}
+
+// NewMedium creates a medium bound to the kernel.
+func NewMedium(k *sim.Kernel, cfg Config) *Medium {
+	return &Medium{
+		kernel: k,
+		cfg:    cfg.withDefaults(),
+		rng:    k.RNG("radio.loss"),
+	}
+}
+
+// Config returns the medium's effective configuration.
+func (m *Medium) Config() Config { return m.cfg }
+
+// Stats returns a snapshot of the medium counters.
+func (m *Medium) Stats() Stats { return m.stats }
+
+// Kernel returns the simulation kernel the medium runs on.
+func (m *Medium) Kernel() *sim.Kernel { return m.kernel }
+
+// Radio is one physical wireless interface.
+type Radio struct {
+	m    *Medium
+	addr wifi.Addr
+	pos  func() geo.Point
+	rx   Receiver
+
+	channel     int
+	promiscuous bool
+	suspendedTo time.Duration // hardware reset in progress until this time
+	busyUntil   time.Duration // airtime deferral from carrier sense
+
+	// FIFO transmit queue: like a real MAC, the head frame blocks the
+	// line while ARQ retries it, so a station never reorders its own
+	// traffic (reordering would trigger spurious TCP fast retransmits).
+	txQueue []txJob
+	txBusy  bool
+
+	air Airtime
+}
+
+// Airtime is a radio's accumulated state occupancy, the raw input of
+// energy models (the §4.8 future-work item): transmit airtime, receive
+// airtime, and hardware-reset time. Whatever remains of the elapsed time
+// is idle listening.
+type Airtime struct {
+	Tx    time.Duration
+	Rx    time.Duration
+	Reset time.Duration
+}
+
+type activeTx struct {
+	from       *Radio
+	ch         int
+	start, end time.Duration
+	pos        geo.Point
+}
+
+type txJob struct {
+	f       *wifi.Frame
+	ch      int // channel the frame was queued for
+	attempt int
+	done    func(delivered bool)
+}
+
+// NewRadio registers a radio on the medium. pos is sampled at transmit
+// and delivery times, so mobile owners pass a closure over their mobility
+// model. The radio starts untuned (channel 0): it hears nothing until
+// SetChannel.
+func (m *Medium) NewRadio(addr wifi.Addr, pos func() geo.Point, rx Receiver) *Radio {
+	if pos == nil || rx == nil {
+		panic("radio: position and receiver are required")
+	}
+	r := &Radio{m: m, addr: addr, pos: pos, rx: rx}
+	m.radios = append(m.radios, r)
+	return r
+}
+
+// Addr returns the radio's MAC address.
+func (r *Radio) Addr() wifi.Addr { return r.addr }
+
+// Channel returns the tuned channel (0 = untuned).
+func (r *Radio) Channel() int { return r.channel }
+
+// Position returns the radio's current position.
+func (r *Radio) Position() geo.Point { return r.pos() }
+
+// SetPromiscuous controls whether the radio also receives unicast frames
+// addressed to other stations (used by opportunistic scanning).
+func (r *Radio) SetPromiscuous(on bool) { r.promiscuous = on }
+
+// SetChannel tunes the radio instantly. Access points tune once at
+// startup; clients model the hardware-reset cost with Retune.
+func (r *Radio) SetChannel(ch int) {
+	if ch != 0 && !wifi.ValidChannel(ch) {
+		panic(fmt.Sprintf("radio: invalid channel %d", ch))
+	}
+	r.channel = ch
+}
+
+// Retune switches to ch after a hardware-reset delay during which the
+// radio neither sends nor receives. done (optional) runs when the radio
+// is usable on the new channel. This is the Table 1 "hardware reset"
+// component of Spider's switch cost.
+func (r *Radio) Retune(ch int, reset time.Duration, done func()) {
+	if ch != 0 && !wifi.ValidChannel(ch) {
+		panic(fmt.Sprintf("radio: invalid channel %d", ch))
+	}
+	now := r.m.kernel.Now()
+	r.channel = 0 // deaf while resetting
+	r.air.Reset += reset
+	if now+reset > r.suspendedTo {
+		r.suspendedTo = now + reset
+	}
+	r.m.kernel.After(reset, func() {
+		r.channel = ch
+		if done != nil {
+			done()
+		}
+	})
+}
+
+// Suspended reports whether the radio is mid-reset at time t.
+func (r *Radio) Suspended(t time.Duration) bool { return t < r.suspendedTo }
+
+// Send enqueues f for transmission on the radio's current channel. The
+// MAC transmits strictly in FIFO order: the head frame occupies the
+// station (and, via carrier sense, its neighborhood) for its TxTime and
+// is delivered — or not — to each candidate receiver at the instant it
+// ends. Unicast data frames get head-of-line MAC retransmissions up to
+// the configured retry limit; management and control frames do not
+// (client timers own that recovery). Frames still queued when the radio
+// has moved to another channel are discarded, like a hardware queue
+// flushed on retune.
+//
+// Send reports false if the radio is untuned, in which case nothing is
+// queued.
+func (r *Radio) Send(f *wifi.Frame) bool { return r.SendNotify(f, nil) }
+
+// SendNotify is Send with a completion callback: done fires when the MAC
+// finishes with the frame (delivered, retries exhausted, or flushed on a
+// channel change), letting senders pace themselves against the actual
+// airtime instead of guessing.
+func (r *Radio) SendNotify(f *wifi.Frame, done func(delivered bool)) bool {
+	ch := r.channel
+	if ch == 0 {
+		if done != nil {
+			done(false)
+		}
+		return false
+	}
+	r.txQueue = append(r.txQueue, txJob{f: f, ch: ch, done: done})
+	r.kick()
+	return true
+}
+
+// kick starts transmitting the queue head if the MAC is idle.
+func (r *Radio) kick() {
+	if r.txBusy || len(r.txQueue) == 0 {
+		return
+	}
+	job := &r.txQueue[0]
+	if r.channel != job.ch {
+		// Channel changed under the queued frame: flush it.
+		done := job.done
+		r.txQueue = r.txQueue[1:]
+		r.m.stats.FlushedOnRetune++
+		if done != nil {
+			done(false)
+		}
+		r.kick()
+		return
+	}
+	r.txBusy = true
+	m := r.m
+	now := m.kernel.Now()
+	start := now
+	if r.busyUntil > start {
+		start = r.busyUntil
+	}
+	if r.suspendedTo > start {
+		start = r.suspendedTo
+	}
+	f := job.f
+	dur := wifi.TxTimeRate(f, m.cfg.DataRateKbps)
+	if job.attempt > 0 {
+		f.Retry = true
+	}
+	// Carrier sense: every same-channel station within CSRange of the
+	// transmitter (itself included) defers until this frame clears.
+	txPos := r.pos()
+	for _, x := range m.radios {
+		if x.channel != job.ch {
+			continue
+		}
+		if x != r && txPos.Dist(x.pos()) > m.cfg.CSRange {
+			continue
+		}
+		if start+dur > x.busyUntil {
+			x.busyUntil = start + dur
+		}
+	}
+	m.stats.Transmitted++
+	r.air.Tx += dur
+	if m.cfg.HiddenCollisions {
+		m.recordActive(activeTx{from: r, ch: job.ch, start: start, end: start + dur, pos: txPos})
+	}
+	ch := job.ch
+	m.kernel.At(start+dur, func() {
+		r.txBusy = false
+		if m.tap != nil {
+			m.tap(f, ch, m.kernel.Now())
+		}
+		delivered := m.deliver(r, f, ch, dur)
+		if !delivered && r.canRetry(f, r.txQueue[0].attempt) && r.channel == ch {
+			m.stats.Retries++
+			r.txQueue[0].attempt++
+		} else {
+			done := r.txQueue[0].done
+			r.txQueue = r.txQueue[1:]
+			if done != nil {
+				done(delivered)
+			}
+		}
+		r.kick()
+	})
+}
+
+func (r *Radio) canRetry(f *wifi.Frame, attempt int) bool {
+	if f.DA.IsBroadcast() {
+		return false
+	}
+	// Null (PSM) and PS-poll frames are MAC-acked and retried like data:
+	// losing a power-save announcement would leave the AP transmitting to
+	// an absent station.
+	if f.Type != wifi.TypeData && f.Type != wifi.TypeNull && f.Type != wifi.TypePSPoll {
+		return false
+	}
+	// DHCP traffic is broadcast-class on real networks (DISCOVER and
+	// REQUEST go to ff:ff:…): no link-layer ACK, no ARQ. That exposure to
+	// raw loss h is precisely why the client's retry timers govern join
+	// latency (§2.2.1) — MAC retries would hide the paper's mechanism.
+	if db, ok := f.Body.(*wifi.DataBody); ok && db.Proto == wifi.ProtoDHCP {
+		return false
+	}
+	return attempt < r.m.cfg.DataRetryLimit
+}
+
+// AirtimeStats returns the radio's accumulated state occupancy.
+func (r *Radio) AirtimeStats() Airtime { return r.air }
+
+// deliver hands f to every eligible receiver; reports whether the
+// addressed station (if unicast) got it.
+func (m *Medium) deliver(tx *Radio, f *wifi.Frame, ch int, dur time.Duration) bool {
+	now := m.kernel.Now()
+	txPos := tx.pos()
+	hitTarget := f.DA.IsBroadcast() // broadcast "succeeds" unconditionally
+	for _, rcv := range m.radios {
+		if rcv == tx {
+			continue
+		}
+		addressed := !f.DA.IsBroadcast() && rcv.addr == f.DA
+		if !f.DA.IsBroadcast() && !addressed && !rcv.promiscuous {
+			continue
+		}
+		if rcv.channel != ch || rcv.Suspended(now) {
+			if addressed {
+				m.stats.MissedAway++
+			}
+			continue
+		}
+		d := txPos.Dist(rcv.pos())
+		if d > m.cfg.Range {
+			if addressed {
+				m.stats.OutOfRange++
+			}
+			continue
+		}
+		if m.rng.Float64() < m.lossAt(d) {
+			if addressed {
+				m.stats.LostRandom++
+			}
+			continue
+		}
+		if m.cfg.HiddenCollisions && m.collidedAt(tx, rcv, ch, now, dur) {
+			m.stats.Collisions++
+			continue
+		}
+		m.stats.Delivered++
+		rcv.air.Rx += dur
+		if addressed {
+			hitTarget = true
+		}
+		rcv.rx.RadioReceive(f)
+	}
+	return hitTarget
+}
+
+// recordActive registers a transmission for hidden-terminal checks and
+// prunes entries that ended long ago.
+func (m *Medium) recordActive(t activeTx) {
+	now := m.kernel.Now()
+	keep := m.active[:0]
+	for _, a := range m.active {
+		if a.end >= now {
+			keep = append(keep, a)
+		}
+	}
+	m.active = append(keep, t)
+}
+
+// collidedAt reports whether the reception of tx's frame at rcv (which
+// occupied [now-dur, now]) overlapped another same-channel transmission
+// whose sender was hidden from tx (outside carrier sense) but audible at
+// rcv — the hidden-terminal corruption case.
+func (m *Medium) collidedAt(tx, rcv *Radio, ch int, now, dur time.Duration) bool {
+	start := now - dur
+	txPos := tx.pos()
+	rcvPos := rcv.pos()
+	for _, a := range m.active {
+		if a.from == tx || a.ch != ch {
+			continue
+		}
+		if a.end <= start || a.start >= now {
+			continue // no temporal overlap
+		}
+		if txPos.Dist(a.pos) <= m.cfg.CSRange {
+			continue // the sender could hear it: CSMA already serialized
+		}
+		if rcvPos.Dist(a.pos) <= m.cfg.Range {
+			return true // hidden transmitter audible at the receiver
+		}
+	}
+	return false
+}
+
+// lossAt returns the loss probability at distance d: the base rate inside
+// EdgeStart·Range, ramping linearly to 1 at Range.
+func (m *Medium) lossAt(d float64) float64 {
+	edge := m.cfg.EdgeStart * m.cfg.Range
+	if d <= edge {
+		return m.cfg.Loss
+	}
+	frac := (d - edge) / (m.cfg.Range - edge)
+	return m.cfg.Loss + (1-m.cfg.Loss)*frac
+}
+
+// InRange reports whether two positions are within the medium's range.
+func (m *Medium) InRange(a, b geo.Point) bool { return a.Dist(b) <= m.cfg.Range }
+
+// ChannelBusyUntil reports when the channel frees up as observed by the
+// busiest station tuned to it (tests and metrics).
+func (m *Medium) ChannelBusyUntil(ch int) time.Duration {
+	var max time.Duration
+	for _, r := range m.radios {
+		if r.channel == ch && r.busyUntil > max {
+			max = r.busyUntil
+		}
+	}
+	return max
+}

@@ -1,0 +1,143 @@
+package scenario
+
+import (
+	"math"
+	"math/rand"
+	"time"
+
+	"spider/internal/geo"
+	"spider/internal/radio"
+	"spider/internal/sim"
+)
+
+// DriveSpec parameterizes a vehicular drive scenario in the style of the
+// paper's Amherst/Boston experiments: a rectangular downtown loop with
+// APs scattered alongside, a channel mix, and heterogeneous backhauls.
+type DriveSpec struct {
+	Seed int64
+	// LoopW/LoopH are the downtown loop dimensions in meters.
+	LoopW, LoopH float64
+	// NumAPs scattered along the loop.
+	NumAPs int
+	// LateralOffset is the maximum AP setback from the road in meters.
+	LateralOffset float64
+	// Mix assigns channels (defaults to the Amherst survey mix).
+	Mix geo.ChannelMix
+	// SpeedMS is the vehicle speed (paper encounters imply ~10 m/s).
+	SpeedMS float64
+	// BackhaulKbps draws each AP's wired rate; nil uses a heterogeneous
+	// urban spread (0.5–8 Mbps, median ≈2 Mbps).
+	BackhaulKbps func(r *rand.Rand) int
+	// Radio overrides the medium defaults when non-zero.
+	Radio radio.Config
+}
+
+// defaultBackhaulKbps draws a heterogeneous urban backhaul rate:
+// log-normal around 2 Mbps, clamped to [500, 8000] kbps.
+func defaultBackhaulKbps(r *rand.Rand) int {
+	kbps := int(math.Exp(7.6 + 0.6*r.NormFloat64()))
+	if kbps < 500 {
+		kbps = 500
+	}
+	if kbps > 8000 {
+		kbps = 8000
+	}
+	return kbps
+}
+
+// AmherstDrive returns the default drive used by the Table 2 family of
+// experiments: a ~3 km downtown loop with enough open APs that the
+// driver sees mostly one AP at a time (the paper: 1 AP ~85%, 2 ~10%,
+// 3 ~5% of connected time).
+func AmherstDrive(seed int64) DriveSpec {
+	return DriveSpec{
+		Seed:          seed,
+		LoopW:         1200,
+		LoopH:         400,
+		NumAPs:        36,
+		LateralOffset: 75,
+		Mix:           geo.AmherstMix(),
+		SpeedMS:       10,
+	}
+}
+
+// BostonDrive is the external-validation variant: denser deployment,
+// slightly different mix (83% of APs on the orthogonal channels, 39% on
+// channel 6 per Cabernet), slower urban traffic.
+func BostonDrive(seed int64) DriveSpec {
+	return DriveSpec{
+		Seed:          seed,
+		LoopW:         1500,
+		LoopH:         500,
+		NumAPs:        46,
+		LateralOffset: 50,
+		Mix:           geo.ChannelMix{1: 0.22, 6: 0.39, 11: 0.22, 3: 0.17},
+		SpeedMS:       8,
+	}
+}
+
+// Build creates the world and the vehicle mobility (but no client — the
+// caller picks the driver config).
+func (s DriveSpec) Build() (*World, geo.Mobility) {
+	rcfg := s.Radio
+	if rcfg.Range == 0 {
+		rcfg = radio.Defaults()
+	}
+	w := NewWorld(s.Seed, rcfg)
+	route := geo.RectLoop(s.LoopW, s.LoopH)
+	mix := s.Mix
+	if mix == nil {
+		mix = geo.AmherstMix()
+	}
+	deployRNG := w.Kernel.RNG("scenario.deploy")
+	deps := geo.DeployAlongRoute(deployRNG, route, s.NumAPs, s.LateralOffset, mix)
+	bk := s.BackhaulKbps
+	if bk == nil {
+		bk = defaultBackhaulKbps
+	}
+	for _, d := range deps {
+		w.AddAP(APSpec{Pos: d.Pos, Channel: d.Channel, BackhaulKbps: bk(deployRNG)})
+	}
+	mob := &geo.RouteMobility{Route: route, SpeedMS: s.SpeedMS, Loop: true}
+	return w, mob
+}
+
+// StaticLab builds the Fig 9 micro-benchmark world: a stationary client
+// with nAPs in range, all with the given backhaul rate and fast, reliable
+// DHCP (lab LAN), channels as given.
+func StaticLab(seed int64, backhaulKbps int, channels ...int) *World {
+	rcfg := radio.Defaults()
+	rcfg.Loss = 0.02          // clean lab air
+	rcfg.DataRateKbps = 54000 // 802.11g lab hardware
+	w := NewWorld(seed, rcfg)
+	for i, ch := range channels {
+		w.AddAP(APSpec{
+			Pos:          geo.Point{X: float64(10 + 5*i), Y: 0},
+			Channel:      ch,
+			BackhaulKbps: backhaulKbps,
+			BackhaulLat:  10 * time.Millisecond,
+			OfferLatency: sim.Constant{V: 30 * time.Millisecond},
+			AckLatency:   sim.Constant{V: 15 * time.Millisecond},
+		})
+	}
+	return w
+}
+
+// Indoor builds the Figs 7/8 world: one AP on the primary channel with a
+// healthy backhaul, stationary client, quick (but jittered) DHCP. The
+// wired latency reproduces the paper's indoor path, where the 400 ms
+// schedule "is less than two RTTs" — i.e. RTT ≈ 200 ms.
+func Indoor(seed int64, primaryChannel int, backhaulKbps int) *World {
+	rcfg := radio.Defaults()
+	rcfg.Loss = 0.02
+	w := NewWorld(seed, rcfg)
+	w.AddAP(APSpec{
+		Pos:          geo.Point{X: 10, Y: 0},
+		Channel:      primaryChannel,
+		BackhaulKbps: backhaulKbps,
+		BackhaulLat:  90 * time.Millisecond,
+		OfferLatency: sim.Uniform{Min: 5 * time.Millisecond, Max: 60 * time.Millisecond},
+		AckLatency:   sim.Uniform{Min: 5 * time.Millisecond, Max: 40 * time.Millisecond},
+	})
+	return w
+}

@@ -1,0 +1,322 @@
+// Package scenario composes the substrates into runnable worlds: a
+// shared medium, access points with backhauls and DHCP servers, mobile
+// clients running the Spider driver, and the TCP data path between
+// content servers and clients. The experiment harness builds every
+// table and figure on top of these worlds.
+package scenario
+
+import (
+	"math"
+	"time"
+
+	"spider/internal/backhaul"
+	"spider/internal/core"
+	"spider/internal/dhcp"
+	"spider/internal/geo"
+	"spider/internal/mac"
+	"spider/internal/metrics"
+	"spider/internal/radio"
+	"spider/internal/sim"
+	"spider/internal/tcpsim"
+	"spider/internal/wifi"
+)
+
+// APSpec describes one access point to place in a world.
+type APSpec struct {
+	Pos          geo.Point
+	Channel      int
+	SSID         string
+	BackhaulKbps int
+	BackhaulLat  time.Duration
+	// QueueBytes bounds the backhaul shaper queue. Consumer CPE is
+	// deeply buffered; defaults to 256 KB.
+	QueueBytes int
+	// OfferLatency/AckLatency override the DHCP server think-times;
+	// nil uses dhcp.DefaultServerConfig (the paper-calibrated spread).
+	OfferLatency sim.Dist
+	AckLatency   sim.Dist
+}
+
+// APNode is a placed AP with its wired side.
+type APNode struct {
+	AP   *mac.AP
+	Link *backhaul.Link
+	Spec APSpec
+}
+
+// World is one composed simulation.
+type World struct {
+	Kernel *sim.Kernel
+	Medium *radio.Medium
+
+	APs    []*APNode
+	byBSS  map[wifi.Addr]*APNode
+	byMAC  map[wifi.Addr]*Client
+	nextAP uint32
+
+	Clients []*Client
+}
+
+// NewWorld creates an empty world on a fresh kernel.
+func NewWorld(seed int64, radioCfg radio.Config) *World {
+	k := sim.NewKernel(seed)
+	return &World{
+		Kernel: k,
+		Medium: radio.NewMedium(k, radioCfg),
+		byBSS:  make(map[wifi.Addr]*APNode),
+		byMAC:  make(map[wifi.Addr]*Client),
+	}
+}
+
+// AddAP places an access point and wires its backhaul and uplink path.
+func (w *World) AddAP(spec APSpec) *APNode {
+	w.nextAP++
+	id := w.nextAP
+	if spec.SSID == "" {
+		spec.SSID = "open"
+	}
+	if spec.BackhaulKbps <= 0 {
+		spec.BackhaulKbps = 2000
+	}
+	if spec.BackhaulLat <= 0 {
+		spec.BackhaulLat = 20 * time.Millisecond
+	}
+	if spec.QueueBytes <= 0 {
+		spec.QueueBytes = 256 * 1024
+	}
+	apCfg := mac.DefaultAPConfig(spec.SSID, spec.Channel)
+	apCfg.BackhaulKbps = spec.BackhaulKbps
+	apCfg.DHCP = dhcp.DefaultServerConfig(id)
+	switch {
+	case spec.OfferLatency != nil:
+		apCfg.DHCP.OfferLatency = spec.OfferLatency
+		if spec.AckLatency != nil {
+			apCfg.DHCP.AckLatency = spec.AckLatency
+		}
+	default:
+		// Organic APs have a DHCP latency *personality*: most answer in
+		// tens of milliseconds, but a stable minority (overloaded CPE,
+		// upstream relays) consistently take seconds. The split is what
+		// makes reduced client timers a real trade-off: they join fast
+		// APs much faster and slow APs not at all (§4.5, Table 3).
+		r := w.Kernel.RNG("scenario.dhcp-personality")
+		if r.Float64() < 0.25 {
+			apCfg.DHCP.OfferLatency = sim.LogNormal{Mu: math.Log(1.2), Sigma: 0.4, Cap: 10 * time.Second}
+			apCfg.DHCP.AckLatency = sim.LogNormal{Mu: math.Log(0.4), Sigma: 0.4, Cap: 5 * time.Second}
+		} else {
+			apCfg.DHCP.OfferLatency = sim.LogNormal{Mu: math.Log(0.04), Sigma: 0.8, Cap: 5 * time.Second}
+			apCfg.DHCP.AckLatency = sim.LogNormal{Mu: math.Log(0.02), Sigma: 0.8, Cap: 5 * time.Second}
+		}
+	}
+	ap := mac.NewAPAt(w.Medium, apCfg, wifi.NewAddr(0xA0, id), spec.Pos, id)
+	node := &APNode{
+		AP:   ap,
+		Link: backhaul.NewLink(w.Kernel, backhaul.Config{RateKbps: spec.BackhaulKbps, Latency: spec.BackhaulLat, QueueBytes: spec.QueueBytes}),
+		Spec: spec,
+	}
+	w.APs = append(w.APs, node)
+	w.byBSS[ap.Addr()] = node
+	// Uplink router: TCP ACKs from any client traverse the backhaul to
+	// that client's flow server.
+	ap.SetUplinkHandler(func(from wifi.Addr, db *wifi.DataBody) {
+		client, ok := w.byMAC[from]
+		if !ok {
+			return
+		}
+		seg := tcpsim.FromFrame(&wifi.Frame{Type: wifi.TypeData, Body: db})
+		if seg == nil {
+			return
+		}
+		node.Link.Up(seg.WireSize(), func() {
+			if live, ok := client.conns[node.AP.Addr()]; ok && live.sender != nil {
+				live.sender.HandleAck(seg)
+			}
+		})
+	})
+	return node
+}
+
+// Run advances the world to the given virtual time.
+func (w *World) Run(until time.Duration) { w.Kernel.Run(until) }
+
+// JoinEvent is one completed (or failed) assoc+DHCP join.
+type JoinEvent struct {
+	BSSID   wifi.Addr
+	Success bool
+	Elapsed time.Duration
+	At      time.Duration
+}
+
+// AssocEvent is one link-layer association outcome.
+type AssocEvent struct {
+	BSSID wifi.Addr
+	Res   mac.AssocResult
+	At    time.Duration
+}
+
+// conn is one association's live traffic state.
+type conn struct {
+	node      *APNode
+	sender    *tcpsim.Sender
+	receiver  *tcpsim.Receiver
+	delivered uint64 // receiver.Delivered already credited to metrics
+	onAbort   func() // workload hook: connection died mid-transfer
+}
+
+// Client is a mobile node: Spider driver + metrics + the TCP flow glue.
+// On every lease acquisition it opens an unbounded HTTP-like download
+// through that AP (the paper's workload: "downloading large files over
+// HTTP"); the flow dies with the association.
+type Client struct {
+	World  *World
+	Driver *core.Driver
+	Rec    *metrics.Recorder
+
+	conns    map[wifi.Addr]*conn
+	nextFlow uint32
+	workload Workload
+	// Single-session web workload state.
+	webActive bool
+	webPage   int64
+
+	// Web accumulates page-level outcomes when a WebWorkload is set.
+	Web WebStats
+
+	// Logs consumed by experiments.
+	Joins  []JoinEvent
+	Assocs []AssocEvent
+}
+
+// AddClient creates a client with the given driver config and mobility.
+func (w *World) AddClient(cfg core.Config, mob geo.Mobility) *Client {
+	c := &Client{
+		World: w,
+		Rec:   metrics.NewRecorder(time.Second),
+		conns: make(map[wifi.Addr]*conn),
+	}
+	idx := uint32(len(w.Clients) + 1)
+	events := core.Events{
+		OnConnected:    c.openFlow,
+		OnDisconnected: c.closeFlow,
+		OnAssocResult: func(bssid wifi.Addr, res mac.AssocResult) {
+			c.Assocs = append(c.Assocs, AssocEvent{BSSID: bssid, Res: res, At: w.Kernel.Now()})
+		},
+		OnJoinResult: func(bssid wifi.Addr, ok bool, elapsed time.Duration) {
+			c.Joins = append(c.Joins, JoinEvent{BSSID: bssid, Success: ok, Elapsed: elapsed, At: w.Kernel.Now()})
+		},
+	}
+	c.Driver = core.NewDriver(w.Medium, cfg, wifi.NewAddr(0xC0, idx), mob, events)
+	c.Driver.SetDataSink(c.downlink)
+	w.Clients = append(w.Clients, c)
+	w.byMAC[c.Driver.Addr()] = c
+	return c
+}
+
+func segBody(seg *tcpsim.Segment) *wifi.DataBody {
+	virt := 0
+	if !seg.IsAck {
+		virt = seg.Len + 20
+	}
+	return &wifi.DataBody{Proto: wifi.ProtoTCP, Header: seg.Encode(), VirtualLen: uint16(virt)}
+}
+
+// openFlow installs the client's workload on a newly connected AP
+// (default: an unbounded HTTP-like bulk download).
+func (c *Client) openFlow(ifc *core.Iface) {
+	node := c.World.byBSS[ifc.BSSID()]
+	if node == nil {
+		return
+	}
+	cn := &conn{node: node}
+	c.conns[ifc.BSSID()] = cn
+	w := c.workload
+	if w == nil {
+		w = BulkWorkload{}
+	}
+	w.onConnect(c, ifc, cn)
+}
+
+// closeFlow tears down the traffic when the association dies.
+func (c *Client) closeFlow(ifc *core.Iface) {
+	cn, ok := c.conns[ifc.BSSID()]
+	if !ok {
+		return
+	}
+	inFlight := cn.sender != nil && !cn.sender.Done()
+	if cn.sender != nil {
+		cn.sender.Stop()
+	}
+	// Remove the conn BEFORE the abort hook runs: workloads resume on
+	// "any live association" and must not pick the one being torn down.
+	delete(c.conns, ifc.BSSID())
+	if inFlight && cn.onAbort != nil {
+		cn.onAbort()
+	}
+}
+
+// downlink is the driver's data sink: TCP segments are delivered to the
+// per-connection receiver; newly in-order bytes are credited to the
+// metrics recorder and a cumulative ACK is sent back up through the AP.
+func (c *Client) downlink(bssid wifi.Addr, db *wifi.DataBody) {
+	cn, ok := c.conns[bssid]
+	if !ok || cn.receiver == nil {
+		return
+	}
+	seg := tcpsim.FromFrame(&wifi.Frame{Type: wifi.TypeData, Body: db})
+	if seg == nil {
+		return
+	}
+	ack := cn.receiver.HandleData(seg)
+	if ack == nil {
+		return
+	}
+	if d := cn.receiver.Delivered - cn.delivered; d > 0 {
+		c.Rec.Add(c.World.Kernel.Now(), int(d))
+		cn.delivered = cn.receiver.Delivered
+	}
+	c.Driver.Uplink(bssid, segBody(ack))
+}
+
+// ActiveFlows reports how many downloads are currently open.
+func (c *Client) ActiveFlows() int { return len(c.conns) }
+
+// FlowInfo exposes a live connection's endpoints for inspection.
+type FlowInfo struct {
+	BSSID    wifi.Addr
+	Sender   *tcpsim.Sender
+	Receiver *tcpsim.Receiver
+}
+
+// Flows returns the live connections (order unspecified).
+func (c *Client) Flows() []FlowInfo {
+	out := make([]FlowInfo, 0, len(c.conns))
+	for b, cn := range c.conns {
+		out = append(out, FlowInfo{BSSID: b, Sender: cn.sender, Receiver: cn.receiver})
+	}
+	return out
+}
+
+// SuccessfulJoins filters the join log.
+func (c *Client) SuccessfulJoins() []JoinEvent {
+	var out []JoinEvent
+	for _, j := range c.Joins {
+		if j.Success {
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+// JoinFailureRate returns failed/total joins (0 if none attempted).
+func (c *Client) JoinFailureRate() float64 {
+	if len(c.Joins) == 0 {
+		return 0
+	}
+	fail := 0
+	for _, j := range c.Joins {
+		if !j.Success {
+			fail++
+		}
+	}
+	return float64(fail) / float64(len(c.Joins))
+}

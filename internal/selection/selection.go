@@ -1,0 +1,192 @@
+// Package selection formalizes Spider's AP-selection problem. The
+// paper's technical-report appendix proves that choosing the
+// utility-maximizing set of APs is NP-hard, which is why the driver runs
+// a heuristic; this package provides the optimization problem itself, an
+// exact solver for small instances, and the 1/2-approximate greedy the
+// heuristic corresponds to — so the quality gap can be measured
+// (ablation-exact-selection).
+//
+// Formulation: a mobile node is in range of n candidate APs for a
+// residence time T. Joining AP i succeeds with probability Pᵢ after an
+// expected join time Gᵢ, and a joined AP then delivers its end-to-end
+// bandwidth Bᵢ for the remaining residence. The join work is serialized
+// on the radio's schedule, so the total expected join time of the chosen
+// set must fit a budget W (the slice of the encounter the driver can
+// spend joining). Choose S, |S| ≤ K:
+//
+//	maximize   Σ_{i∈S} Pᵢ·Bᵢ·max(0, T−Gᵢ)/T
+//	subject to Σ_{i∈S} Gᵢ ≤ W,  |S| ≤ K
+//
+// With the budget constraint this contains 0/1 knapsack (set Pᵢ=1,
+// T→∞), hence NP-hardness.
+package selection
+
+import (
+	"math"
+	"sort"
+	"time"
+)
+
+// Candidate is one joinable AP.
+type Candidate struct {
+	// JoinProb is the probability that a join attempt succeeds (Pᵢ).
+	JoinProb float64
+	// JoinTime is the expected time to complete the join (Gᵢ).
+	JoinTime time.Duration
+	// BandwidthKbps is the end-to-end bandwidth once joined (Bᵢ).
+	BandwidthKbps float64
+}
+
+// value returns the candidate's expected contribution over residence T.
+func (c Candidate) value(T time.Duration) float64 {
+	if T <= 0 {
+		return 0
+	}
+	rem := T - c.JoinTime
+	if rem < 0 {
+		rem = 0
+	}
+	return c.JoinProb * c.BandwidthKbps * float64(rem) / float64(T)
+}
+
+// Problem is one selection instance.
+type Problem struct {
+	Candidates []Candidate
+	// T is the residence time.
+	T time.Duration
+	// Budget bounds the summed expected join time of the chosen set.
+	Budget time.Duration
+	// MaxAPs bounds the set size (the driver's interface budget);
+	// 0 means unbounded.
+	MaxAPs int
+}
+
+// Utility evaluates a candidate index set, returning -Inf for sets that
+// violate the constraints.
+func (p Problem) Utility(set []int) float64 {
+	if p.MaxAPs > 0 && len(set) > p.MaxAPs {
+		return math.Inf(-1)
+	}
+	var joinSum time.Duration
+	var u float64
+	seen := make(map[int]bool, len(set))
+	for _, i := range set {
+		if i < 0 || i >= len(p.Candidates) || seen[i] {
+			return math.Inf(-1)
+		}
+		seen[i] = true
+		joinSum += p.Candidates[i].JoinTime
+		u += p.Candidates[i].value(p.T)
+	}
+	if p.Budget > 0 && joinSum > p.Budget {
+		return math.Inf(-1)
+	}
+	return u
+}
+
+// maxExact bounds the exact solver's instance size (2^24 subsets).
+const maxExact = 24
+
+// Exact solves the instance by subset enumeration. It panics beyond
+// maxExact candidates — the point of this solver is to be ground truth
+// for small instances, not to pretend the problem is tractable.
+func Exact(p Problem) ([]int, float64) {
+	n := len(p.Candidates)
+	if n > maxExact {
+		panic("selection: exact solver limited to 24 candidates (the problem is NP-hard)")
+	}
+	bestMask := 0
+	best := 0.0
+	// Precompute per-candidate values and weights.
+	vals := make([]float64, n)
+	for i, c := range p.Candidates {
+		vals[i] = c.value(p.T)
+	}
+	for mask := 1; mask < 1<<uint(n); mask++ {
+		var joinSum time.Duration
+		var u float64
+		count := 0
+		for i := 0; i < n; i++ {
+			if mask&(1<<uint(i)) == 0 {
+				continue
+			}
+			count++
+			joinSum += p.Candidates[i].JoinTime
+			u += vals[i]
+		}
+		if p.MaxAPs > 0 && count > p.MaxAPs {
+			continue
+		}
+		if p.Budget > 0 && joinSum > p.Budget {
+			continue
+		}
+		if u > best {
+			best, bestMask = u, mask
+		}
+	}
+	var set []int
+	for i := 0; i < n; i++ {
+		if bestMask&(1<<uint(i)) != 0 {
+			set = append(set, i)
+		}
+	}
+	return set, best
+}
+
+// Greedy selects candidates by value density (value per unit of join
+// time) and, in the classic knapsack fashion, returns the better of the
+// density packing and the single best candidate — which yields the
+// standard 1/2-approximation guarantee when MaxAPs does not bind.
+func Greedy(p Problem) ([]int, float64) {
+	n := len(p.Candidates)
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	density := func(i int) float64 {
+		g := p.Candidates[i].JoinTime
+		if g <= 0 {
+			g = time.Nanosecond
+		}
+		return p.Candidates[i].value(p.T) / g.Seconds()
+	}
+	sort.Slice(order, func(a, b int) bool {
+		da, db := density(order[a]), density(order[b])
+		if da != db {
+			return da > db
+		}
+		return order[a] < order[b]
+	})
+	var packed []int
+	var joinSum time.Duration
+	for _, i := range order {
+		if p.MaxAPs > 0 && len(packed) >= p.MaxAPs {
+			break
+		}
+		g := p.Candidates[i].JoinTime
+		if p.Budget > 0 && joinSum+g > p.Budget {
+			continue
+		}
+		if p.Candidates[i].value(p.T) <= 0 {
+			continue
+		}
+		packed = append(packed, i)
+		joinSum += g
+	}
+	packedU := p.Utility(packed)
+	// Single-best fallback.
+	bestI, bestU := -1, 0.0
+	for i := range p.Candidates {
+		if u := p.Utility([]int{i}); u > bestU {
+			bestI, bestU = i, u
+		}
+	}
+	if bestI >= 0 && bestU > packedU {
+		return []int{bestI}, bestU
+	}
+	if packedU < 0 {
+		return nil, 0
+	}
+	sort.Ints(packed)
+	return packed, packedU
+}

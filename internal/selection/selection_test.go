@@ -1,0 +1,184 @@
+package selection
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func randProblem(r *rand.Rand, n int) Problem {
+	p := Problem{
+		T:      time.Duration(5+r.Intn(25)) * time.Second,
+		Budget: time.Duration(1+r.Intn(6)) * time.Second,
+		MaxAPs: 1 + r.Intn(n),
+	}
+	for i := 0; i < n; i++ {
+		p.Candidates = append(p.Candidates, Candidate{
+			JoinProb:      0.2 + 0.8*r.Float64(),
+			JoinTime:      time.Duration(r.Intn(3000)+100) * time.Millisecond,
+			BandwidthKbps: float64(r.Intn(8000) + 500),
+		})
+	}
+	return p
+}
+
+func TestUtilityConstraints(t *testing.T) {
+	p := Problem{
+		Candidates: []Candidate{
+			{JoinProb: 1, JoinTime: time.Second, BandwidthKbps: 1000},
+			{JoinProb: 1, JoinTime: time.Second, BandwidthKbps: 1000},
+		},
+		T: 10 * time.Second, Budget: time.Second, MaxAPs: 2,
+	}
+	if u := p.Utility([]int{0}); math.Abs(u-900) > 1e-9 {
+		t.Fatalf("single utility %v, want 900 (9/10 of 1000)", u)
+	}
+	if !math.IsInf(p.Utility([]int{0, 1}), -1) {
+		t.Fatal("budget violation not rejected")
+	}
+	if !math.IsInf(p.Utility([]int{0, 0}), -1) {
+		t.Fatal("duplicate index not rejected")
+	}
+	if !math.IsInf(p.Utility([]int{5}), -1) {
+		t.Fatal("out-of-range index not rejected")
+	}
+	p.MaxAPs = 1
+	p.Budget = time.Minute
+	if !math.IsInf(p.Utility([]int{0, 1}), -1) {
+		t.Fatal("MaxAPs violation not rejected")
+	}
+}
+
+func TestCandidateValueClamps(t *testing.T) {
+	c := Candidate{JoinProb: 1, JoinTime: 20 * time.Second, BandwidthKbps: 1000}
+	if v := c.value(10 * time.Second); v != 0 {
+		t.Fatalf("join longer than residence should be worthless, got %v", v)
+	}
+	if v := c.value(0); v != 0 {
+		t.Fatal("zero residence nonzero value")
+	}
+}
+
+func TestExactBeatsOrMatchesEverything(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 60; trial++ {
+		p := randProblem(r, 3+r.Intn(8))
+		_, exact := Exact(p)
+		gSet, greedy := Greedy(p)
+		if greedy > exact+1e-9 {
+			t.Fatalf("greedy (%v) beat exact (%v)", greedy, exact)
+		}
+		if got := p.Utility(gSet); math.Abs(got-greedy) > 1e-9 {
+			t.Fatalf("greedy reported %v but its set scores %v", greedy, got)
+		}
+		// Random feasible subsets can't beat exact either.
+		for k := 0; k < 20; k++ {
+			var set []int
+			for i := range p.Candidates {
+				if r.Float64() < 0.4 {
+					set = append(set, i)
+				}
+			}
+			if u := p.Utility(set); u > exact+1e-9 {
+				t.Fatalf("random set %v beat exact: %v > %v", set, u, exact)
+			}
+		}
+	}
+}
+
+func TestGreedyHalfApproximation(t *testing.T) {
+	// With MaxAPs not binding, the density+single-best greedy is a
+	// 1/2-approximation for the knapsack-like budget constraint.
+	r := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 80; trial++ {
+		n := 3 + r.Intn(9)
+		p := randProblem(r, n)
+		p.MaxAPs = n // non-binding
+		_, exact := Exact(p)
+		_, greedy := Greedy(p)
+		if exact > 0 && greedy < exact/2-1e-9 {
+			t.Fatalf("greedy %v below half of exact %v (trial %d)", greedy, exact, trial)
+		}
+	}
+}
+
+func TestExactSolvesKnapsackCorner(t *testing.T) {
+	// Two medium items fit together and beat one large item — the case
+	// pure density greedy gets wrong without the pairing.
+	mk := func(g time.Duration, b float64) Candidate {
+		return Candidate{JoinProb: 1, JoinTime: g, BandwidthKbps: b}
+	}
+	p := Problem{
+		Candidates: []Candidate{
+			mk(900*time.Millisecond, 1000), // density winner
+			mk(500*time.Millisecond, 450),
+			mk(500*time.Millisecond, 450),
+		},
+		T: time.Hour, Budget: time.Second, MaxAPs: 3,
+	}
+	set, u := Exact(p)
+	if len(set) != 1 || set[0] != 0 {
+		t.Fatalf("exact picked %v (u=%v)", set, u)
+	}
+	// Flip: make the pair better.
+	p.Candidates[1].BandwidthKbps = 600
+	p.Candidates[2].BandwidthKbps = 600
+	set, _ = Exact(p)
+	if len(set) != 2 || set[0] != 1 || set[1] != 2 {
+		t.Fatalf("exact missed the pair: %v", set)
+	}
+}
+
+func TestGreedyDeterministic(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	p := randProblem(r, 10)
+	s1, u1 := Greedy(p)
+	s2, u2 := Greedy(p)
+	if u1 != u2 || len(s1) != len(s2) {
+		t.Fatal("greedy not deterministic")
+	}
+	for i := range s1 {
+		if s1[i] != s2[i] {
+			t.Fatal("greedy set not deterministic")
+		}
+	}
+}
+
+func TestExactPanicsOnHugeInstance(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic at 25 candidates")
+		}
+	}()
+	Exact(Problem{Candidates: make([]Candidate, 25), T: time.Second})
+}
+
+func TestEmptyProblem(t *testing.T) {
+	set, u := Exact(Problem{T: time.Second})
+	if len(set) != 0 || u != 0 {
+		t.Fatalf("empty exact: %v %v", set, u)
+	}
+	set, u = Greedy(Problem{T: time.Second})
+	if len(set) != 0 || u != 0 {
+		t.Fatalf("empty greedy: %v %v", set, u)
+	}
+}
+
+func BenchmarkExact16(b *testing.B) {
+	r := rand.New(rand.NewSource(4))
+	p := randProblem(r, 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Exact(p)
+	}
+}
+
+func BenchmarkGreedy16(b *testing.B) {
+	r := rand.New(rand.NewSource(4))
+	p := randProblem(r, 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Greedy(p)
+	}
+}

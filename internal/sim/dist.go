@@ -1,0 +1,98 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+)
+
+// Dist is a distribution over durations. Implementations must be safe to
+// sample repeatedly from a single goroutine; the kernel is single-threaded.
+type Dist interface {
+	// Sample draws one value using the supplied RNG stream.
+	Sample(r *rand.Rand) time.Duration
+	// Mean returns the distribution's expected value.
+	Mean() time.Duration
+	String() string
+}
+
+// Constant is a degenerate distribution that always returns V.
+type Constant struct{ V time.Duration }
+
+// Sample implements Dist.
+func (c Constant) Sample(*rand.Rand) time.Duration { return c.V }
+
+// Mean implements Dist.
+func (c Constant) Mean() time.Duration { return c.V }
+
+func (c Constant) String() string { return fmt.Sprintf("const(%v)", c.V) }
+
+// Uniform draws uniformly from [Min, Max]. The paper models AP join
+// response times this way (§2.1.1: β ~ U[βmin, βmax]).
+type Uniform struct{ Min, Max time.Duration }
+
+// Sample implements Dist.
+func (u Uniform) Sample(r *rand.Rand) time.Duration {
+	if u.Max <= u.Min {
+		return u.Min
+	}
+	return u.Min + time.Duration(r.Int63n(int64(u.Max-u.Min)+1))
+}
+
+// Mean implements Dist.
+func (u Uniform) Mean() time.Duration { return (u.Min + u.Max) / 2 }
+
+func (u Uniform) String() string { return fmt.Sprintf("uniform[%v,%v]", u.Min, u.Max) }
+
+// Exponential draws from an exponential distribution with the given mean,
+// truncated at Cap when Cap > 0. Used for inter-arrival style delays.
+type Exponential struct {
+	MeanD time.Duration
+	Cap   time.Duration
+}
+
+// Sample implements Dist.
+func (e Exponential) Sample(r *rand.Rand) time.Duration {
+	d := time.Duration(r.ExpFloat64() * float64(e.MeanD))
+	if e.Cap > 0 && d > e.Cap {
+		d = e.Cap
+	}
+	return d
+}
+
+// Mean implements Dist.
+func (e Exponential) Mean() time.Duration { return e.MeanD }
+
+func (e Exponential) String() string { return fmt.Sprintf("exp(mean=%v)", e.MeanD) }
+
+// LogNormal draws from a log-normal distribution parameterized by the
+// underlying normal's mu and sigma (in log-seconds). Heavy-tailed delays —
+// DHCP server response times, user flow durations — are modeled with it.
+type LogNormal struct {
+	Mu    float64 // mean of log(seconds)
+	Sigma float64 // stddev of log(seconds)
+	Cap   time.Duration
+}
+
+// Sample implements Dist.
+func (l LogNormal) Sample(r *rand.Rand) time.Duration {
+	v := math.Exp(l.Mu + l.Sigma*r.NormFloat64())
+	d := time.Duration(v * float64(time.Second))
+	if d < 0 {
+		d = 0
+	}
+	if l.Cap > 0 && d > l.Cap {
+		d = l.Cap
+	}
+	return d
+}
+
+// Mean implements Dist.
+func (l LogNormal) Mean() time.Duration {
+	return time.Duration(math.Exp(l.Mu+l.Sigma*l.Sigma/2) * float64(time.Second))
+}
+
+func (l LogNormal) String() string {
+	return fmt.Sprintf("lognormal(mu=%.2f,sigma=%.2f)", l.Mu, l.Sigma)
+}

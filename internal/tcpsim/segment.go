@@ -1,0 +1,107 @@
+// Package tcpsim implements the flow-level TCP used to evaluate Spider:
+// a Reno-style sender (slow start, congestion avoidance, fast retransmit,
+// Jacobson/Karn RTO with exponential backoff) and a cumulative-ACK
+// receiver. Segments ride as wifi data frames whose bulk payload is
+// accounted virtually.
+//
+// TCP's interaction with channel schedules is the paper's §2.2.2: a
+// schedule that keeps the radio away from a channel longer than the RTO
+// strangles throughput via timeouts and slow-start restarts, which is why
+// Fig 7 is monotone in channel fraction but Fig 8 is not in absolute
+// dwell.
+package tcpsim
+
+import (
+	"encoding/binary"
+	"errors"
+
+	"spider/internal/wifi"
+)
+
+// Segment is one TCP segment (flow-level: no ports, flows carry IDs).
+type Segment struct {
+	FlowID uint32
+	Seq    uint64 // first byte carried (data) — bytes, not packets
+	Ack    uint64 // cumulative ack (ACK segments)
+	Len    int    // payload bytes (data segments)
+	IsAck  bool
+	// Retx marks retransmitted data; receivers ignore it, Karn's
+	// algorithm needs it on the sender side only, but carrying it keeps
+	// traces self-describing.
+	Retx bool
+}
+
+const segHeaderLen = 4 + 8 + 8 + 2 + 1
+
+// ackWireSize approximates a TCP ACK on the wire (TCP/IP headers).
+const ackWireSize = 40
+
+// ErrBadSegment reports an undecodable segment header.
+var ErrBadSegment = errors.New("tcpsim: malformed segment")
+
+// Encode serializes the segment header.
+func (s *Segment) Encode() []byte {
+	b := make([]byte, 0, segHeaderLen)
+	b = binary.BigEndian.AppendUint32(b, s.FlowID)
+	b = binary.BigEndian.AppendUint64(b, s.Seq)
+	b = binary.BigEndian.AppendUint64(b, s.Ack)
+	b = binary.BigEndian.AppendUint16(b, uint16(s.Len))
+	var flags byte
+	if s.IsAck {
+		flags |= 1
+	}
+	if s.Retx {
+		flags |= 2
+	}
+	return append(b, flags)
+}
+
+// DecodeSegment parses a segment header.
+func DecodeSegment(b []byte) (*Segment, error) {
+	if len(b) < segHeaderLen {
+		return nil, ErrBadSegment
+	}
+	s := &Segment{
+		FlowID: binary.BigEndian.Uint32(b[0:4]),
+		Seq:    binary.BigEndian.Uint64(b[4:12]),
+		Ack:    binary.BigEndian.Uint64(b[12:20]),
+		Len:    int(binary.BigEndian.Uint16(b[20:22])),
+	}
+	s.IsAck = b[22]&1 != 0
+	s.Retx = b[22]&2 != 0
+	return s, nil
+}
+
+// WireSize returns the byte count the segment occupies on a link,
+// including the virtual payload.
+func (s *Segment) WireSize() int {
+	if s.IsAck {
+		return ackWireSize
+	}
+	return segHeaderLen + 20 + s.Len // header codec + IP-ish overhead + payload
+}
+
+// Frame wraps the segment in a wifi data frame.
+func (s *Segment) Frame(sa, da, bssid wifi.Addr) *wifi.Frame {
+	virt := 0
+	if !s.IsAck {
+		virt = s.Len + 20
+	}
+	return &wifi.Frame{
+		Type: wifi.TypeData, SA: sa, DA: da, BSSID: bssid,
+		Body: &wifi.DataBody{Proto: wifi.ProtoTCP, Header: s.Encode(), VirtualLen: uint16(virt)},
+	}
+}
+
+// FromFrame extracts a segment from a data frame, or nil if absent.
+func FromFrame(f *wifi.Frame) *Segment {
+	db, ok := f.Body.(*wifi.DataBody)
+	if !ok || db.Proto != wifi.ProtoTCP {
+		return nil
+	}
+	s, err := DecodeSegment(db.Header)
+	if err != nil {
+		return nil
+	}
+	return s
+}
