@@ -11,6 +11,7 @@ package spider
 // Full-scale regeneration (paper-like durations) is cmd/spider-exp.
 
 import (
+	"fmt"
 	"strconv"
 	"strings"
 	"testing"
@@ -260,6 +261,39 @@ func BenchmarkAblationWeb(b *testing.B) {
 func BenchmarkAblationExactSelection(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		expt.AblationExactSelection(benchOpts())
+	}
+}
+
+// BenchmarkSweepWorkers measures how a real experiment scales with the
+// sweep engine's worker count. Fig12 fans six independent drive
+// simulations out, so on an idle multicore machine the speedup from
+// workers=1 to workers=4 should approach 4× (bounded by the six-way
+// fan-out and the slowest drive). Output is bit-identical at every
+// worker count — compare ns/op across the sub-benchmarks.
+func BenchmarkSweepWorkers(b *testing.B) {
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			o := benchOpts()
+			o.Workers = w
+			for i := 0; i < b.N; i++ {
+				expt.Fig12(o)
+			}
+		})
+	}
+}
+
+// BenchmarkSweepWorkersTable3 is the same scaling probe on a wider
+// fan-out: Table3 flattens (6 rows × replications) into one sweep, so it
+// keeps more than six workers busy.
+func BenchmarkSweepWorkersTable3(b *testing.B) {
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			o := benchOpts()
+			o.Workers = w
+			for i := 0; i < b.N; i++ {
+				expt.Table3(o)
+			}
+		})
 	}
 }
 

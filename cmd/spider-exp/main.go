@@ -12,16 +12,17 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
 	"runtime"
 	"strings"
-	"sync"
 	"time"
 
 	"spider/internal/expt"
+	"spider/internal/sweep"
 )
 
 func main() {
@@ -29,6 +30,7 @@ func main() {
 		id      = flag.String("id", "", "experiment id (fig2…fig14, table1…table4, ablation-…, or 'all')")
 		seed    = flag.Int64("seed", 1, "simulation seed")
 		scale   = flag.Float64("scale", 1.0, "experiment scale in (0,1]")
+		workers = flag.Int("workers", runtime.NumCPU(), "worker goroutines for parallel sub-runs (results are identical at any count)")
 		list    = flag.Bool("list", false, "list experiment ids and exit")
 		plotOut = flag.Bool("plot", false, "render figures as terminal charts instead of data columns")
 		svgDir  = flag.String("svg", "", "also write each figure as an SVG into this directory")
@@ -46,39 +48,37 @@ func main() {
 		fmt.Fprintln(os.Stderr, "spider-exp: -id required (or -list); e.g. -id table2")
 		os.Exit(2)
 	}
-	opts := expt.Options{Seed: *seed, Scale: *scale}
+	opts := expt.Options{Seed: *seed, Scale: *scale, Workers: *workers}
 	ids := []string{*id}
 	if *id == "all" {
 		ids = expt.IDs()
 	}
 	// Experiments are independent worlds on independent kernels, so a
-	// multi-experiment run fans out across cores. Results print in order.
+	// multi-experiment run fans out on the sweep engine; the -workers
+	// budget covers the whole process (each experiment runs its sub-runs
+	// sequentially here, since the fan-out across experiments already
+	// fills the pool). Results print in id order regardless of
+	// completion order.
 	type outcome struct {
 		res     fmt.Stringer
-		err     error
 		elapsed time.Duration
 	}
-	outs := make([]outcome, len(ids))
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, runtime.NumCPU())
-	for i, e := range ids {
-		wg.Add(1)
-		go func(i int, e string) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			start := time.Now()
-			res, err := expt.Run(e, opts)
-			outs[i] = outcome{res: res, err: err, elapsed: time.Since(start)}
-		}(i, e)
+	perExpt := opts
+	if len(ids) > 1 {
+		perExpt.Workers = 1
 	}
-	wg.Wait()
+	outs, err := sweep.Map(context.Background(), *workers, ids,
+		func(_ context.Context, _ int, e string) (outcome, error) {
+			start := time.Now()
+			res, err := expt.Run(e, perExpt)
+			return outcome{res: res, elapsed: time.Since(start)}, err
+		})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "spider-exp: %v\n", err)
+		os.Exit(1)
+	}
 	for i, e := range ids {
 		o := outs[i]
-		if o.err != nil {
-			fmt.Fprintf(os.Stderr, "spider-exp: %v\n", o.err)
-			os.Exit(1)
-		}
 		if *plotOut {
 			printPlots(o.res)
 		} else {

@@ -5,14 +5,23 @@
 //
 //	spider-sim -config ch1-multi -minutes 30
 //	spider-sim -config 3ch-multi -city boston -speed 8 -seed 7
+//	spider-sim -config 3ch-multi -reps 8 -workers 4
 //
 // Configurations: ch1-multi, ch1-single, 3ch-multi, 3ch-single, stock.
+//
+// With -reps N > 1, N independent replications of the drive run on the
+// sweep engine (bounded by -workers goroutines) and the report adds
+// mean ± stddev across replications. Replication seeds derive from
+// (seed, config, rep), so the same flags always reproduce the same
+// numbers at any worker count.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"spider/internal/core"
@@ -20,6 +29,7 @@ import (
 	"spider/internal/pcap"
 	"spider/internal/radio"
 	"spider/internal/scenario"
+	"spider/internal/sweep"
 )
 
 func driverConfig(name string) (core.Config, error) {
@@ -40,6 +50,96 @@ func driverConfig(name string) (core.Config, error) {
 	return core.Config{}, fmt.Errorf("unknown config %q", name)
 }
 
+// driveResult holds one replication's §4.3 metrics.
+type driveResult struct {
+	seed           int64
+	numAPs         int
+	speedMS        float64
+	mode           core.Mode
+	throughputKBps float64
+	connectivity   float64
+	conns, gaps    []time.Duration
+	instKBps       []float64
+	stats          core.Stats
+}
+
+// runDrive builds a fresh world from the flags and one seed, runs the
+// drive, and gathers the metrics. Each call is independent, so
+// replications can run concurrently.
+func runDrive(cfg core.Config, city string, seed int64, speed float64, numAPs int, dur time.Duration, pcapOut string) (driveResult, error) {
+	spec := scenario.AmherstDrive(seed)
+	if city == "boston" {
+		spec = scenario.BostonDrive(seed)
+	}
+	rc := radio.Defaults()
+	rc.DataRateKbps = 24_000
+	rc.Loss = 0.08
+	rc.EdgeStart = 0.55
+	spec.Radio = rc
+	if speed > 0 {
+		spec.SpeedMS = speed
+	}
+	if numAPs > 0 {
+		spec.NumAPs = numAPs
+	}
+	world, mob := spec.Build()
+	client := world.AddClient(cfg, mob)
+	var capture *pcap.Capture
+	if pcapOut != "" {
+		capture = pcap.NewCapture(world.Medium, 0)
+	}
+	world.Run(dur)
+
+	if capture != nil {
+		f, err := os.Create(pcapOut)
+		if err != nil {
+			return driveResult{}, err
+		}
+		n, err := capture.Dump(f)
+		f.Close()
+		if err != nil {
+			return driveResult{}, err
+		}
+		fmt.Printf("wrote %d frames to %s (dropped %d over the capture limit)\n",
+			n, pcapOut, capture.Dropped)
+	}
+
+	return driveResult{
+		seed:           seed,
+		numAPs:         len(world.APs),
+		speedMS:        spec.SpeedMS,
+		mode:           cfg.Mode,
+		throughputKBps: client.Rec.ThroughputKBps(dur),
+		connectivity:   client.Rec.Connectivity(dur),
+		conns:          client.Rec.Connections(dur),
+		gaps:           client.Rec.Disruptions(dur),
+		instKBps:       client.Rec.InstantaneousKBps(dur),
+		stats:          client.Driver.Stats(),
+	}, nil
+}
+
+func report(r driveResult) {
+	fmt.Printf("  avg throughput:   %s\n", metrics.FormatKBps(r.throughputKBps))
+	fmt.Printf("  connectivity:     %s\n", metrics.FormatPct(r.connectivity))
+	if len(r.conns) > 0 {
+		cdf := metrics.DurationsCDF(r.conns)
+		fmt.Printf("  connections:      %d (median %.0fs)\n", len(r.conns), cdf.Median())
+	}
+	if len(r.gaps) > 0 {
+		cdf := metrics.DurationsCDF(r.gaps)
+		fmt.Printf("  disruptions:      %d (median %.0fs)\n", len(r.gaps), cdf.Median())
+	}
+	inst := metrics.NewCDF(r.instKBps)
+	if inst.N() > 0 {
+		fmt.Printf("  inst. bandwidth:  p50 %.0f / p90 %.0f KBps\n",
+			inst.Quantile(0.5), inst.Quantile(0.9))
+	}
+	st := r.stats
+	fmt.Printf("\n  joins: %d ok / %d dhcp-failed (%d fast-path, %d soft handoffs), assoc %d/%d, switches %d\n",
+		st.JoinSuccesses, st.DHCPFailures, st.FastPathJoins, st.SoftHandoffs,
+		st.AssocSuccesses, st.AssocAttempts, st.Switches)
+}
+
 func main() {
 	var (
 		config  = flag.String("config", "ch1-multi", "driver configuration")
@@ -48,7 +148,9 @@ func main() {
 		seed    = flag.Int64("seed", 1, "simulation seed")
 		speed   = flag.Float64("speed", 0, "override vehicle speed (m/s)")
 		numAPs  = flag.Int("aps", 0, "override deployed AP count")
-		pcapOut = flag.String("pcap", "", "write an over-the-air capture to this file")
+		reps    = flag.Int("reps", 1, "independent drive replications")
+		workers = flag.Int("workers", runtime.NumCPU(), "worker goroutines when -reps > 1")
+		pcapOut = flag.String("pcap", "", "write an over-the-air capture to this file (single rep only)")
 	)
 	flag.Parse()
 
@@ -57,70 +159,54 @@ func main() {
 		fmt.Fprintln(os.Stderr, "spider-sim:", err)
 		os.Exit(2)
 	}
-	spec := scenario.AmherstDrive(*seed)
-	if *city == "boston" {
-		spec = scenario.BostonDrive(*seed)
+	if *reps < 1 {
+		fmt.Fprintln(os.Stderr, "spider-sim: -reps must be at least 1")
+		os.Exit(2)
 	}
-	rc := radio.Defaults()
-	rc.DataRateKbps = 24_000
-	rc.Loss = 0.08
-	rc.EdgeStart = 0.55
-	spec.Radio = rc
-	if *speed > 0 {
-		spec.SpeedMS = *speed
+	if *pcapOut != "" && *reps > 1 {
+		fmt.Fprintln(os.Stderr, "spider-sim: -pcap requires -reps 1")
+		os.Exit(2)
 	}
-	if *numAPs > 0 {
-		spec.NumAPs = *numAPs
-	}
-	world, mob := spec.Build()
-	client := world.AddClient(cfg, mob)
-	var capture *pcap.Capture
-	if *pcapOut != "" {
-		capture = pcap.NewCapture(world.Medium, 0)
-	}
-
 	dur := time.Duration(*minutes) * time.Minute
 	start := time.Now()
-	world.Run(dur)
 
-	if capture != nil {
-		f, err := os.Create(*pcapOut)
+	if *reps == 1 {
+		r, err := runDrive(cfg, *city, *seed, *speed, *numAPs, dur, *pcapOut)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "spider-sim:", err)
 			os.Exit(1)
 		}
-		n, err := capture.Dump(f)
-		f.Close()
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "spider-sim:", err)
-			os.Exit(1)
-		}
-		fmt.Printf("wrote %d frames to %s (dropped %d over the capture limit)\n",
-			n, *pcapOut, capture.Dropped)
+		fmt.Printf("Drive: %s, %d APs, %.1f m/s, %v simulated (%v wall)\n",
+			*city, r.numAPs, r.speedMS, dur, time.Since(start).Round(time.Millisecond))
+		fmt.Printf("Driver: %s\n\n", r.mode)
+		report(r)
+		return
 	}
 
-	fmt.Printf("Drive: %s, %d APs, %.1f m/s, %v simulated (%v wall)\n",
-		*city, len(world.APs), spec.SpeedMS, dur, time.Since(start).Round(time.Millisecond))
-	fmt.Printf("Driver: %s\n\n", cfg.Mode)
-	fmt.Printf("  avg throughput:   %s\n", metrics.FormatKBps(client.Rec.ThroughputKBps(dur)))
-	fmt.Printf("  connectivity:     %s\n", metrics.FormatPct(client.Rec.Connectivity(dur)))
-	conns := client.Rec.Connections(dur)
-	gaps := client.Rec.Disruptions(dur)
-	if len(conns) > 0 {
-		cdf := metrics.DurationsCDF(conns)
-		fmt.Printf("  connections:      %d (median %.0fs)\n", len(conns), cdf.Median())
+	// Each replication derives its world seed from (seed, config, rep):
+	// distinct streams per rep, reproducible at any -workers value.
+	results, err := sweep.RunN(context.Background(), *workers, *reps,
+		func(_ context.Context, rep int) (driveResult, error) {
+			return runDrive(cfg, *city, sweep.TaskSeed(*seed, *config, rep), *speed, *numAPs, dur, "")
+		})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "spider-sim:", err)
+		os.Exit(1)
 	}
-	if len(gaps) > 0 {
-		cdf := metrics.DurationsCDF(gaps)
-		fmt.Printf("  disruptions:      %d (median %.0fs)\n", len(gaps), cdf.Median())
+	fmt.Printf("Drive: %s, %d APs, %.1f m/s, %v simulated ×%d reps (%v wall, %d workers)\n",
+		*city, results[0].numAPs, results[0].speedMS, dur, *reps,
+		time.Since(start).Round(time.Millisecond), sweep.Workers(*workers))
+	fmt.Printf("Driver: %s\n\n", results[0].mode)
+	var tputs, conn []float64
+	for i, r := range results {
+		fmt.Printf("  rep %d (seed %d): %s, connectivity %s, %d connections, %d disruptions\n",
+			i, r.seed, metrics.FormatKBps(r.throughputKBps), metrics.FormatPct(r.connectivity),
+			len(r.conns), len(r.gaps))
+		tputs = append(tputs, r.throughputKBps)
+		conn = append(conn, r.connectivity)
 	}
-	inst := metrics.NewCDF(client.Rec.InstantaneousKBps(dur))
-	if inst.N() > 0 {
-		fmt.Printf("  inst. bandwidth:  p50 %.0f / p90 %.0f KBps\n",
-			inst.Quantile(0.5), inst.Quantile(0.9))
-	}
-	st := client.Driver.Stats()
-	fmt.Printf("\n  joins: %d ok / %d dhcp-failed (%d fast-path, %d soft handoffs), assoc %d/%d, switches %d\n",
-		st.JoinSuccesses, st.DHCPFailures, st.FastPathJoins, st.SoftHandoffs,
-		st.AssocSuccesses, st.AssocAttempts, st.Switches)
+	fmt.Printf("\n  avg throughput:   %s ± %s\n",
+		metrics.FormatKBps(metrics.Mean(tputs)), metrics.FormatKBps(metrics.StdDev(tputs)))
+	fmt.Printf("  connectivity:     %s ± %s\n",
+		metrics.FormatPct(metrics.Mean(conn)), metrics.FormatPct(metrics.StdDev(conn)))
 }

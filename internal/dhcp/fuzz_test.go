@@ -1,0 +1,47 @@
+package dhcp
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"spider/internal/wifi"
+)
+
+// FuzzParseMessage asserts DecodeMessage never panics on arbitrary
+// bytes and that any accepted message survives Encode→DecodeMessage
+// unchanged with a byte-stable encoding. DecodeMessage ignores bytes
+// past the fixed wire length, so the round trip compares structs.
+func FuzzParseMessage(f *testing.F) {
+	seeds := []*Message{
+		{Op: Discover, XID: 0xdeadbeef, ClientMAC: wifi.NewAddr(2, 1)},
+		{Op: Offer, XID: 1, ClientMAC: wifi.NewAddr(2, 1), YourIP: 0x0a000005, ServerID: 4, LeaseSecs: 3600},
+		{Op: Request, XID: 1, ClientMAC: wifi.NewAddr(2, 1), YourIP: 0x0a000005, ServerID: 4},
+		{Op: Ack, XID: 1, ClientMAC: wifi.NewAddr(2, 1), YourIP: 0x0a000005, ServerID: 4, LeaseSecs: 3600},
+		{Op: Nak, XID: 2, ClientMAC: wifi.NewAddr(2, 7)},
+	}
+	for _, m := range seeds {
+		f.Add(m.Encode())
+	}
+	f.Add([]byte{})                             // empty
+	f.Add(bytes.Repeat([]byte{0x01, 0x00}, 11)) // one short of encodedLen
+	f.Add(append(seeds[0].Encode(), 0xee))      // trailing garbage
+
+	f.Fuzz(func(t *testing.T, b []byte) {
+		m, err := DecodeMessage(b)
+		if err != nil {
+			return
+		}
+		enc := m.Encode()
+		m2, err := DecodeMessage(enc)
+		if err != nil {
+			t.Fatalf("re-decode of accepted message failed: %v\nmessage: %v\nencoding: %x", err, m, enc)
+		}
+		if !reflect.DeepEqual(m, m2) {
+			t.Fatalf("round trip changed the message:\n first: %#v\nsecond: %#v", m, m2)
+		}
+		if enc2 := m2.Encode(); !bytes.Equal(enc, enc2) {
+			t.Fatalf("encoding is not byte-stable:\n first: %x\nsecond: %x", enc, enc2)
+		}
+	})
+}

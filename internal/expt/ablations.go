@@ -55,7 +55,7 @@ func AblationSelection(o Options) Table {
 			metrics.FormatPct(c.Rec.Connectivity(dur)),
 			succ}
 	}
-	tbl.Rows = append(tbl.Rows, run(true), run(false))
+	tbl.Rows = fanOut(o, 2, func(i int) []string { return run(i == 0) })
 	return tbl
 }
 
@@ -92,7 +92,7 @@ func AblationCache(o Options) Table {
 			med.Round(time.Millisecond).String(),
 			fmt.Sprint(c.Driver.Stats().FastPathJoins)}
 	}
-	tbl.Rows = append(tbl.Rows, run(true), run(false))
+	tbl.Rows = fanOut(o, 2, func(i int) []string { return run(i == 0) })
 	return tbl
 }
 
@@ -115,28 +115,43 @@ func AblationChannel(o Options) Table {
 		w.Run(dur)
 		return c.Rec.ThroughputKBps(dur), c.Rec.Connectivity(dur)
 	}
-	for _, ch := range wifi.OrthogonalChannels {
-		tput, conn := runFixed(ch)
-		tbl.Rows = append(tbl.Rows, []string{
-			fmt.Sprintf("fixed channel %d", ch),
-			metrics.FormatKBps(tput), metrics.FormatPct(conn)})
+	// The fixed-channel drives and the channel survey are mutually
+	// independent; the committed dynamic run below depends on the survey.
+	nfixed := len(wifi.OrthogonalChannels)
+	type step struct {
+		row  []string
+		best int
 	}
-	// Dynamic: survey 3 s per channel, then commit to the busiest.
-	w, mob := buildDrive(o.Seed, 0)
-	surveyCfg := core.SpiderDefaults(core.MultiChannelMultiAP, core.EqualSchedule(200*time.Millisecond, 1, 6, 11))
-	surveyCfg.MaxInterfaces = 1 // survey only; no point joining yet
-	c := w.AddClient(surveyCfg, mob)
-	w.Run(9 * time.Second)
-	counts := map[int]int{}
-	for _, r := range c.Driver.KnownAPs() {
-		counts[r.Channel]++
-	}
-	best, bestN := wifi.OrthogonalChannels[0], -1
-	for _, ch := range wifi.OrthogonalChannels {
-		if counts[ch] > bestN {
-			best, bestN = ch, counts[ch]
+	steps := fanOut(o, nfixed+1, func(i int) step {
+		if i < nfixed {
+			ch := wifi.OrthogonalChannels[i]
+			tput, conn := runFixed(ch)
+			return step{row: []string{
+				fmt.Sprintf("fixed channel %d", ch),
+				metrics.FormatKBps(tput), metrics.FormatPct(conn)}}
 		}
+		// Dynamic policy, phase one: survey 3 s per channel.
+		w, mob := buildDrive(o.Seed, 0)
+		surveyCfg := core.SpiderDefaults(core.MultiChannelMultiAP, core.EqualSchedule(200*time.Millisecond, 1, 6, 11))
+		surveyCfg.MaxInterfaces = 1 // survey only; no point joining yet
+		c := w.AddClient(surveyCfg, mob)
+		w.Run(9 * time.Second)
+		counts := map[int]int{}
+		for _, r := range c.Driver.KnownAPs() {
+			counts[r.Channel]++
+		}
+		best, bestN := wifi.OrthogonalChannels[0], -1
+		for _, ch := range wifi.OrthogonalChannels {
+			if counts[ch] > bestN {
+				best, bestN = ch, counts[ch]
+			}
+		}
+		return step{best: best}
+	})
+	for _, s := range steps[:nfixed] {
+		tbl.Rows = append(tbl.Rows, s.row)
 	}
+	best := steps[nfixed].best
 	// Fresh world, committed to the surveyed winner.
 	w2, mob2 := buildDrive(o.Seed, 0)
 	cfg := core.SpiderDefaults(core.SingleChannelMultiAP, []core.ChannelSlice{{Channel: best}})

@@ -5,7 +5,7 @@ import (
 	"time"
 
 	"spider/internal/model"
-	"spider/internal/sim"
+	"spider/internal/sweep"
 )
 
 func init() {
@@ -29,18 +29,24 @@ func Fig2(o Options) Figure {
 		XLabel: "fraction of time on channel",
 		YLabel: "probability of join success",
 	}
-	k := sim.NewKernel(o.Seed)
-	for _, bmax := range []time.Duration{5 * time.Second, 10 * time.Second} {
+	bmaxes := []time.Duration{5 * time.Second, 10 * time.Second}
+	type pair struct{ mod, simu Series }
+	got := fanOut(o, len(bmaxes), func(i int) pair {
+		bmax := bmaxes[i]
 		p := model.PaperJoinParams(bmax)
 		var mod, simu Series
 		mod.Name = fmt.Sprintf("Model (βmax=%ds)", int(bmax.Seconds()))
 		simu.Name = fmt.Sprintf("Simulation (βmax=%ds)", int(bmax.Seconds()))
-		rng := k.RNG("fig2." + mod.Name)
+		// The Monte Carlo stream is derived per βmax, never shared.
+		rng := sweep.RNG(o.Seed, "fig2", i)
 		for f := 0.05; f <= 1.0+1e-9; f += 0.05 {
 			mod.Points = append(mod.Points, Point{X: f, Y: p.JoinProb(f, t)})
 			simu.Points = append(simu.Points, Point{X: f, Y: p.SimulateJoinProb(rng, f, t, trials)})
 		}
-		fig.Series = append(fig.Series, mod, simu)
+		return pair{mod: mod, simu: simu}
+	})
+	for _, g := range got {
+		fig.Series = append(fig.Series, g.mod, g.simu)
 	}
 	return fig
 }

@@ -83,7 +83,8 @@ func Table2(o Options) Table {
 		{"(2) Channel 6, single-AP (Boston)", "ch6-single-boston", true},
 		{"MadWiFi driver", "stock", false},
 	}
-	for _, r := range rows {
+	tbl.Rows = fanOut(o, len(rows), func(i int) []string {
+		r := rows[i]
 		var cfg core.Config
 		if r.cfg == "ch6-single-boston" {
 			cfg = core.SpiderDefaults(core.SingleChannelSingleAP, []core.ChannelSlice{{Channel: 6}})
@@ -91,12 +92,12 @@ func Table2(o Options) Table {
 			cfg = spiderConfig(r.cfg)
 		}
 		c, dur := driveClient(o, r.boston, cfg)
-		tbl.Rows = append(tbl.Rows, []string{
+		return []string{
 			r.label,
 			metrics.FormatKBps(c.Rec.ThroughputKBps(dur)),
 			metrics.FormatPct(c.Rec.Connectivity(dur)),
-		})
-	}
+		}
+	})
 	return tbl
 }
 
@@ -118,18 +119,19 @@ func Table4(o Options) Table {
 		{"2 channels (equal schedule)", core.EqualSchedule(200*time.Millisecond, 1, 6)},
 		{"3 channels (equal schedule)", core.EqualSchedule(200*time.Millisecond, 1, 6, 11)},
 	}
-	for _, r := range rows {
+	tbl.Rows = fanOut(o, len(rows), func(i int) []string {
+		r := rows[i]
 		mode := core.MultiChannelMultiAP
 		if len(r.sched) == 1 {
 			mode = core.SingleChannelMultiAP
 		}
 		c, dur := driveClient(o, false, core.SpiderDefaults(mode, r.sched))
-		tbl.Rows = append(tbl.Rows, []string{
+		return []string{
 			r.label,
 			metrics.FormatKBps(c.Rec.ThroughputKBps(dur)),
 			metrics.FormatPct(c.Rec.Connectivity(dur)),
-		})
-	}
+		}
+	})
 	return tbl
 }
 
@@ -162,14 +164,20 @@ func Fig10(o Options) Fig10Result {
 		{"single AP (multi-channel)", "3ch-single"},
 		{"multiple APs (multi-channel)", "3ch-multi"},
 	}
-	for _, r := range rows {
+	type panels struct{ conn, gap, bw Series }
+	got := fanOut(o, len(rows), func(i int) panels {
+		r := rows[i]
 		c, dur := driveClient(o, false, spiderConfig(r.cfg))
-		connCDF := metrics.DurationsCDF(c.Rec.Connections(dur))
-		gapCDF := metrics.DurationsCDF(c.Rec.Disruptions(dur))
-		bwCDF := metrics.NewCDF(c.Rec.InstantaneousKBps(dur))
-		res.Connections.Series = append(res.Connections.Series, cdfSeries(r.label, connCDF))
-		res.Disruptions.Series = append(res.Disruptions.Series, cdfSeries(r.label, gapCDF))
-		res.Bandwidth.Series = append(res.Bandwidth.Series, cdfSeries(r.label, bwCDF))
+		return panels{
+			conn: cdfSeries(r.label, metrics.DurationsCDF(c.Rec.Connections(dur))),
+			gap:  cdfSeries(r.label, metrics.DurationsCDF(c.Rec.Disruptions(dur))),
+			bw:   cdfSeries(r.label, metrics.NewCDF(c.Rec.InstantaneousKBps(dur))),
+		}
+	})
+	for _, p := range got {
+		res.Connections.Series = append(res.Connections.Series, p.conn)
+		res.Disruptions.Series = append(res.Disruptions.Series, p.gap)
+		res.Bandwidth.Series = append(res.Bandwidth.Series, p.bw)
 	}
 	return res
 }
@@ -197,14 +205,15 @@ func Fig13(o Options) Figure {
 	tr := usertrace.Generate(usertrace.DefaultSpec(o.Seed))
 	fig.Series = append(fig.Series, cdfSeries("users connection duration",
 		metrics.DurationsCDF(tr.Durations())))
-	for _, r := range []struct{ label, cfg string }{
+	rows := []struct{ label, cfg string }{
 		{"multiple APs (ch1)", "ch1-multi"},
 		{"multiple APs (multi-channel)", "3ch-multi"},
-	} {
-		c, dur := driveClient(o, false, spiderConfig(r.cfg))
-		fig.Series = append(fig.Series, cdfSeries(r.label,
-			metrics.DurationsCDF(c.Rec.Connections(dur))))
 	}
+	fig.Series = append(fig.Series, fanOut(o, len(rows), func(i int) Series {
+		r := rows[i]
+		c, dur := driveClient(o, false, spiderConfig(r.cfg))
+		return cdfSeries(r.label, metrics.DurationsCDF(c.Rec.Connections(dur)))
+	})...)
 	return fig
 }
 
@@ -222,13 +231,14 @@ func Fig14(o Options) Figure {
 	tr := usertrace.Generate(usertrace.DefaultSpec(o.Seed))
 	fig.Series = append(fig.Series, cdfSeries("user inter-connection",
 		metrics.DurationsCDF(tr.InterConnectionGaps())))
-	for _, r := range []struct{ label, cfg string }{
+	rows := []struct{ label, cfg string }{
 		{"multiple APs (ch1)", "ch1-multi"},
 		{"multiple APs (multi-channel)", "3ch-multi"},
-	} {
-		c, dur := driveClient(o, false, spiderConfig(r.cfg))
-		fig.Series = append(fig.Series, cdfSeries(r.label,
-			metrics.DurationsCDF(c.Rec.Disruptions(dur))))
 	}
+	fig.Series = append(fig.Series, fanOut(o, len(rows), func(i int) Series {
+		r := rows[i]
+		c, dur := driveClient(o, false, spiderConfig(r.cfg))
+		return cdfSeries(r.label, metrics.DurationsCDF(c.Rec.Disruptions(dur)))
+	})...)
 	return fig
 }

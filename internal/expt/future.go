@@ -2,7 +2,6 @@ package expt
 
 import (
 	"fmt"
-	"math/rand"
 	"time"
 
 	"spider/internal/core"
@@ -11,6 +10,7 @@ import (
 	"spider/internal/metrics"
 	"spider/internal/scenario"
 	"spider/internal/selection"
+	"spider/internal/sweep"
 )
 
 func init() {
@@ -36,7 +36,9 @@ func AblationWeb(o Options) Table {
 		Columns: []string{"Config", "Pages", "Aborted", "Median load", "p90 load"},
 	}
 	dur := o.driveDur()
-	for _, name := range []string{"ch1-multi", "3ch-multi", "3ch-single", "stock"} {
+	names := []string{"ch1-multi", "3ch-multi", "3ch-single", "stock"}
+	tbl.Rows = fanOut(o, len(names), func(i int) []string {
+		name := names[i]
 		spec := scenario.AmherstDrive(o.Seed)
 		spec.Radio = driveRadio()
 		w, mob := spec.Build()
@@ -49,10 +51,10 @@ func AblationWeb(o Options) Table {
 			med = fmt.Sprintf("%.2fs", cdf.Median())
 			p90 = fmt.Sprintf("%.2fs", cdf.Quantile(0.9))
 		}
-		tbl.Rows = append(tbl.Rows, []string{
+		return []string{
 			name, fmt.Sprint(c.Web.PagesCompleted), fmt.Sprint(c.Web.PagesAborted), med, p90,
-		})
-	}
+		}
+	})
 	return tbl
 }
 
@@ -100,7 +102,7 @@ func AblationStopGo(o Options) Table {
 			metrics.FormatKBps(c.Rec.ThroughputKBps(dur)),
 			metrics.FormatPct(c.Rec.Connectivity(dur))}
 	}
-	tbl.Rows = append(tbl.Rows, run(false), run(true))
+	tbl.Rows = fanOut(o, 2, func(i int) []string { return run(i == 1) })
 	return tbl
 }
 
@@ -136,9 +138,13 @@ func AblationAPCentric(o Options) Table {
 		w.Run(warm + dur)
 		return float64(c.Rec.TotalBytes()-start) / 1000 / dur.Seconds()
 	}
-	for _, kbps := range []int{1000, 2000, 4000} {
-		spider := run(kbps, false)
-		fat := run(kbps, true)
+	kbpss := []int{1000, 2000, 4000}
+	// One task per (backhaul, scheduler) cell.
+	flat := fanOut(o, len(kbpss)*2, func(idx int) float64 {
+		return run(kbpss[idx/2], idx%2 == 1)
+	})
+	for i, kbps := range kbpss {
+		spider, fat := flat[2*i], flat[2*i+1]
 		ratio := "n/a"
 		if fat > 0 {
 			ratio = fmt.Sprintf("%.2f", spider/fat)
@@ -169,18 +175,26 @@ func AblationDividing(o Options) Table {
 		Columns: []string{"Speed (m/s)", "1 channel", "3 channels", "1ch / 3ch"},
 	}
 	dur := o.scaleDur(30*time.Minute, 5*time.Minute)
-	for _, speed := range []float64{2.5, 5, 10, 15, 20} {
-		run := func(sched []core.ChannelSlice, mode core.Mode) float64 {
-			spec := scenario.AmherstDrive(o.Seed)
-			spec.Radio = driveRadio()
-			spec.SpeedMS = speed
-			w, mob := spec.Build()
-			c := w.AddClient(core.SpiderDefaults(mode, sched), mob)
-			w.Run(dur)
-			return c.Rec.ThroughputKBps(dur)
+	speeds := []float64{2.5, 5, 10, 15, 20}
+	// One task per (speed, policy) cell of the sweep grid.
+	flat := fanOut(o, len(speeds)*2, func(idx int) float64 {
+		speed := speeds[idx/2]
+		sched := []core.ChannelSlice{{Channel: 1}}
+		mode := core.SingleChannelMultiAP
+		if idx%2 == 1 {
+			sched = core.EqualSchedule(200*time.Millisecond, 1, 6, 11)
+			mode = core.MultiChannelMultiAP
 		}
-		one := run([]core.ChannelSlice{{Channel: 1}}, core.SingleChannelMultiAP)
-		three := run(core.EqualSchedule(200*time.Millisecond, 1, 6, 11), core.MultiChannelMultiAP)
+		spec := scenario.AmherstDrive(o.Seed)
+		spec.Radio = driveRadio()
+		spec.SpeedMS = speed
+		w, mob := spec.Build()
+		c := w.AddClient(core.SpiderDefaults(mode, sched), mob)
+		w.Run(dur)
+		return c.Rec.ThroughputKBps(dur)
+	})
+	for i, speed := range speeds {
+		one, three := flat[2*i], flat[2*i+1]
 		ratio := "n/a"
 		if three > 0 {
 			ratio = fmt.Sprintf("%.2f", one/three)
@@ -207,9 +221,13 @@ func AblationExactSelection(o Options) Table {
 		Title:   "Greedy vs exact AP selection (random vehicular instances)",
 		Columns: []string{"Candidates", "Instances", "Mean greedy/exact", "Worst", "Greedy optimal"},
 	}
-	rng := rand.New(rand.NewSource(o.Seed))
 	instances := o.scaleN(200, 30)
-	for _, n := range []int{4, 8, 12, 16} {
+	sizes := []int{4, 8, 12, 16}
+	tbl.Rows = fanOut(o, len(sizes), func(si int) []string {
+		n := sizes[si]
+		// Each problem size draws from its own derived stream, so sizes can
+		// run concurrently without sharing a *rand.Rand.
+		rng := sweep.RNG(o.Seed, "ablation-exact-selection", n)
 		var ratios []float64
 		optimal := 0
 		for k := 0; k < instances; k++ {
@@ -242,14 +260,14 @@ func AblationExactSelection(o Options) Table {
 				worst = r
 			}
 		}
-		tbl.Rows = append(tbl.Rows, []string{
+		return []string{
 			fmt.Sprint(n),
 			fmt.Sprint(len(ratios)),
 			fmt.Sprintf("%.3f", metrics.Mean(ratios)),
 			fmt.Sprintf("%.3f", worst),
 			metrics.FormatPct(float64(optimal) / float64(len(ratios))),
-		})
-	}
+		}
+	})
 	return tbl
 }
 
@@ -271,17 +289,19 @@ func AblationEnergy(o Options) Table {
 		Columns: []string{"Config", "Total", "Switch share", "J/MB"},
 	}
 	model := energy.DefaultModel()
-	for _, name := range []string{"ch1-multi", "ch1-single", "3ch-multi", "3ch-single", "stock"} {
+	names := []string{"ch1-multi", "ch1-single", "3ch-multi", "3ch-single", "stock"}
+	tbl.Rows = fanOut(o, len(names), func(i int) []string {
+		name := names[i]
 		c, dur := driveClient(o, false, spiderConfig(name))
 		rep := model.Account(c.Driver.Airtime(), dur)
 		jpmb := energy.JoulesPerMB(rep, c.Rec.TotalBytes())
-		tbl.Rows = append(tbl.Rows, []string{
+		return []string{
 			name,
 			fmt.Sprintf("%.0f J", rep.Total()),
 			metrics.FormatPct(rep.Reset / rep.Total()),
 			fmt.Sprintf("%.1f", jpmb),
-		})
-	}
+		}
+	})
 	return tbl
 }
 
@@ -320,15 +340,21 @@ func AblationInterference(o Options) Table {
 		}
 		return agg, conn / float64(n)
 	}
-	for _, n := range []int{1, 2, 4, 8} {
-		agg, conn := run(n, false)
-		aggH, _ := run(n, true)
+	counts := []int{1, 2, 4, 8}
+	type cell struct{ agg, conn float64 }
+	// One task per (client count, hidden-terminal toggle) cell.
+	flat := fanOut(o, len(counts)*2, func(idx int) cell {
+		agg, conn := run(counts[idx/2], idx%2 == 1)
+		return cell{agg: agg, conn: conn}
+	})
+	for i, n := range counts {
+		plain, hiddenRun := flat[2*i], flat[2*i+1]
 		tbl.Rows = append(tbl.Rows, []string{
 			fmt.Sprint(n),
-			metrics.FormatKBps(agg),
-			metrics.FormatKBps(aggH),
-			metrics.FormatKBps(agg / float64(n)),
-			metrics.FormatPct(conn),
+			metrics.FormatKBps(plain.agg),
+			metrics.FormatKBps(hiddenRun.agg),
+			metrics.FormatKBps(plain.agg / float64(n)),
+			metrics.FormatPct(plain.conn),
 		})
 	}
 	return tbl

@@ -38,16 +38,17 @@ func Fig5(o Options) Figure {
 		YLabel: "fraction of successful associations",
 	}
 	xs := secondsGrid(50*time.Millisecond, 2*time.Second)
-	for _, f := range []float64{0.25, 0.50, 0.75, 1.00} {
+	fracs := []float64{0.25, 0.50, 0.75, 1.00}
+	fig.Series = fanOut(o, len(fracs), func(i int) Series {
+		f := fracs[i]
 		w, mob := buildDrive(o.Seed, 0)
 		cfg := joinCfg(primarySchedule(6, f, D), mac.ReducedJoinConfig(),
 			dhcp.ReducedClientConfig(100*time.Millisecond))
 		c := w.AddClient(cfg, mob)
 		w.Run(o.driveDur())
 		succ, total := assocOn(c, channelOf(w), 6)
-		s := Series{Name: fmt.Sprintf("%d%%", int(f*100)), Points: failureAwareCDF(succ, total, xs)}
-		fig.Series = append(fig.Series, s)
-	}
+		return Series{Name: fmt.Sprintf("%d%%", int(f*100)), Points: failureAwareCDF(succ, total, xs)}
+	})
 	return fig
 }
 
@@ -75,7 +76,8 @@ func Fig6(o Options) Figure {
 		{"100% - 100ms", 1.00, dhcp.ReducedClientConfig(100 * time.Millisecond)},
 		{"100% - default", 1.00, dhcp.DefaultClientConfig()},
 	}
-	for _, r := range rows {
+	fig.Series = fanOut(o, len(rows), func(i int) Series {
+		r := rows[i]
 		w, mob := buildDrive(o.Seed, 0)
 		cfg := joinCfg(primarySchedule(6, r.f, D), mac.ReducedJoinConfig(), r.dhc)
 		c := w.AddClient(cfg, mob)
@@ -92,8 +94,8 @@ func Fig6(o Options) Figure {
 				succ = append(succ, e.Elapsed)
 			}
 		}
-		fig.Series = append(fig.Series, Series{Name: r.name, Points: failureAwareCDF(succ, total, xs)})
-	}
+		return Series{Name: r.name, Points: failureAwareCDF(succ, total, xs)}
+	})
 	return fig
 }
 
@@ -123,14 +125,15 @@ func Fig11(o Options) Figure {
 		{"default, 3 channels", three, dhcp.DefaultClientConfig()},
 		{"200ms, 3 channels", three, dhcp.ReducedClientConfig(200 * time.Millisecond)},
 	}
-	for _, r := range rows {
+	fig.Series = fanOut(o, len(rows), func(i int) Series {
+		r := rows[i]
 		w, mob := buildDrive(o.Seed, 0)
 		cfg := joinCfg(r.sched, mac.ReducedJoinConfig(), r.dhc)
 		c := w.AddClient(cfg, mob)
 		w.Run(o.driveDur())
 		succ, total := joinsAll(c)
-		fig.Series = append(fig.Series, Series{Name: r.name, Points: failureAwareCDF(succ, total, xs)})
-	}
+		return Series{Name: r.name, Points: failureAwareCDF(succ, total, xs)}
+	})
 	return fig
 }
 
@@ -164,7 +167,8 @@ func Fig12(o Options) Figure {
 		{"7 ifaces, 3 chns eq., def. TO", three, 7, mac.DefaultJoinConfig(), dhcp.DefaultClientConfig()},
 		{"7 ifaces, 3 chns eq., dhcp=200ms ll=100ms", three, 7, mac.ReducedJoinConfig(), dhcp.ReducedClientConfig(200 * time.Millisecond)},
 	}
-	for _, r := range rows {
+	fig.Series = fanOut(o, len(rows), func(i int) Series {
+		r := rows[i]
 		w, mob := buildDrive(o.Seed, 0)
 		cfg := joinCfg(r.sched, r.link, r.dhc)
 		cfg.MaxInterfaces = r.ifaces
@@ -179,8 +183,8 @@ func Fig12(o Options) Figure {
 		c := w.AddClient(cfg, mob)
 		w.Run(o.driveDur())
 		succ, total := joinsAll(c)
-		fig.Series = append(fig.Series, Series{Name: r.name, Points: failureAwareCDF(succ, total, xs)})
-	}
+		return Series{Name: r.name, Points: failureAwareCDF(succ, total, xs)}
+	})
 	return fig
 }
 
@@ -210,22 +214,37 @@ func Table3(o Options) Table {
 		Title:   "DHCP failure probabilities (7 interfaces)",
 		Columns: []string{"Parameters", "Failed dhcp", "±"},
 	}
-	for _, r := range rows {
+	// One task per (row, replication) pair; replication s drives the same
+	// world seed for every row, preserving the paired comparison across
+	// timeout configurations.
+	type sample struct {
+		rate float64
+		ok   bool
+	}
+	flat := fanOut(o, len(rows)*seeds, func(idx int) sample {
+		r := rows[idx/seeds]
+		s := idx % seeds
+		w, mob := buildDrive(o.Seed+int64(100*s), 0)
+		cfg := joinCfg(r.sched, r.link, r.dhc)
+		c := w.AddClient(cfg, mob)
+		w.Run(o.driveDur() / 2)
+		fails, total := 0, 0
+		for _, j := range c.Joins {
+			total++
+			if !j.Success {
+				fails++
+			}
+		}
+		if total == 0 {
+			return sample{}
+		}
+		return sample{rate: float64(fails) / float64(total), ok: true}
+	})
+	for ri, r := range rows {
 		var rates []float64
 		for s := 0; s < seeds; s++ {
-			w, mob := buildDrive(o.Seed+int64(100*s), 0)
-			cfg := joinCfg(r.sched, r.link, r.dhc)
-			c := w.AddClient(cfg, mob)
-			w.Run(o.driveDur() / 2)
-			fails, total := 0, 0
-			for _, j := range c.Joins {
-				total++
-				if !j.Success {
-					fails++
-				}
-			}
-			if total > 0 {
-				rates = append(rates, float64(fails)/float64(total))
+			if smp := flat[ri*seeds+s]; smp.ok {
+				rates = append(rates, smp.rate)
 			}
 		}
 		tbl.Rows = append(tbl.Rows, []string{

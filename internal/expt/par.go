@@ -1,0 +1,28 @@
+package expt
+
+import (
+	"context"
+
+	"spider/internal/sweep"
+)
+
+// fanOut runs n independent sub-runs of the experiment concurrently on
+// the sweep engine and returns their results in index order. Each
+// sub-run must be a pure function of (Options, rep): build its own
+// world and kernel, and draw randomness only from per-rep seeds (fixed
+// formulas or sweep.TaskSeed/sweep.RNG) — never from state shared with
+// another rep. Under those rules the result is bit-identical at any
+// Workers value.
+//
+// A sub-run panic propagates as a panic carrying the sweep engine's
+// *PanicError (replication index + stack); expt.Run converts it to an
+// error at the harness boundary.
+func fanOut[T any](o Options, n int, f func(rep int) T) []T {
+	res, err := sweep.RunN(context.Background(), o.Workers, n, func(_ context.Context, i int) (T, error) {
+		return f(i), nil
+	})
+	if err != nil {
+		panic(err)
+	}
+	return res
+}

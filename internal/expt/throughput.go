@@ -51,10 +51,11 @@ func Fig7(o Options) Figure {
 		YLabel: "average throughput (kb/s)",
 	}
 	s := Series{Name: "throughput"}
-	for pct := 10; pct <= 100; pct += 10 {
+	s.Points = fanOut(o, 10, func(i int) Point {
+		pct := 10 * (i + 1)
 		kbps := indoorRun(o.Seed, primarySchedule(1, float64(pct)/100, D), dur)
-		s.Points = append(s.Points, Point{X: float64(pct), Y: kbps})
-	}
+		return Point{X: float64(pct), Y: kbps}
+	})
 	fig.Series = []Series{s}
 	return fig
 }
@@ -73,12 +74,14 @@ func Fig8(o Options) Figure {
 		XLabel: "time spent on each channel (ms)",
 		YLabel: "average throughput (kb/s)",
 	}
+	dwells := []int{25, 50, 100, 150, 200, 250, 300, 400}
 	s := Series{Name: "throughput"}
-	for _, ms := range []int{25, 50, 100, 150, 200, 250, 300, 400} {
+	s.Points = fanOut(o, len(dwells), func(i int) Point {
+		ms := dwells[i]
 		sched := core.EqualSchedule(time.Duration(ms)*time.Millisecond, 1, 6, 11)
 		kbps := indoorRun(o.Seed, sched, dur)
-		s.Points = append(s.Points, Point{X: float64(ms), Y: kbps})
-	}
+		return Point{X: float64(ms), Y: kbps}
+	})
 	fig.Series = []Series{s}
 	return fig
 }
@@ -159,25 +162,33 @@ func Fig9(o Options) Figure {
 			return []*scenario.Client{c}
 		})
 	}
-	mk := func(name string, f func(int) float64) Series {
-		s := Series{Name: name}
-		for _, r := range rates {
-			s.Points = append(s.Points, Point{X: float64(r) / 1000, Y: f(r)})
-		}
-		return s
-	}
-	fig.Series = []Series{
-		mk("one card, stock", single),
-		mk("two cards, stock", twoCards),
-		mk("Spider, (100,0,0)", func(k int) float64 {
+	configs := []struct {
+		name string
+		f    func(int) float64
+	}{
+		{"one card, stock", single},
+		{"two cards, stock", twoCards},
+		{"Spider, (100,0,0)", func(k int) float64 {
 			return spider(k, []core.ChannelSlice{{Channel: 1}}, true)
-		}),
-		mk("Spider, (50,0,50)", func(k int) float64 {
+		}},
+		{"Spider, (50,0,50)", func(k int) float64 {
 			return spider(k, core.EqualSchedule(50*time.Millisecond, 1, 11), false)
-		}),
-		mk("Spider, (100,0,100)", func(k int) float64 {
+		}},
+		{"Spider, (100,0,100)", func(k int) float64 {
 			return spider(k, core.EqualSchedule(100*time.Millisecond, 1, 11), false)
-		}),
+		}},
+	}
+	// Flatten the (configuration × backhaul rate) grid into one sweep.
+	flat := fanOut(o, len(configs)*len(rates), func(idx int) Point {
+		cfg := configs[idx/len(rates)]
+		r := rates[idx%len(rates)]
+		return Point{X: float64(r) / 1000, Y: cfg.f(r)}
+	})
+	for ci, cfg := range configs {
+		fig.Series = append(fig.Series, Series{
+			Name:   cfg.name,
+			Points: flat[ci*len(rates) : (ci+1)*len(rates)],
+		})
 	}
 	return fig
 }
@@ -194,7 +205,7 @@ func Table1(o Options) Table {
 		Columns: []string{"Num. of connected interfaces", "Mean", "Std Dev"},
 	}
 	switches := o.scaleN(60, 10)
-	for n := 0; n <= 4; n++ {
+	tbl.Rows = fanOut(o, 5, func(n int) []string {
 		w := scenario.StaticLab(o.Seed+int64(n), 4000)
 		for i := 0; i < n; i++ {
 			labAP(w, 6, 4000, float64(10+5*i))
@@ -205,11 +216,8 @@ func Table1(o Options) Table {
 		w.Run(30 * time.Second)
 		if c.Driver.ConnectedCount() != n {
 			// Join failure would silently corrupt the row; surface it.
-			tbl.Rows = append(tbl.Rows, []string{fmt.Sprint(n), "join-failed", "-"})
-			continue
+			return []string{fmt.Sprint(n), "join-failed", "-"}
 		}
-		done := make(chan struct{})
-		_ = done
 		// Alternate between the home channel and an empty one; only
 		// measure switches *away* (they carry the PSM announcements).
 		collect := func(from, to int, lat time.Duration, nconn int) {
@@ -224,12 +232,12 @@ func Table1(o Options) Table {
 			c.Driver.ForceSwitch(6)
 			w.Run(w.Kernel.Now() + 500*time.Millisecond)
 		}
-		tbl.Rows = append(tbl.Rows, []string{
+		return []string{
 			fmt.Sprint(n),
 			fmt.Sprintf("%.3f", metrics.Mean(lats)),
 			fmt.Sprintf("%.3f", metrics.StdDev(lats)),
-		})
-	}
+		}
+	})
 	return tbl
 }
 

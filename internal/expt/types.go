@@ -22,11 +22,19 @@ import (
 
 // Options control experiment scale and reproducibility.
 type Options struct {
-	// Seed drives every random stream.
+	// Seed drives every random stream. Sub-runs (drives, replications,
+	// parameter points) derive their streams via sweep.TaskSeed(Seed,
+	// experimentID, index), never by sharing a *rand.Rand, so results
+	// are identical at any worker count.
 	Seed int64
 	// Scale in (0,1] shrinks run durations and trial counts; 1 is the
 	// paper-like scale, benches use ~0.1.
 	Scale float64
+	// Workers bounds how many independent sub-runs of one experiment
+	// execute concurrently. 0 means runtime.GOMAXPROCS(0); 1 forces
+	// sequential execution. The value never affects results, only
+	// wall-clock time.
+	Workers int
 }
 
 // DefaultOptions is the paper-like scale.
@@ -203,11 +211,24 @@ func IDs() []string {
 	return out
 }
 
-// Run executes one experiment by id.
-func Run(id string, o Options) (fmt.Stringer, error) {
+// Run executes one experiment by id. A panic anywhere in the experiment
+// — including inside a parallel sub-run, which the sweep engine has
+// already annotated with its replication index and stack — is returned
+// as an error, so one bad replication fails the run with a usable
+// message instead of crashing the process.
+func Run(id string, o Options) (res fmt.Stringer, err error) {
 	r, ok := registry[id]
 	if !ok {
 		return nil, fmt.Errorf("expt: unknown experiment %q (have %v)", id, IDs())
 	}
+	defer func() {
+		if p := recover(); p != nil {
+			if perr, isErr := p.(error); isErr {
+				err = fmt.Errorf("expt: %s: %w", id, perr)
+			} else {
+				err = fmt.Errorf("expt: %s: panic: %v", id, p)
+			}
+		}
+	}()
 	return r(o)
 }

@@ -1,0 +1,78 @@
+package model
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// randParams draws a paper-plausible parameter set: the switching delay,
+// β bounds, and dwell time vary; the scheduling period, request spacing,
+// and loss stay at the paper's values (D=500 ms, c=100 ms, h=10%).
+func randParams(r *rand.Rand) (JoinParams, time.Duration) {
+	p := JoinParams{
+		D:       500 * time.Millisecond,
+		C:       100 * time.Millisecond,
+		W:       time.Duration(r.Float64() * 15 * float64(time.Millisecond)),
+		BetaMin: time.Duration((0.2 + 1.3*r.Float64()) * float64(time.Second)),
+		Loss:    0.10,
+	}
+	p.BetaMax = p.BetaMin + time.Duration((0.5+9.5*r.Float64())*float64(time.Second))
+	dwell := time.Duration((1 + 7*r.Float64()) * float64(time.Second))
+	return p, dwell
+}
+
+// TestJoinProbProperties checks, over randomized paper-plausible
+// parameters, the invariants Eq. 7 must satisfy: probabilities stay in
+// [0, 1], more time in range never hurts (monotone in dwell), and the
+// closed form agrees with a direct Monte Carlo simulation of the same
+// process within sampling tolerance.
+func TestJoinProbProperties(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	fracs := []float64{0.25, 0.50, 1.00}
+	const trials = 4000
+	// 3σ for a binomial proportion at p=0.5 with 4000 trials is ~0.024;
+	// 0.05 leaves headroom for the model's discretization of rounds.
+	const tol = 0.05
+	for i := 0; i < 25; i++ {
+		p, dwell := randParams(r)
+		for _, f := range fracs {
+			got := p.JoinProb(f, dwell)
+			if got < 0 || got > 1 {
+				t.Fatalf("case %d %+v f=%.2f dwell=%v: JoinProb=%v outside [0,1]", i, p, f, dwell, got)
+			}
+
+			longer := p.JoinProb(f, dwell+2*time.Second)
+			if longer < got-1e-9 {
+				t.Errorf("case %d %+v f=%.2f: JoinProb not monotone in dwell: %v at %v but %v at %v",
+					i, p, f, got, dwell, longer, dwell+2*time.Second)
+			}
+
+			mc := p.SimulateJoinProb(rand.New(rand.NewSource(int64(1000*i)+int64(100*f))), f, dwell, trials)
+			if diff := got - mc; diff < -tol || diff > tol {
+				t.Errorf("case %d %+v f=%.2f dwell=%v: model %0.4f vs Monte Carlo %0.4f (|Δ|>%v)",
+					i, p, f, dwell, got, mc, tol)
+			}
+		}
+	}
+}
+
+// TestJoinProbMonotoneInFractionRandomized extends the fixed-parameter
+// monotonicity check in model_test.go to randomized parameters: with
+// everything else fixed, more time on the channel never lowers the join
+// probability.
+func TestJoinProbMonotoneInFractionRandomized(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 25; i++ {
+		p, dwell := randParams(r)
+		prev := 0.0
+		for f := 0.1; f <= 1.0+1e-9; f += 0.1 {
+			got := p.JoinProb(f, dwell)
+			if got < prev-1e-9 {
+				t.Fatalf("case %d %+v: JoinProb decreased from %v to %v as f rose to %.1f",
+					i, p, prev, got, f)
+			}
+			prev = got
+		}
+	}
+}

@@ -29,19 +29,37 @@ func (c Constant) Mean() time.Duration { return c.V }
 func (c Constant) String() string { return fmt.Sprintf("const(%v)", c.V) }
 
 // Uniform draws uniformly from [Min, Max]. The paper models AP join
-// response times this way (§2.1.1: β ~ U[βmin, βmax]).
+// response times this way (§2.1.1: β ~ U[βmin, βmax]). Reversed bounds
+// are treated as the same interval, and draws are clamped to be
+// non-negative — these are delays, and a negative delay would schedule
+// an event into the kernel's past.
 type Uniform struct{ Min, Max time.Duration }
 
 // Sample implements Dist.
 func (u Uniform) Sample(r *rand.Rand) time.Duration {
-	if u.Max <= u.Min {
-		return u.Min
+	lo, hi := u.Min, u.Max
+	if hi < lo {
+		lo, hi = hi, lo
 	}
-	return u.Min + time.Duration(r.Int63n(int64(u.Max-u.Min)+1))
+	d := lo
+	if hi > lo {
+		span := int64(hi - lo)
+		if span+1 > 0 {
+			d = lo + time.Duration(r.Int63n(span+1))
+		} else {
+			// Span covers the full int64 range; Int63n would panic on
+			// overflowed bound.
+			d = lo + time.Duration(r.Int63())
+		}
+	}
+	if d < 0 {
+		return 0
+	}
+	return d
 }
 
 // Mean implements Dist.
-func (u Uniform) Mean() time.Duration { return (u.Min + u.Max) / 2 }
+func (u Uniform) Mean() time.Duration { return u.Min/2 + u.Max/2 }
 
 func (u Uniform) String() string { return fmt.Sprintf("uniform[%v,%v]", u.Min, u.Max) }
 
@@ -54,6 +72,9 @@ type Exponential struct {
 
 // Sample implements Dist.
 func (e Exponential) Sample(r *rand.Rand) time.Duration {
+	if e.MeanD <= 0 {
+		return 0
+	}
 	d := time.Duration(r.ExpFloat64() * float64(e.MeanD))
 	if e.Cap > 0 && d > e.Cap {
 		d = e.Cap

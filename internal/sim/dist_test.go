@@ -1,0 +1,98 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// TestUniformEdgeCases covers the degenerate and hostile parameter
+// combinations Sample must survive: equal bounds, reversed bounds,
+// partially or fully negative intervals, and a span that would overflow
+// the int64 passed to Int63n.
+func TestUniformEdgeCases(t *testing.T) {
+	cases := []struct {
+		name   string
+		u      Uniform
+		lo, hi time.Duration // acceptable sample range
+	}{
+		{"equal bounds", Uniform{Min: time.Second, Max: time.Second}, time.Second, time.Second},
+		{"reversed bounds", Uniform{Min: 500 * time.Millisecond, Max: 100 * time.Millisecond},
+			100 * time.Millisecond, 500 * time.Millisecond},
+		{"negative min clamps to zero", Uniform{Min: -time.Second, Max: time.Second}, 0, time.Second},
+		{"fully negative clamps to zero", Uniform{Min: -2 * time.Second, Max: -time.Second}, 0, 0},
+		{"reversed negative", Uniform{Min: -time.Second, Max: -2 * time.Second}, 0, 0},
+		{"zero value", Uniform{}, 0, 0},
+		{"overflowing span", Uniform{Min: math.MinInt64, Max: math.MaxInt64}, 0, math.MaxInt64},
+		{"max span from zero", Uniform{Min: 0, Max: math.MaxInt64}, 0, math.MaxInt64},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r := rand.New(rand.NewSource(1))
+			for i := 0; i < 200; i++ {
+				v := tc.u.Sample(r)
+				if v < tc.lo || v > tc.hi {
+					t.Fatalf("%v.Sample() = %v, want in [%v, %v]", tc.u, v, tc.lo, tc.hi)
+				}
+			}
+		})
+	}
+}
+
+// TestUniformReversedMatchesOrdered checks that reversed bounds define
+// the same distribution as ordered ones, not a point mass.
+func TestUniformReversedMatchesOrdered(t *testing.T) {
+	rev := Uniform{Min: 500 * time.Millisecond, Max: 100 * time.Millisecond}
+	r := rand.New(rand.NewSource(7))
+	seen := map[time.Duration]bool{}
+	var sum time.Duration
+	const n = 2000
+	for i := 0; i < n; i++ {
+		v := rev.Sample(r)
+		seen[v] = true
+		sum += v
+	}
+	if len(seen) < 100 {
+		t.Fatalf("reversed bounds collapsed to %d distinct values", len(seen))
+	}
+	mean := sum / n
+	if mean < 250*time.Millisecond || mean > 350*time.Millisecond {
+		t.Fatalf("reversed-bounds empirical mean %v, want ≈300ms", mean)
+	}
+}
+
+// TestExponentialEdgeCases is the table-driven companion for the
+// Exponential guards: non-positive means draw zero, and Cap truncates.
+func TestExponentialEdgeCases(t *testing.T) {
+	cases := []struct {
+		name   string
+		e      Exponential
+		lo, hi time.Duration
+	}{
+		{"zero mean", Exponential{}, 0, 0},
+		{"negative mean", Exponential{MeanD: -time.Second}, 0, 0},
+		{"negative mean with cap", Exponential{MeanD: -time.Second, Cap: time.Second}, 0, 0},
+		{"cap truncates", Exponential{MeanD: 10 * time.Second, Cap: 50 * time.Millisecond},
+			0, 50 * time.Millisecond},
+		{"uncapped stays non-negative", Exponential{MeanD: time.Millisecond}, 0, math.MaxInt64},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r := rand.New(rand.NewSource(1))
+			hit := false
+			for i := 0; i < 500; i++ {
+				v := tc.e.Sample(r)
+				if v < tc.lo || v > tc.hi {
+					t.Fatalf("%v.Sample() = %v, want in [%v, %v]", tc.e, v, tc.lo, tc.hi)
+				}
+				if tc.e.Cap > 0 && v == tc.e.Cap {
+					hit = true
+				}
+			}
+			if tc.name == "cap truncates" && !hit {
+				t.Fatal("cap never reached; truncation untested")
+			}
+		})
+	}
+}

@@ -1,0 +1,57 @@
+package wifi
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+// FuzzParseFrame asserts the two invariants the capture/export path
+// depends on: Decode never panics on arbitrary bytes, and anything
+// Decode accepts survives an Encode→Decode round trip unchanged (with a
+// byte-stable second encoding). Decode tolerates trailing garbage after
+// the declared body, so the round trip compares structs, not the raw
+// input bytes.
+func FuzzParseFrame(f *testing.F) {
+	seeds := []*Frame{
+		{Type: TypeBeacon, SA: NewAddr(1, 1), DA: Broadcast, BSSID: NewAddr(1, 1), Seq: 7,
+			Body: &BeaconBody{SSID: "spider", Channel: 6, Capabilities: 0x0421, BackhaulKbps: 12_000}},
+		{Type: TypeProbeReq, SA: NewAddr(2, 9), DA: Broadcast, Body: &ProbeReqBody{}},
+		{Type: TypeAuthReq, SA: NewAddr(2, 3), DA: NewAddr(1, 4), BSSID: NewAddr(1, 4),
+			Body: &AuthBody{Algorithm: 0}},
+		{Type: TypeAssocReq, SA: NewAddr(2, 3), DA: NewAddr(1, 4), BSSID: NewAddr(1, 4),
+			Body: &AssocReqBody{SSID: "net", ListenInterval: 10}},
+		{Type: TypeAssocResp, SA: NewAddr(1, 4), DA: NewAddr(2, 3), BSSID: NewAddr(1, 4),
+			Body: &AssocRespBody{Status: 0, AID: 2}},
+		{Type: TypeDeauth, SA: NewAddr(1, 4), DA: NewAddr(2, 3), BSSID: NewAddr(1, 4),
+			Body: &DeauthBody{Reason: 3}},
+		{Type: TypeData, SA: NewAddr(2, 3), DA: NewAddr(1, 4), BSSID: NewAddr(1, 4), Seq: 99,
+			Retry: true, Body: &DataBody{Proto: ProtoTCP, Header: []byte{1, 2, 3}, VirtualLen: 64}},
+		{Type: TypeNull, SA: NewAddr(2, 3), DA: NewAddr(1, 4), BSSID: NewAddr(1, 4), PowerMgmt: true},
+		{Type: TypeAck, SA: NewAddr(1, 4), DA: NewAddr(2, 3)},
+	}
+	for _, fr := range seeds {
+		f.Add(fr.Encode())
+	}
+	f.Add([]byte{})                        // empty
+	f.Add(bytes.Repeat([]byte{0xff}, 23))  // one short of a header
+	f.Add(append(seeds[0].Encode(), 0xee)) // trailing garbage
+
+	f.Fuzz(func(t *testing.T, b []byte) {
+		fr, err := Decode(b)
+		if err != nil {
+			return
+		}
+		enc := fr.Encode()
+		fr2, err := Decode(enc)
+		if err != nil {
+			t.Fatalf("re-decode of accepted frame failed: %v\nframe: %v\nencoding: %x", err, fr, enc)
+		}
+		if !reflect.DeepEqual(fr, fr2) {
+			t.Fatalf("round trip changed the frame:\n first: %#v\nsecond: %#v", fr, fr2)
+		}
+		if enc2 := fr2.Encode(); !bytes.Equal(enc, enc2) {
+			t.Fatalf("encoding is not byte-stable:\n first: %x\nsecond: %x", enc, enc2)
+		}
+	})
+}

@@ -24,7 +24,9 @@
 package spider
 
 import (
+	"context"
 	"fmt"
+	"math/rand"
 	"time"
 
 	"spider/internal/core"
@@ -36,6 +38,7 @@ import (
 	"spider/internal/radio"
 	"spider/internal/scenario"
 	"spider/internal/selection"
+	"spider/internal/sweep"
 	"spider/internal/usertrace"
 )
 
@@ -175,9 +178,32 @@ func DividingSpeed(join JoinParams, channels []ChannelOffer, rangeM, lo, hi, res
 // BwKbps is the paper's wireless bandwidth Bw (11 Mbps).
 const BwKbps = model.BwKbps
 
+// ---- Parallel sweeps ----
+
+// Sweep runs n independent replications concurrently on workers
+// goroutines (0 = all CPUs) and returns their results indexed by
+// replication, whatever order they finished in. Derive each
+// replication's randomness from TaskSeed/SweepRNG — never a shared
+// *rand.Rand — and the output is byte-identical at any worker count.
+// See internal/sweep for the engine and docs/TUTORIAL.md §9 for usage.
+func Sweep[T any](ctx context.Context, workers, n int, task func(ctx context.Context, rep int) (T, error)) ([]T, error) {
+	return sweep.RunN(ctx, workers, n, task)
+}
+
+// TaskSeed derives replication rep of study id its own world seed: a
+// SplitMix64-style hash of (base, id, rep), stable across runs and
+// scheduling orders.
+func TaskSeed(base int64, id string, rep int) int64 { return sweep.TaskSeed(base, id, rep) }
+
+// SweepRNG returns a dedicated RNG stream seeded by TaskSeed, for
+// randomness a replication needs outside a World.
+func SweepRNG(base int64, id string, rep int) *rand.Rand { return sweep.RNG(base, id, rep) }
+
 // ---- Experiments ----
 
-// Experiment options (seed + scale).
+// Experiment options (seed, scale, and parallelism: Workers bounds how
+// many independent sub-runs execute concurrently, 0 = all CPUs; the
+// value never affects results, only wall-clock time).
 type ExperimentOptions = expt.Options
 
 // Experiments lists the reproducible tables and figures.

@@ -1,6 +1,7 @@
 package spider
 
 import (
+	"context"
 	"testing"
 	"time"
 )
@@ -137,5 +138,36 @@ func TestFacadePcapCapture(t *testing.T) {
 	world.Run(2 * time.Second)
 	if len(cap.Records) == 0 {
 		t.Fatal("capture saw no beacons")
+	}
+}
+
+func TestFacadeSweep(t *testing.T) {
+	// The tutorial's §9 pattern: replicated mini-drives fanned out, with
+	// per-replication seeds, identical at any worker count.
+	run := func(workers int) []float64 {
+		out, err := Sweep(context.Background(), workers, 3,
+			func(_ context.Context, rep int) (float64, error) {
+				world, mob := AmherstDrive(TaskSeed(5, "facade-sweep", rep)).Build()
+				c := world.AddClient(Defaults(SingleChannelMultiAP,
+					[]ChannelSlice{{Channel: 1}}), mob)
+				world.Run(30 * time.Second)
+				return c.Rec.ThroughputKBps(30 * time.Second), nil
+			})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	seq, par := run(1), run(4)
+	for i := range seq {
+		if seq[i] != par[i] {
+			t.Fatalf("rep %d differs across worker counts: %v vs %v", i, seq[i], par[i])
+		}
+	}
+	if TaskSeed(5, "facade-sweep", 0) == TaskSeed(5, "facade-sweep", 1) {
+		t.Fatal("TaskSeed ignored the replication index")
+	}
+	if SweepRNG(5, "a", 0).Int63() == SweepRNG(5, "b", 0).Int63() {
+		t.Fatal("SweepRNG ignored the study id")
 	}
 }
