@@ -309,3 +309,38 @@ func BenchmarkDriveSimulationRate(b *testing.B) {
 	}
 	b.ReportMetric(60*float64(b.N)/b.Elapsed().Seconds(), "sim-s/wall-s")
 }
+
+// BenchmarkCityScale measures the city-scale speedup the spatial index
+// buys: a 6×6 km city at the Amherst-like density of ~55 APs/km² —
+// 2000 APs, 200 driving clients — simulated for two virtual seconds per
+// iteration, with the indexed medium against the retained linear scan.
+// Both paths produce byte-identical results (see the equivalence
+// tests); only the wall clock differs. The per-client protocol work
+// (driver, TCP, mobility) is a shared floor, so the ratio understates
+// the medium-path speedup itself; see BenchmarkMediumBroadcast in
+// internal/radio for the isolated number.
+func BenchmarkCityScale(b *testing.B) {
+	const virtual = 2 * time.Second
+	for _, v := range []struct {
+		name   string
+		linear bool
+	}{{"indexed", false}, {"linear", true}} {
+		b.Run(v.name, func(b *testing.B) {
+			cfg := Defaults(MultiChannelMultiAP, EqualSchedule(200*time.Millisecond, 1, 6, 11))
+			for i := 0; i < b.N; i++ {
+				spec := CityGrid(int64(i+1), 2000, 200)
+				spec.AreaW, spec.AreaH = 6000, 6000
+				rc := DefaultRadio()
+				rc.DataRateKbps = 24_000
+				rc.LinearScan = v.linear
+				spec.Radio = rc
+				world, mobs := spec.Build()
+				for _, mob := range mobs {
+					world.AddClient(cfg, mob)
+				}
+				world.Run(virtual)
+			}
+			b.ReportMetric(virtual.Seconds()*float64(b.N)/b.Elapsed().Seconds(), "sim-s/wall-s")
+		})
+	}
+}

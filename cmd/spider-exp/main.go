@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"spider/internal/expt"
+	"spider/internal/prof"
 	"spider/internal/sweep"
 )
 
@@ -35,8 +36,16 @@ func main() {
 		plotOut = flag.Bool("plot", false, "render figures as terminal charts instead of data columns")
 		svgDir  = flag.String("svg", "", "also write each figure as an SVG into this directory")
 		csvDir  = flag.String("csv", "", "also write each figure's series as CSV into this directory")
+		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	flag.Parse()
+	stopProf, err := prof.Start(*cpuProf, *memProf)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "spider-exp:", err)
+		os.Exit(2)
+	}
+	defer stopProf()
 
 	if *list {
 		for _, e := range expt.IDs() {

@@ -27,6 +27,7 @@ import (
 	"spider/internal/core"
 	"spider/internal/metrics"
 	"spider/internal/pcap"
+	"spider/internal/prof"
 	"spider/internal/radio"
 	"spider/internal/scenario"
 	"spider/internal/sweep"
@@ -151,8 +152,16 @@ func main() {
 		reps    = flag.Int("reps", 1, "independent drive replications")
 		workers = flag.Int("workers", runtime.NumCPU(), "worker goroutines when -reps > 1")
 		pcapOut = flag.String("pcap", "", "write an over-the-air capture to this file (single rep only)")
+		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	flag.Parse()
+	stopProf, err := prof.Start(*cpuProf, *memProf)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "spider-sim:", err)
+		os.Exit(2)
+	}
+	defer stopProf()
 
 	cfg, err := driverConfig(*config)
 	if err != nil {

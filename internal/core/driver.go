@@ -81,8 +81,8 @@ type Driver struct {
 
 	sink func(bssid wifi.Addr, db *wifi.DataBody)
 
-	scanEv  *sim.Event
-	sliceEv *sim.Event
+	scanEv  sim.Event
+	sliceEv sim.Event
 
 	// Measurement series consumed by the experiment harness.
 	AssocTimes    []time.Duration // successful link-layer association durations
@@ -215,7 +215,7 @@ func (d *Driver) ForceSwitch(ch int) { d.switchTo(ch) }
 // ---- Scheduler ----
 
 func (d *Driver) nextSlice() {
-	d.sliceEv = nil
+	d.sliceEv = sim.Event{}
 	if d.dwelling {
 		// Pinned to a connected AP's channel (multi-channel single-AP
 		// mode); the rotation resumes on disconnect.
@@ -456,11 +456,9 @@ func (d *Driver) scheduleRenewal(ifc *Iface, lease time.Duration) {
 	if lease <= 0 {
 		return
 	}
-	if ifc.renewEv != nil {
-		ifc.renewEv.Cancel()
-	}
+	ifc.renewEv.Cancel()
 	ifc.renewEv = d.kernel.After(lease/2, func() {
-		ifc.renewEv = nil
+		ifc.renewEv = sim.Event{}
 		if !ifc.Connected() || d.ifaces[ifc.BSSID()] != ifc {
 			return
 		}
@@ -500,10 +498,8 @@ func (d *Driver) teardown(ifc *Iface) {
 	wasConnected := ifc.Connected()
 	ifc.joiner.Abort()
 	ifc.dhcpc.Abort()
-	if ifc.renewEv != nil {
-		ifc.renewEv.Cancel()
-		ifc.renewEv = nil
-	}
+	ifc.renewEv.Cancel()
+	ifc.renewEv = sim.Event{}
 	delete(d.ifaces, bssid)
 	if wasConnected {
 		d.stats.Disconnects++
@@ -517,7 +513,7 @@ func (d *Driver) teardown(ifc *Iface) {
 	// Resume rotation once nothing is joined or joining anymore.
 	if d.dwelling && len(d.ifaces) == 0 && d.ConnectedCount() == 0 {
 		d.dwelling = false
-		if len(d.cfg.Schedule) > 1 && d.sliceEv == nil {
+		if len(d.cfg.Schedule) > 1 && !d.sliceEv.Pending() {
 			d.sliceEv = d.kernel.After(0, d.nextSlice)
 		}
 	}

@@ -45,7 +45,7 @@ type Iface struct {
 	lastHeard time.Duration
 	psmOn     bool // we've told this AP we're in power-save
 	renewing  bool // a T1 lease renewal (not a join) is in flight
-	renewEv   *sim.Event
+	renewEv   sim.Event
 }
 
 // BSSID returns the AP this interface is bound to.

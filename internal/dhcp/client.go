@@ -108,8 +108,8 @@ type Client struct {
 	retxN    int
 	fastPath bool
 
-	retxTimer *sim.Event
-	deadline  *sim.Event
+	retxTimer sim.Event
+	deadline  sim.Event
 
 	// Counters across attempts (Table 3 feeds on these).
 	Attempts, Successes, Failures uint64
@@ -166,14 +166,10 @@ func (c *Client) Abort() {
 }
 
 func (c *Client) stopTimers() {
-	if c.retxTimer != nil {
-		c.retxTimer.Cancel()
-		c.retxTimer = nil
-	}
-	if c.deadline != nil {
-		c.deadline.Cancel()
-		c.deadline = nil
-	}
+	c.retxTimer.Cancel()
+	c.retxTimer = sim.Event{}
+	c.deadline.Cancel()
+	c.deadline = sim.Event{}
 }
 
 func (c *Client) sendCurrent() {
@@ -225,9 +221,7 @@ func (c *Client) HandleMessage(m *Message) {
 		if c.state != stateDiscovering {
 			return
 		}
-		if c.retxTimer != nil {
-			c.retxTimer.Cancel()
-		}
+		c.retxTimer.Cancel()
 		c.state = stateRequesting
 		c.offered = m.YourIP
 		c.sendCurrent()
@@ -250,9 +244,7 @@ func (c *Client) HandleMessage(m *Message) {
 		}
 		// Cached address rejected: fall back to full discovery inside the
 		// same attempt window.
-		if c.retxTimer != nil {
-			c.retxTimer.Cancel()
-		}
+		c.retxTimer.Cancel()
 		c.cached = 0
 		c.fastPath = false
 		c.state = stateDiscovering

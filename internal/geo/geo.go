@@ -30,9 +30,20 @@ func (p Point) Add(q Point) Point { return Point{p.X + q.X, p.Y + q.Y} }
 func (p Point) Scale(s float64) Point { return Point{p.X * s, p.Y * s} }
 
 // Dist returns the Euclidean distance between p and q in meters.
+// Coordinates are meters-scale, so the plain square root cannot
+// overflow and avoids math.Hypot's scaling work — this sits on the
+// medium's per-candidate hot path.
 func (p Point) Dist(q Point) float64 {
 	dx, dy := p.X-q.X, p.Y-q.Y
-	return math.Hypot(dx, dy)
+	return math.Sqrt(dx*dx + dy*dy)
+}
+
+// DistSq returns the squared distance between p and q. Range predicates
+// compare it against a squared radius to skip the square root for the
+// (at city scale, overwhelmingly common) out-of-range candidates.
+func (p Point) DistSq(q Point) float64 {
+	dx, dy := p.X-q.X, p.Y-q.Y
+	return dx*dx + dy*dy
 }
 
 func (p Point) String() string { return fmt.Sprintf("(%.1f,%.1f)", p.X, p.Y) }
@@ -138,9 +149,13 @@ func (m *RouteMobility) PositionAt(t time.Duration) Point {
 	if m.Loop {
 		l := m.Route.Length()
 		if l > 0 {
-			d = math.Mod(d, l)
-			if d < 0 {
-				d += l
+			// Wrap via floor rather than math.Mod: the medium evaluates
+			// every mobile candidate's position per query, and Mod's
+			// bit-exact reduction loop is an order of magnitude slower
+			// than the one rounding instruction floor compiles to.
+			d -= l * math.Floor(d/l)
+			if d < 0 || d >= l {
+				d = 0
 			}
 		}
 	}
@@ -212,6 +227,19 @@ func DeployAlongRoute(r *rand.Rand, route *Route, n int, maxOffset float64, mix 
 			Y: (r.Float64()*2 - 1) * maxOffset,
 		}
 		deps = append(deps, Deployment{Pos: p.Add(off), Channel: mix.pick(r)})
+	}
+	return deps
+}
+
+// DeployUniform scatters n APs uniformly at random over a w×h area with
+// channels drawn from the mix — the deployment model for city-scale
+// worlds, where APs fill whole neighborhoods rather than lining one
+// route. The same RNG and arguments always produce the same deployment.
+func DeployUniform(r *rand.Rand, w, h float64, n int, mix ChannelMix) []Deployment {
+	deps := make([]Deployment, 0, n)
+	for i := 0; i < n; i++ {
+		p := Point{X: r.Float64() * w, Y: r.Float64() * h}
+		deps = append(deps, Deployment{Pos: p, Channel: mix.pick(r)})
 	}
 	return deps
 }

@@ -94,7 +94,7 @@ func NewAPAt(m *radio.Medium, cfg APConfig, addr wifi.Addr, pos geo.Point, serve
 		cfg:     cfg,
 		clients: make(map[wifi.Addr]*apClient),
 	}
-	ap.radio = m.NewRadio(addr, func() geo.Point { return pos }, radio.ReceiverFunc(ap.receive))
+	ap.radio = m.NewStaticRadio(addr, pos, radio.ReceiverFunc(ap.receive))
 	ap.radio.SetChannel(cfg.Channel)
 	ap.dhcpd = dhcp.NewServer(ap.kernel, cfg.DHCP, serverID, ap.sendDHCP)
 	if cfg.BeaconInterval > 0 {

@@ -99,7 +99,7 @@ type Joiner struct {
 	stage   JoinStage
 	retries int
 	started time.Duration
-	timer   *sim.Event
+	timer   sim.Event
 	seq     uint16
 	rng     *rand.Rand
 
@@ -151,10 +151,8 @@ func (j *Joiner) Abort() {
 func (j *Joiner) Reset() { j.Abort() }
 
 func (j *Joiner) cancelTimer() {
-	if j.timer != nil {
-		j.timer.Cancel()
-		j.timer = nil
-	}
+	j.timer.Cancel()
+	j.timer = sim.Event{}
 }
 
 func (j *Joiner) nextSeq() uint16 {

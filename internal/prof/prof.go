@@ -1,0 +1,51 @@
+// Package prof wires the standard -cpuprofile/-memprofile flags into the
+// command-line tools, so hot-path work on the simulator is measurable
+// with `go tool pprof` without editing code.
+package prof
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins CPU profiling into cpuPath (if non-empty) and returns a
+// stop function that ends the CPU profile and writes a heap profile to
+// memPath (if non-empty). Call the stop function on every successful
+// exit path, typically via defer:
+//
+//	stop, err := prof.Start(*cpuprofile, *memprofile)
+//	if err != nil { ... }
+//	defer stop()
+func Start(cpuPath, memPath string) (stop func(), err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("prof: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("prof: %w", err)
+		}
+	}
+	return func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "prof:", err)
+				return
+			}
+			runtime.GC() // settle allocations so the heap profile is stable
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "prof:", err)
+			}
+			f.Close()
+		}
+	}, nil
+}

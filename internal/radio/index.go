@@ -1,0 +1,186 @@
+package radio
+
+import (
+	"math"
+	"slices"
+
+	"spider/internal/geo"
+)
+
+// This file implements the medium's per-channel radio registries and the
+// uniform spatial grid over static radios that turn the O(radios)
+// carrier-sense and delivery scans into neighborhood queries.
+//
+// Determinism contract: the index is a pure *pre-filter*. Every radio the
+// linear scan would have touched (drawn loss randomness for, counted in a
+// stat, or delivered to) must appear among the returned candidates, and
+// delivery candidates are sorted back into registration order before use,
+// so the medium's RNG consumes draws in exactly the order the linear scan
+// produced — golden outputs are byte-identical either way. The linear
+// scan is retained behind Config.LinearScan and an equivalence test keeps
+// both honest.
+//
+// Static radios (declared via NewStaticRadio — access points) live in the
+// grid under their fixed position. Mobile radios are deliberately NOT
+// gridded: their cell would go stale between samplings (a silent client
+// can drive into range without the medium ever observing it move), so
+// they sit in a small per-channel list that is always scanned. The grid
+// removes the O(#APs) term — the one that grows with city size — while
+// the mobile list stays bounded by the far smaller client population.
+
+// cellKey addresses one grid cell. Cell side length is the carrier-sense
+// range (the largest query radius), so any circular query touches at most
+// a 3×3 block of cells.
+type cellKey struct{ cx, cy int32 }
+
+// channelIndex is the registry of radios tuned to one channel.
+type channelIndex struct {
+	cells   map[cellKey][]*Radio // static radios, registration-ordered per cell
+	mobiles []*Radio             // mobile radios, registration-ordered
+}
+
+// mediumIndex is the medium's full registry: one channelIndex per tuned
+// channel (untuned radios, channel 0, hear nothing and are not indexed).
+type mediumIndex struct {
+	cellSize float64
+	chans    map[int]*channelIndex
+	statics  []*Radio // gather's scratch for sorting cell hits; safe to share
+	// because gather never runs reentrantly (each call returns before any
+	// receiver upcall that could trigger another query).
+}
+
+func newMediumIndex(cfg Config) *mediumIndex {
+	size := cfg.CSRange
+	if cfg.Range > size {
+		size = cfg.Range
+	}
+	return &mediumIndex{cellSize: size, chans: make(map[int]*channelIndex)}
+}
+
+func (ix *mediumIndex) cellOf(p geo.Point) cellKey {
+	return cellKey{
+		cx: int32(math.Floor(p.X / ix.cellSize)),
+		cy: int32(math.Floor(p.Y / ix.cellSize)),
+	}
+}
+
+// insertOrdered adds r to a registration-ordered slice. Channel changes
+// are rare (a handful per simulated second) and per-cell lists are small,
+// so the O(n) shift is noise next to the per-frame scans it avoids.
+func insertOrdered(s []*Radio, r *Radio) []*Radio {
+	i, _ := slices.BinarySearchFunc(s, r, func(a, b *Radio) int { return int(a.regIdx - b.regIdx) })
+	return slices.Insert(s, i, r)
+}
+
+func removeRadio(s []*Radio, r *Radio) []*Radio {
+	i, ok := slices.BinarySearchFunc(s, r, func(a, b *Radio) int { return int(a.regIdx - b.regIdx) })
+	if !ok {
+		return s
+	}
+	return slices.Delete(s, i, i+1)
+}
+
+// add registers r under channel ch (ch != 0).
+func (ix *mediumIndex) add(r *Radio, ch int) {
+	ci := ix.chans[ch]
+	if ci == nil {
+		ci = &channelIndex{cells: make(map[cellKey][]*Radio)}
+		ix.chans[ch] = ci
+	}
+	if r.static {
+		key := ix.cellOf(r.staticPos)
+		ci.cells[key] = insertOrdered(ci.cells[key], r)
+	} else {
+		ci.mobiles = insertOrdered(ci.mobiles, r)
+	}
+}
+
+// remove unregisters r from channel ch.
+func (ix *mediumIndex) remove(r *Radio, ch int) {
+	ci := ix.chans[ch]
+	if ci == nil {
+		return
+	}
+	if r.static {
+		key := ix.cellOf(r.staticPos)
+		if cell := removeRadio(ci.cells[key], r); len(cell) > 0 {
+			ci.cells[key] = cell
+		} else {
+			delete(ci.cells, key)
+		}
+	} else {
+		ci.mobiles = removeRadio(ci.mobiles, r)
+	}
+}
+
+// queryBounds returns the inclusive cell range covering a circle of
+// radius rad around p.
+func (ix *mediumIndex) queryBounds(p geo.Point, rad float64) (lo, hi cellKey) {
+	lo = ix.cellOf(geo.Point{X: p.X - rad, Y: p.Y - rad})
+	hi = ix.cellOf(geo.Point{X: p.X + rad, Y: p.Y + rad})
+	return lo, hi
+}
+
+// gather appends every channel-ch radio that could lie within rad of p —
+// static radios from the covering grid cells plus all mobiles on the
+// channel. With ordered set, the result is in registration order, which
+// is the iteration order of the linear scan and therefore the order the
+// medium's loss RNG must consume draws in; carrier sense passes false
+// (its busy-until update is a max, so order is invisible) and skips the
+// sort. The result is a superset of the radios within rad; callers
+// re-apply the exact distance predicate.
+func (ix *mediumIndex) gather(ch int, p geo.Point, rad float64, ordered bool, out []*Radio) []*Radio {
+	ci := ix.chans[ch]
+	if ci == nil {
+		return out
+	}
+	lo, hi := ix.queryBounds(p, rad)
+	if !ordered {
+		for cy := lo.cy; cy <= hi.cy; cy++ {
+			for cx := lo.cx; cx <= hi.cx; cx++ {
+				out = append(out, ci.cells[cellKey{cx, cy}]...)
+			}
+		}
+		return append(out, ci.mobiles...)
+	}
+	// Collect cell hits (sorted within a cell, not across cells), restore
+	// global registration order, then merge with the already-sorted
+	// mobile list rather than sorting the union.
+	st := ix.statics[:0]
+	for cy := lo.cy; cy <= hi.cy; cy++ {
+		for cx := lo.cx; cx <= hi.cx; cx++ {
+			st = append(st, ci.cells[cellKey{cx, cy}]...)
+		}
+	}
+	slices.SortFunc(st, func(a, b *Radio) int { return int(a.regIdx - b.regIdx) })
+	ix.statics = st
+	mob := ci.mobiles
+	for len(st) > 0 && len(mob) > 0 {
+		if st[0].regIdx < mob[0].regIdx {
+			out = append(out, st[0])
+			st = st[1:]
+		} else {
+			out = append(out, mob[0])
+			mob = mob[1:]
+		}
+	}
+	out = append(out, st...)
+	out = append(out, mob...)
+	return out
+}
+
+// covers reports whether a gather(ch, p, rad, …) call has returned r:
+// mobiles on the channel always, statics when their cell lies in the
+// query rectangle. Callers use it to union in a unicast's addressed
+// radio without duplicating it.
+func (ix *mediumIndex) covers(r *Radio, ch int, p geo.Point, rad float64) bool {
+	if r.channel != ch {
+		return false
+	}
+	if !r.static {
+		return true
+	}
+	c := ix.cellOf(r.staticPos)
+	lo, hi := ix.queryBounds(p, rad)
+	return c.cx >= lo.cx && c.cx <= hi.cx && c.cy >= lo.cy && c.cy <= hi.cy
+}

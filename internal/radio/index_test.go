@@ -1,0 +1,224 @@
+package radio
+
+// Equivalence tests for the spatial index: the indexed medium must be
+// observationally identical to the retained linear scan — same frames
+// delivered to the same radios in the same order, same stats, same RNG
+// draw sequence — because the index is a pure candidate pre-filter.
+// These tests script identical traffic onto a linear and an indexed
+// medium built from the same seed and diff the full delivery logs.
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"spider/internal/geo"
+	"spider/internal/sim"
+	"spider/internal/wifi"
+)
+
+// logRx records every delivery with its virtual time, so two runs can
+// be diffed for order as well as content.
+type logRx struct {
+	k   *sim.Kernel
+	id  int
+	log *[]string
+}
+
+func (l *logRx) RadioReceive(f *wifi.Frame) {
+	*l.log = append(*l.log, fmt.Sprintf("%v rx=%d type=%v sa=%v da=%v", l.k.Now(), l.id, f.Type, f.SA, f.DA))
+}
+
+// buildScriptedWorld populates a medium with a deterministic mix of
+// static and mobile radios and returns them with the shared delivery log.
+func buildScriptedWorld(linear bool) (*sim.Kernel, *Medium, []*Radio, *[]string) {
+	cfg := Defaults()
+	cfg.Loss = 0.15 // exercise the loss RNG so draw order matters
+	cfg.LinearScan = linear
+	k := sim.NewKernel(11)
+	m := NewMedium(k, cfg)
+	log := &[]string{}
+	var radios []*Radio
+	rng := rand.New(rand.NewSource(99)) // placement only; shared by both runs
+	for i := 0; i < 40; i++ {
+		addr := wifi.NewAddr(2, uint32(i))
+		rx := &logRx{k: k, id: i, log: log}
+		var r *Radio
+		if i%3 == 0 {
+			// Mobile: drifts east at 5 m/s from a scattered origin.
+			ox, oy := rng.Float64()*800, rng.Float64()*800
+			r = m.NewRadio(addr, func() geo.Point {
+				return geo.Point{X: ox + 5*k.Now().Seconds(), Y: oy}
+			}, rx)
+		} else {
+			r = m.NewStaticRadio(addr, geo.Point{X: rng.Float64() * 800, Y: rng.Float64() * 800}, rx)
+		}
+		r.SetChannel([]int{1, 6, 11}[i%3])
+		radios = append(radios, r)
+	}
+	return k, m, radios, log
+}
+
+// runScript drives the same traffic pattern on any medium: periodic
+// broadcasts, unicasts to random peers (including off-channel and
+// far-away ones, so the MissedAway/OutOfRange paths execute), and
+// periodic retunes.
+func runScript(k *sim.Kernel, radios []*Radio) {
+	rng := rand.New(rand.NewSource(7)) // scripted traffic; same for both runs
+	var step func()
+	step = func() {
+		src := radios[rng.Intn(len(radios))]
+		if rng.Intn(5) == 0 {
+			src.SetChannel([]int{1, 6, 11}[rng.Intn(3)])
+		}
+		if rng.Intn(3) == 0 {
+			src.Send(&wifi.Frame{Type: wifi.TypeBeacon, SA: src.Addr(), DA: wifi.Broadcast,
+				Body: &wifi.BeaconBody{Channel: uint8(src.Channel())}})
+		} else {
+			dst := radios[rng.Intn(len(radios))]
+			if dst != src {
+				src.Send(&wifi.Frame{Type: wifi.TypeData, SA: src.Addr(), DA: dst.Addr(),
+					Body: &wifi.DataBody{Proto: wifi.ProtoPing, VirtualLen: 200}})
+			}
+		}
+		if k.Now() < 10*time.Second {
+			k.After(time.Duration(1+rng.Intn(20))*time.Millisecond, step)
+		}
+	}
+	k.After(0, step)
+	k.Run(10 * time.Second)
+}
+
+func TestIndexedMediumMatchesLinearScan(t *testing.T) {
+	kL, mL, radiosL, logL := buildScriptedWorld(true)
+	kI, mI, radiosI, logI := buildScriptedWorld(false)
+	if mI.idx == nil || mL.idx != nil {
+		t.Fatal("LinearScan flag not wired through NewMedium")
+	}
+	runScript(kL, radiosL)
+	runScript(kI, radiosI)
+
+	if len(*logL) == 0 {
+		t.Fatal("script delivered nothing; test is vacuous")
+	}
+	if len(*logL) != len(*logI) {
+		t.Fatalf("delivery counts differ: linear=%d indexed=%d", len(*logL), len(*logI))
+	}
+	for i := range *logL {
+		if (*logL)[i] != (*logI)[i] {
+			t.Fatalf("delivery %d differs:\n  linear:  %s\n  indexed: %s", i, (*logL)[i], (*logI)[i])
+		}
+	}
+	if mL.Stats() != mI.Stats() {
+		t.Fatalf("medium stats differ:\n  linear:  %+v\n  indexed: %+v", mL.Stats(), mI.Stats())
+	}
+	for i := range radiosL {
+		if radiosL[i].AirtimeStats() != radiosI[i].AirtimeStats() {
+			t.Fatalf("airtime stats differ for radio %d", i)
+		}
+	}
+}
+
+func TestIndexedChannelBusyMatchesLinear(t *testing.T) {
+	kL, mL, radiosL, _ := buildScriptedWorld(true)
+	kI, mI, radiosI, _ := buildScriptedWorld(false)
+	// Sample ChannelBusyUntil mid-transmission on both.
+	var busyL, busyI []time.Duration
+	sample := func(k *sim.Kernel, m *Medium, out *[]time.Duration) func() {
+		return func() {
+			for _, ch := range []int{1, 6, 11} {
+				*out = append(*out, m.ChannelBusyUntil(ch))
+			}
+		}
+	}
+	for _, at := range []time.Duration{time.Second, 3 * time.Second, 7 * time.Second} {
+		kL.At(at, sample(kL, mL, &busyL))
+		kI.At(at, sample(kI, mI, &busyI))
+	}
+	runScript(kL, radiosL)
+	runScript(kI, radiosI)
+	for i := range busyL {
+		if busyL[i] != busyI[i] {
+			t.Fatalf("ChannelBusyUntil sample %d differs: linear=%v indexed=%v", i, busyL[i], busyI[i])
+		}
+	}
+}
+
+// TestIndexTracksRetunes verifies the registry moves a static radio
+// between per-channel structures on SetChannel/Retune, and that a radio
+// tuned away is no longer a delivery candidate.
+func TestIndexTracksRetunes(t *testing.T) {
+	k := sim.NewKernel(1)
+	cfg := Config{Range: 100, Loss: 0, EdgeStart: 1, DataRetryLimit: 0}
+	m := NewMedium(k, cfg)
+	var got []*wifi.Frame
+	a := m.NewStaticRadio(wifi.NewAddr(3, 1), geo.Point{}, ReceiverFunc(func(f *wifi.Frame) {}))
+	b := m.NewStaticRadio(wifi.NewAddr(3, 2), geo.Point{X: 50}, ReceiverFunc(func(f *wifi.Frame) {
+		got = append(got, f)
+	}))
+	a.SetChannel(6)
+	b.SetChannel(6)
+	send := func() {
+		a.Send(&wifi.Frame{Type: wifi.TypeData, SA: a.Addr(), DA: b.Addr(),
+			Body: &wifi.DataBody{Proto: wifi.ProtoPing, VirtualLen: 100}})
+	}
+	send()
+	k.Run(time.Second)
+	if len(got) != 1 {
+		t.Fatalf("on-channel delivery failed: %d frames", len(got))
+	}
+	b.SetChannel(11)
+	send()
+	k.Run(2 * time.Second)
+	if len(got) != 1 {
+		t.Fatal("off-channel radio still received after retune")
+	}
+	if m.Stats().MissedAway == 0 {
+		t.Fatal("MissedAway not counted through the byAddr union")
+	}
+	b.SetChannel(6)
+	send()
+	k.Run(3 * time.Second)
+	if len(got) != 2 {
+		t.Fatal("radio not re-indexed after retuning back")
+	}
+}
+
+// BenchmarkMediumBroadcast measures one broadcast into a dense static
+// deployment — the medium's hot path — with the spatial index against
+// the linear scan. APs cover a 3×3 km grid; only the handful in range
+// should pay per-frame work on the indexed path.
+func BenchmarkMediumBroadcast(b *testing.B) {
+	for _, v := range []struct {
+		name   string
+		linear bool
+	}{{"indexed", false}, {"linear", true}} {
+		b.Run(v.name, func(b *testing.B) {
+			cfg := Defaults()
+			cfg.Loss = 0
+			cfg.EdgeStart = 1
+			cfg.LinearScan = v.linear
+			k := sim.NewKernel(1)
+			m := NewMedium(k, cfg)
+			rng := rand.New(rand.NewSource(4))
+			for i := 0; i < 1000; i++ {
+				r := m.NewStaticRadio(wifi.NewAddr(4, uint32(i)),
+					geo.Point{X: rng.Float64() * 3000, Y: rng.Float64() * 3000},
+					ReceiverFunc(func(*wifi.Frame) {}))
+				r.SetChannel([]int{1, 6, 11}[i%3])
+			}
+			tx := m.NewStaticRadio(wifi.NewAddr(5, 1), geo.Point{X: 1500, Y: 1500},
+				ReceiverFunc(func(*wifi.Frame) {}))
+			tx.SetChannel(6)
+			f := &wifi.Frame{Type: wifi.TypeBeacon, SA: tx.Addr(), DA: wifi.Broadcast,
+				Body: &wifi.BeaconBody{Channel: 6}}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				tx.Send(f)
+				k.Run(k.Now() + 10*time.Millisecond)
+			}
+		})
+	}
+}

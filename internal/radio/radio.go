@@ -12,6 +12,7 @@ package radio
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 	"time"
 
@@ -51,6 +52,12 @@ type Config struct {
 	// receiver — the classic hidden-terminal failure. Off by default: the
 	// paper's model folds all loss into h.
 	HiddenCollisions bool
+	// LinearScan disables the per-channel/spatial index and retains the
+	// original O(radios) carrier-sense and delivery scans. Results are
+	// byte-identical either way (the equivalence tests enforce it); the
+	// linear path exists as the reference implementation and for
+	// before/after benchmarking.
+	LinearScan bool
 }
 
 // Defaults returns the configuration used throughout the paper's
@@ -103,7 +110,19 @@ type Medium struct {
 	kernel *sim.Kernel
 	cfg    Config
 	rng    *rand.Rand
-	radios []*Radio
+	radios []*Radio // registration order; the linear-scan iteration order
+
+	// idx is the per-channel/spatial registry (nil under Config.LinearScan).
+	idx *mediumIndex
+	// byAddr resolves a unicast DA to its radio so off-channel and
+	// out-of-range stats survive the indexed path. First registration
+	// wins; the medium assumes one radio per address.
+	byAddr map[wifi.Addr]*Radio
+	// Scratch candidate buffers, reused across queries. Two exist because
+	// a delivery upcall may transmit, nesting a carrier-sense query inside
+	// the delivery iteration; neither query nests within itself.
+	csScratch []*Radio
+	dlScratch []*Radio
 
 	// tap, when set, observes every frame at end of transmission
 	// (independent of delivery outcome) — the capture hook.
@@ -135,11 +154,16 @@ type Stats struct {
 
 // NewMedium creates a medium bound to the kernel.
 func NewMedium(k *sim.Kernel, cfg Config) *Medium {
-	return &Medium{
+	m := &Medium{
 		kernel: k,
 		cfg:    cfg.withDefaults(),
 		rng:    k.RNG("radio.loss"),
+		byAddr: make(map[wifi.Addr]*Radio),
 	}
+	if !m.cfg.LinearScan {
+		m.idx = newMediumIndex(m.cfg)
+	}
+	return m
 }
 
 // Config returns the medium's effective configuration.
@@ -157,6 +181,14 @@ type Radio struct {
 	addr wifi.Addr
 	pos  func() geo.Point
 	rx   Receiver
+
+	// regIdx is the registration-order index in Medium.radios; candidate
+	// sets sort by it to reproduce the linear scan's iteration order.
+	regIdx int32
+	// static radios (NewStaticRadio) are indexed in the spatial grid under
+	// staticPos; mobile radios live in the per-channel mobile lists.
+	static    bool
+	staticPos geo.Point
 
 	channel     int
 	promiscuous bool
@@ -204,8 +236,21 @@ func (m *Medium) NewRadio(addr wifi.Addr, pos func() geo.Point, rx Receiver) *Ra
 	if pos == nil || rx == nil {
 		panic("radio: position and receiver are required")
 	}
-	r := &Radio{m: m, addr: addr, pos: pos, rx: rx}
+	r := &Radio{m: m, addr: addr, pos: pos, rx: rx, regIdx: int32(len(m.radios))}
 	m.radios = append(m.radios, r)
+	if _, dup := m.byAddr[addr]; !dup {
+		m.byAddr[addr] = r
+	}
+	return r
+}
+
+// NewStaticRadio registers a radio that never moves (an access point).
+// Static radios are tracked in the medium's spatial grid, so dense worlds
+// pay per-neighborhood — not per-deployment — cost on every frame.
+func (m *Medium) NewStaticRadio(addr wifi.Addr, pos geo.Point, rx Receiver) *Radio {
+	r := m.NewRadio(addr, func() geo.Point { return pos }, rx)
+	r.static = true
+	r.staticPos = pos
 	return r
 }
 
@@ -228,7 +273,25 @@ func (r *Radio) SetChannel(ch int) {
 	if ch != 0 && !wifi.ValidChannel(ch) {
 		panic(fmt.Sprintf("radio: invalid channel %d", ch))
 	}
+	r.setChannel(ch)
+}
+
+// setChannel performs the tune and keeps the per-channel registries in
+// sync. Every write to Radio.channel funnels through here.
+func (r *Radio) setChannel(ch int) {
+	old := r.channel
+	if old == ch {
+		return
+	}
 	r.channel = ch
+	if ix := r.m.idx; ix != nil {
+		if old != 0 {
+			ix.remove(r, old)
+		}
+		if ch != 0 {
+			ix.add(r, ch)
+		}
+	}
 }
 
 // Retune switches to ch after a hardware-reset delay during which the
@@ -240,13 +303,13 @@ func (r *Radio) Retune(ch int, reset time.Duration, done func()) {
 		panic(fmt.Sprintf("radio: invalid channel %d", ch))
 	}
 	now := r.m.kernel.Now()
-	r.channel = 0 // deaf while resetting
+	r.setChannel(0) // deaf while resetting
 	r.air.Reset += reset
 	if now+reset > r.suspendedTo {
 		r.suspendedTo = now + reset
 	}
 	r.m.kernel.After(reset, func() {
-		r.channel = ch
+		r.setChannel(ch)
 		if done != nil {
 			done()
 		}
@@ -320,13 +383,17 @@ func (r *Radio) kick() {
 		f.Retry = true
 	}
 	// Carrier sense: every same-channel station within CSRange of the
-	// transmitter (itself included) defers until this frame clears.
+	// transmitter (itself included) defers until this frame clears. The
+	// candidate set is a superset of the affected radios (all radios under
+	// the linear scan, the CSRange neighborhood under the index); the
+	// exact predicate below is identical either way, and the busy-until
+	// update is a max, so candidate order does not matter.
 	txPos := r.pos()
-	for _, x := range m.radios {
+	for _, x := range m.csCandidates(job.ch, txPos) {
 		if x.channel != job.ch {
 			continue
 		}
-		if x != r && txPos.Dist(x.pos()) > m.cfg.CSRange {
+		if x != r && txPos.DistSq(x.pos()) > m.cfg.CSRange*m.cfg.CSRange {
 			continue
 		}
 		if start+dur > x.busyUntil {
@@ -382,13 +449,48 @@ func (r *Radio) canRetry(f *wifi.Frame, attempt int) bool {
 // AirtimeStats returns the radio's accumulated state occupancy.
 func (r *Radio) AirtimeStats() Airtime { return r.air }
 
+// csCandidates returns the radios the carrier-sense loop must visit for
+// a transmission on ch at txPos: all radios under the linear scan, or the
+// same-channel CSRange neighborhood (grid cells + mobiles) when indexed.
+func (m *Medium) csCandidates(ch int, txPos geo.Point) []*Radio {
+	if m.idx == nil {
+		return m.radios
+	}
+	m.csScratch = m.idx.gather(ch, txPos, m.cfg.CSRange, false, m.csScratch[:0])
+	return m.csScratch
+}
+
+// deliveryCandidates returns the radios the delivery loop must visit, in
+// registration order: all radios under the linear scan; when indexed, the
+// same-channel radios near txPos plus — for unicast — the addressed radio
+// wherever (and however tuned) it is, so the missed-away and out-of-range
+// stats count exactly as the linear scan does.
+func (m *Medium) deliveryCandidates(da wifi.Addr, ch int, txPos geo.Point) []*Radio {
+	if m.idx == nil {
+		return m.radios
+	}
+	out := m.idx.gather(ch, txPos, m.cfg.Range, true, m.dlScratch[:0])
+	if !da.IsBroadcast() {
+		if tgt := m.byAddr[da]; tgt != nil && !m.idx.covers(tgt, ch, txPos, m.cfg.Range) {
+			// Appending out of registration order is safe: an uncovered
+			// target is off-channel or beyond the query rectangle, so the
+			// delivery loop's only action on it is bumping MissedAway or
+			// OutOfRange — counters, no RNG draw — and counter order is
+			// invisible.
+			out = append(out, tgt)
+		}
+	}
+	m.dlScratch = out
+	return out
+}
+
 // deliver hands f to every eligible receiver; reports whether the
 // addressed station (if unicast) got it.
 func (m *Medium) deliver(tx *Radio, f *wifi.Frame, ch int, dur time.Duration) bool {
 	now := m.kernel.Now()
 	txPos := tx.pos()
 	hitTarget := f.DA.IsBroadcast() // broadcast "succeeds" unconditionally
-	for _, rcv := range m.radios {
+	for _, rcv := range m.deliveryCandidates(f.DA, ch, txPos) {
 		if rcv == tx {
 			continue
 		}
@@ -402,14 +504,14 @@ func (m *Medium) deliver(tx *Radio, f *wifi.Frame, ch int, dur time.Duration) bo
 			}
 			continue
 		}
-		d := txPos.Dist(rcv.pos())
-		if d > m.cfg.Range {
+		d2 := txPos.DistSq(rcv.pos())
+		if d2 > m.cfg.Range*m.cfg.Range {
 			if addressed {
 				m.stats.OutOfRange++
 			}
 			continue
 		}
-		if m.rng.Float64() < m.lossAt(d) {
+		if m.rng.Float64() < m.lossAt(math.Sqrt(d2)) {
 			if addressed {
 				m.stats.LostRandom++
 			}
@@ -482,9 +584,27 @@ func (m *Medium) lossAt(d float64) float64 {
 func (m *Medium) InRange(a, b geo.Point) bool { return a.Dist(b) <= m.cfg.Range }
 
 // ChannelBusyUntil reports when the channel frees up as observed by the
-// busiest station tuned to it (tests and metrics).
+// busiest station tuned to it (tests and metrics). A max over the
+// channel's registry when indexed, over every radio otherwise.
 func (m *Medium) ChannelBusyUntil(ch int) time.Duration {
 	var max time.Duration
+	if m.idx != nil {
+		if ci := m.idx.chans[ch]; ci != nil {
+			for _, cell := range ci.cells {
+				for _, r := range cell {
+					if r.busyUntil > max {
+						max = r.busyUntil
+					}
+				}
+			}
+			for _, r := range ci.mobiles {
+				if r.busyUntil > max {
+					max = r.busyUntil
+				}
+			}
+		}
+		return max
+	}
 	for _, r := range m.radios {
 		if r.channel == ch && r.busyUntil > max {
 			max = r.busyUntil

@@ -1,0 +1,103 @@
+package scenario
+
+import (
+	"math/rand"
+
+	"spider/internal/geo"
+	"spider/internal/radio"
+)
+
+// CityGridSpec parameterizes a city-scale world: hundreds-to-thousands
+// of APs scattered over a square-kilometer area and a population of
+// vehicles circling their own downtown blocks. This is the scale the
+// medium's spatial index exists for — the paper's drives see tens of
+// APs; a city sees thousands — and the workload behind the
+// infrastructure-density sweeps on the roadmap.
+type CityGridSpec struct {
+	Seed int64
+	// AreaW, AreaH are the city extent in meters.
+	AreaW, AreaH float64
+	// NumAPs scattered uniformly over the area.
+	NumAPs int
+	// NumClients is the vehicle population; Build returns one mobility
+	// per client.
+	NumClients int
+	// Mix assigns AP channels (defaults to the Amherst survey mix).
+	Mix geo.ChannelMix
+	// SpeedMS is the nominal vehicle speed; individual vehicles vary
+	// ±30% around it.
+	SpeedMS float64
+	// BlockMinM/BlockMaxM bound each vehicle's loop side length.
+	BlockMinM, BlockMaxM float64
+	// BackhaulKbps draws each AP's wired rate; nil uses the heterogeneous
+	// urban spread.
+	BackhaulKbps func(r *rand.Rand) int
+	// Radio overrides the medium defaults when non-zero.
+	Radio radio.Config
+}
+
+// CityGrid returns a dense 3×3 km urban deployment with the given AP and
+// client populations and defaults matching the vehicular drives.
+func CityGrid(seed int64, numAPs, numClients int) CityGridSpec {
+	return CityGridSpec{
+		Seed:       seed,
+		AreaW:      3000,
+		AreaH:      3000,
+		NumAPs:     numAPs,
+		NumClients: numClients,
+		Mix:        geo.AmherstMix(),
+		SpeedMS:    10,
+		BlockMinM:  200,
+		BlockMaxM:  600,
+	}
+}
+
+// Build creates the world with all APs placed and returns one loop
+// mobility per client (a rectangular circuit around a random block,
+// entered at a random offset). Callers attach clients with the driver
+// configuration under study:
+//
+//	world, mobs := scenario.CityGrid(1, 500, 200).Build()
+//	for _, mob := range mobs {
+//		world.AddClient(cfg, mob)
+//	}
+//	world.Run(time.Minute)
+func (s CityGridSpec) Build() (*World, []geo.Mobility) {
+	rcfg := s.Radio
+	if rcfg.Range == 0 {
+		rcfg = radio.Defaults()
+	}
+	w := NewWorld(s.Seed, rcfg)
+	mix := s.Mix
+	if mix == nil {
+		mix = geo.AmherstMix()
+	}
+	bk := s.BackhaulKbps
+	if bk == nil {
+		bk = defaultBackhaulKbps
+	}
+	rng := w.Kernel.RNG("scenario.citygrid")
+	for _, d := range geo.DeployUniform(rng, s.AreaW, s.AreaH, s.NumAPs, mix) {
+		w.AddAP(APSpec{Pos: d.Pos, Channel: d.Channel, BackhaulKbps: bk(rng)})
+	}
+	mobs := make([]geo.Mobility, 0, s.NumClients)
+	for i := 0; i < s.NumClients; i++ {
+		bw := s.BlockMinM + rng.Float64()*(s.BlockMaxM-s.BlockMinM)
+		bh := s.BlockMinM + rng.Float64()*(s.BlockMaxM-s.BlockMinM)
+		ox := rng.Float64() * (s.AreaW - bw)
+		oy := rng.Float64() * (s.AreaH - bh)
+		route := geo.NewRoute(
+			geo.Point{X: ox, Y: oy},
+			geo.Point{X: ox + bw, Y: oy},
+			geo.Point{X: ox + bw, Y: oy + bh},
+			geo.Point{X: ox, Y: oy + bh},
+			geo.Point{X: ox, Y: oy},
+		)
+		speed := s.SpeedMS * (0.7 + 0.6*rng.Float64())
+		mobs = append(mobs, &geo.RouteMobility{
+			Route: route, SpeedMS: speed, Loop: true,
+			Offset: rng.Float64() * route.Length(),
+		})
+	}
+	return w, mobs
+}

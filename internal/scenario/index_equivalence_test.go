@@ -1,0 +1,105 @@
+package scenario
+
+// The golden equivalence suite for the spatial index and the arena
+// kernel: a full vehicular drive — driver, MAC, DHCP, TCP, mobility, the
+// whole stack — must produce byte-identical metrics with the indexed
+// medium and with the retained linear scan, across several seeds. This
+// is the end-to-end proof that the index is a pure candidate pre-filter
+// and perturbs neither RNG draw order nor event order anywhere.
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"spider/internal/core"
+	"spider/internal/radio"
+)
+
+// driveFingerprint serializes everything observable about a drive into
+// one string: throughput, connectivity, connection/disruption runs,
+// driver counters, and medium counters. Any divergence between the
+// linear and indexed paths shows up as a text diff.
+func driveFingerprint(seed int64, linear bool) string {
+	spec := AmherstDrive(seed)
+	rc := radio.Defaults()
+	rc.DataRateKbps = 24_000
+	rc.Loss = 0.08
+	rc.EdgeStart = 0.55
+	rc.LinearScan = linear
+	spec.Radio = rc
+	world, mob := spec.Build()
+	cfg := core.SpiderDefaults(core.MultiChannelMultiAP,
+		core.EqualSchedule(200*time.Millisecond, 1, 6, 11))
+	client := world.AddClient(cfg, mob)
+	const dur = 4 * time.Minute
+	world.Run(dur)
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "seed=%d\n", seed)
+	fmt.Fprintf(&b, "bytes=%d\n", client.Rec.TotalBytes())
+	fmt.Fprintf(&b, "throughput=%.6f\n", client.Rec.ThroughputKBps(dur))
+	fmt.Fprintf(&b, "connectivity=%.6f\n", client.Rec.Connectivity(dur))
+	fmt.Fprintf(&b, "connections=%v\n", client.Rec.Connections(dur))
+	fmt.Fprintf(&b, "disruptions=%v\n", client.Rec.Disruptions(dur))
+	fmt.Fprintf(&b, "driver=%+v\n", client.Driver.Stats())
+	fmt.Fprintf(&b, "medium=%+v\n", world.Medium.Stats())
+	fmt.Fprintf(&b, "fired=%d at=%v\n", world.Kernel.Fired(), world.Kernel.Now())
+	return b.String()
+}
+
+func TestFullDriveIdenticalWithAndWithoutIndex(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-seed full drives are slow")
+	}
+	for _, seed := range []int64{1, 2, 5} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			t.Parallel()
+			lin := driveFingerprint(seed, true)
+			idx := driveFingerprint(seed, false)
+			if lin != idx {
+				t.Fatalf("drive diverged between linear scan and spatial index:\n--- linear ---\n%s\n--- indexed ---\n%s", lin, idx)
+			}
+		})
+	}
+}
+
+// TestCityGridIdenticalWithAndWithoutIndex runs a small city world —
+// many static APs, several concurrent mobile clients — through both
+// medium paths. This covers the multi-client interactions (collisions,
+// carrier sense between clients) the single-client drive cannot.
+func TestCityGridIdenticalWithAndWithoutIndex(t *testing.T) {
+	if testing.Short() {
+		t.Skip("city worlds are slow")
+	}
+	fingerprint := func(linear bool) string {
+		spec := CityGrid(3, 120, 12)
+		rc := radio.Defaults()
+		rc.DataRateKbps = 24_000
+		rc.LinearScan = linear
+		spec.Radio = rc
+		world, mobs := spec.Build()
+		cfg := core.SpiderDefaults(core.MultiChannelMultiAP,
+			core.EqualSchedule(200*time.Millisecond, 1, 6, 11))
+		var clients []*Client
+		for _, mob := range mobs {
+			clients = append(clients, world.AddClient(cfg, mob))
+		}
+		const dur = 30 * time.Second
+		world.Run(dur)
+		var b strings.Builder
+		for i, c := range clients {
+			fmt.Fprintf(&b, "client=%d bytes=%d conn=%.6f driver=%+v\n",
+				i, c.Rec.TotalBytes(), c.Rec.Connectivity(dur), c.Driver.Stats())
+		}
+		fmt.Fprintf(&b, "medium=%+v fired=%d\n", world.Medium.Stats(), world.Kernel.Fired())
+		return b.String()
+	}
+	lin := fingerprint(true)
+	idx := fingerprint(false)
+	if lin != idx {
+		t.Fatalf("city grid diverged between linear scan and spatial index:\n--- linear ---\n%s\n--- indexed ---\n%s", lin, idx)
+	}
+}

@@ -11,82 +11,75 @@
 // ties between simultaneous events by insertion sequence and hands out
 // named, independently seeded RNG streams so that adding randomness to one
 // component never perturbs another.
+//
+// The scheduler is allocation-free on the hot path: events live in a
+// slab of slots recycled through a free list, ordered by a 4-ary heap of
+// slot indices. Event values handed to callers are generation-checked
+// handles, so Cancel and Pending on a slot that has since been recycled
+// are safe no-ops, exactly like the pointer-based scheduler they replace.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"hash/fnv"
 	"math/rand"
 	"time"
 )
 
-// Event is a scheduled callback. Events are one-shot; recurring behaviour
-// is built by rescheduling from inside the callback.
+// Event is a handle to a scheduled callback. Events are one-shot;
+// recurring behaviour is built by rescheduling from inside the callback.
+// The zero Event is valid and refers to nothing: Cancel reports false and
+// Pending reports false. Handles are values — holding one after the event
+// fired retains no kernel or callback memory.
 type Event struct {
-	at     time.Duration
-	seq    uint64
-	fn     func()
-	index  int // heap index; -1 once fired or cancelled
-	kernel *Kernel
+	k   *Kernel
+	at  time.Duration
+	idx int32
+	gen uint32
 }
 
-// At reports the virtual time the event is scheduled for.
-func (e *Event) At() time.Duration { return e.at }
+// At reports the virtual time the event was scheduled for.
+func (e Event) At() time.Duration { return e.at }
+
+// live reports whether the handle still refers to a queued event.
+func (e Event) live() bool {
+	return e.k != nil && int(e.idx) < len(e.k.slots) &&
+		e.k.slots[e.idx].gen == e.gen && e.k.slots[e.idx].heapIdx >= 0
+}
 
 // Cancel removes the event from the queue. It is safe to call on an event
 // that has already fired or been cancelled; those calls report false.
-func (e *Event) Cancel() bool {
-	if e == nil || e.index < 0 {
+func (e Event) Cancel() bool {
+	if !e.live() {
 		return false
 	}
-	heap.Remove(&e.kernel.queue, e.index)
-	e.index = -1
-	e.fn = nil
+	e.k.heapRemove(int(e.k.slots[e.idx].heapIdx))
+	e.k.release(e.idx)
 	return true
 }
 
 // Pending reports whether the event is still queued.
-func (e *Event) Pending() bool { return e != nil && e.index >= 0 }
+func (e Event) Pending() bool { return e.live() }
 
-type eventQueue []*Event
-
-func (q eventQueue) Len() int { return len(q) }
-
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
-	}
-	return q[i].seq < q[j].seq
-}
-
-func (q eventQueue) Swap(i, j int) {
-	q[i], q[j] = q[j], q[i]
-	q[i].index = i
-	q[j].index = j
-}
-
-func (q *eventQueue) Push(x any) {
-	e := x.(*Event)
-	e.index = len(*q)
-	*q = append(*q, e)
-}
-
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.index = -1
-	*q = old[:n-1]
-	return e
+// slot is one arena entry. A slot is live while its index sits in the
+// heap; on fire or cancel the callback is dropped (so a long-lived kernel
+// never retains fired-event closures), the generation is bumped to
+// invalidate outstanding handles, and the index returns to the free list.
+type slot struct {
+	fn      func()
+	at      time.Duration
+	seq     uint64
+	gen     uint32
+	heapIdx int32 // position in Kernel.heap; -1 when free
 }
 
 // Kernel is a discrete-event scheduler with a virtual clock.
 // The zero value is not usable; construct with NewKernel.
 type Kernel struct {
 	now     time.Duration
-	queue   eventQueue
+	slots   []slot
+	free    []int32 // recycled slot indices (LIFO)
+	heap    []int32 // 4-ary min-heap of slot indices, keyed by (at, seq)
 	nextSeq uint64
 	seed    int64
 	rngs    map[string]*rand.Rand
@@ -131,22 +124,33 @@ func (k *Kernel) RNG(name string) *rand.Rand {
 // At schedules fn to run at absolute virtual time t. Scheduling in the
 // past panics: it indicates a logic error in the caller, and silently
 // clamping would mask causality bugs.
-func (k *Kernel) At(t time.Duration, fn func()) *Event {
+func (k *Kernel) At(t time.Duration, fn func()) Event {
 	if fn == nil {
 		panic("sim: nil event func")
 	}
 	if t < k.now {
 		panic(fmt.Sprintf("sim: scheduling into the past: now=%v at=%v", k.now, t))
 	}
-	e := &Event{at: t, seq: k.nextSeq, fn: fn, kernel: k}
+	var idx int32
+	if n := len(k.free); n > 0 {
+		idx = k.free[n-1]
+		k.free = k.free[:n-1]
+	} else {
+		k.slots = append(k.slots, slot{})
+		idx = int32(len(k.slots) - 1)
+	}
+	s := &k.slots[idx]
+	s.fn = fn
+	s.at = t
+	s.seq = k.nextSeq
 	k.nextSeq++
-	heap.Push(&k.queue, e)
-	return e
+	k.heapPush(idx)
+	return Event{k: k, at: t, idx: idx, gen: s.gen}
 }
 
 // After schedules fn to run d after the current virtual time. Negative d
 // is treated as zero so that jittered delays cannot reach into the past.
-func (k *Kernel) After(d time.Duration, fn func()) *Event {
+func (k *Kernel) After(d time.Duration, fn func()) Event {
 	if d < 0 {
 		d = 0
 	}
@@ -157,22 +161,44 @@ func (k *Kernel) After(d time.Duration, fn func()) *Event {
 func (k *Kernel) Stop() { k.stopped = true }
 
 // Len reports the number of queued events.
-func (k *Kernel) Len() int { return k.queue.Len() }
+func (k *Kernel) Len() int { return len(k.heap) }
+
+// release recycles a slot that left the heap: the callback reference is
+// dropped immediately (no fired-event garbage retained), the generation
+// bump invalidates every outstanding handle, and the index becomes
+// available for the next At.
+func (k *Kernel) release(idx int32) {
+	s := &k.slots[idx]
+	s.fn = nil
+	s.gen++
+	s.heapIdx = -1
+	k.free = append(k.free, idx)
+}
+
+// popNext removes the heap root and recycles its slot, returning the
+// callback to run. The slot is released before the callback executes so
+// that Pending/Cancel on the firing event behave as "already fired" and
+// the slot can be reused by events the callback itself schedules.
+func (k *Kernel) popNext() func() {
+	idx := k.heap[0]
+	fn := k.slots[idx].fn
+	k.heapRemove(0)
+	k.release(idx)
+	return fn
+}
 
 // Run executes events in timestamp order until the queue drains, Stop is
 // called, or the clock would pass until. Events scheduled exactly at
 // until still run. It returns the virtual time when execution stopped.
 func (k *Kernel) Run(until time.Duration) time.Duration {
 	k.stopped = false
-	for !k.stopped && k.queue.Len() > 0 {
-		next := k.queue[0]
-		if next.at > until {
+	for !k.stopped && len(k.heap) > 0 {
+		at := k.slots[k.heap[0]].at
+		if at > until {
 			break
 		}
-		heap.Pop(&k.queue)
-		k.now = next.at
-		fn := next.fn
-		next.fn = nil
+		k.now = at
+		fn := k.popNext()
 		k.fired++
 		fn()
 	}
@@ -188,13 +214,94 @@ func (k *Kernel) Run(until time.Duration) time.Duration {
 // called. Use only with workloads that terminate on their own.
 func (k *Kernel) RunAll() time.Duration {
 	k.stopped = false
-	for !k.stopped && k.queue.Len() > 0 {
-		next := heap.Pop(&k.queue).(*Event)
-		k.now = next.at
-		fn := next.fn
-		next.fn = nil
+	for !k.stopped && len(k.heap) > 0 {
+		k.now = k.slots[k.heap[0]].at
+		fn := k.popNext()
 		k.fired++
 		fn()
 	}
 	return k.now
+}
+
+// ---- 4-ary heap over slot indices ----
+//
+// A 4-ary heap halves the tree depth of a binary heap and keeps the four
+// children of a node in one cache line of the index slice, which is where
+// a discrete-event simulator spends its sift time. Ordering is (at, seq):
+// strictly the same tie-break as the previous container/heap scheduler,
+// so event execution order — and therefore every golden output — is
+// unchanged.
+
+func (k *Kernel) heapLess(a, b int32) bool {
+	sa, sb := &k.slots[a], &k.slots[b]
+	if sa.at != sb.at {
+		return sa.at < sb.at
+	}
+	return sa.seq < sb.seq
+}
+
+func (k *Kernel) heapPush(idx int32) {
+	k.heap = append(k.heap, idx)
+	k.slots[idx].heapIdx = int32(len(k.heap) - 1)
+	k.siftUp(len(k.heap) - 1)
+}
+
+// heapRemove deletes the element at heap position pos, preserving heap
+// order. The removed slot's heapIdx is left at -1.
+func (k *Kernel) heapRemove(pos int) {
+	h := k.heap
+	n := len(h) - 1
+	idx := h[pos]
+	if pos != n {
+		h[pos] = h[n]
+		k.slots[h[pos]].heapIdx = int32(pos)
+	}
+	k.heap = h[:n]
+	k.slots[idx].heapIdx = -1
+	if pos < n {
+		k.siftDown(pos)
+		k.siftUp(pos)
+	}
+}
+
+func (k *Kernel) siftUp(i int) {
+	h := k.heap
+	for i > 0 {
+		p := (i - 1) / 4
+		if !k.heapLess(h[i], h[p]) {
+			break
+		}
+		h[i], h[p] = h[p], h[i]
+		k.slots[h[i]].heapIdx = int32(i)
+		k.slots[h[p]].heapIdx = int32(p)
+		i = p
+	}
+}
+
+func (k *Kernel) siftDown(i int) {
+	h := k.heap
+	n := len(h)
+	for {
+		first := 4*i + 1
+		if first >= n {
+			break
+		}
+		min := first
+		last := first + 4
+		if last > n {
+			last = n
+		}
+		for c := first + 1; c < last; c++ {
+			if k.heapLess(h[c], h[min]) {
+				min = c
+			}
+		}
+		if !k.heapLess(h[min], h[i]) {
+			break
+		}
+		h[i], h[min] = h[min], h[i]
+		k.slots[h[i]].heapIdx = int32(i)
+		k.slots[h[min]].heapIdx = int32(min)
+		i = min
+	}
 }

@@ -107,7 +107,7 @@ func TestCancelAfterFireReturnsFalse(t *testing.T) {
 func TestCancelMiddleOfHeapKeepsOrder(t *testing.T) {
 	k := NewKernel(1)
 	var got []time.Duration
-	var events []*Event
+	var events []Event
 	for i := 1; i <= 20; i++ {
 		d := time.Duration(i) * time.Millisecond
 		events = append(events, k.At(d, func() { got = append(got, k.Now()) }))
@@ -339,6 +339,85 @@ func TestDistStrings(t *testing.T) {
 	}
 }
 
+func TestStaleHandleCannotCancelSlotReuse(t *testing.T) {
+	k := NewKernel(1)
+	// e1 fires, releasing its arena slot; e2 then reuses that slot with a
+	// bumped generation. The stale e1 handle must not cancel e2.
+	e1 := k.At(time.Millisecond, func() {})
+	k.Run(time.Millisecond)
+	fired := false
+	e2 := k.At(2*time.Millisecond, func() { fired = true })
+	if e1.Pending() {
+		t.Fatal("stale handle reports pending after slot reuse")
+	}
+	if e1.Cancel() {
+		t.Fatal("stale handle cancelled the slot's new occupant")
+	}
+	if !e2.Pending() {
+		t.Fatal("new occupant lost its pending state")
+	}
+	k.Run(time.Second)
+	if !fired {
+		t.Fatal("new occupant never fired")
+	}
+}
+
+func TestZeroEventIsInert(t *testing.T) {
+	var e Event
+	if e.Pending() {
+		t.Fatal("zero Event pending")
+	}
+	if e.Cancel() {
+		t.Fatal("zero Event cancelled something")
+	}
+	if e.At() != 0 {
+		t.Fatalf("zero Event At() = %v", e.At())
+	}
+}
+
+func TestEventNotPendingDuringOwnCallback(t *testing.T) {
+	k := NewKernel(1)
+	var e Event
+	var pendingInside, cancelInside bool
+	e = k.At(time.Millisecond, func() {
+		pendingInside = e.Pending()
+		cancelInside = e.Cancel()
+	})
+	k.Run(time.Second)
+	if pendingInside {
+		t.Fatal("event pending during its own callback")
+	}
+	if cancelInside {
+		t.Fatal("event cancellable during its own callback")
+	}
+}
+
+func TestCancelledSlotReuseKeepsOrder(t *testing.T) {
+	// Heavy schedule/cancel churn recycling slots must not corrupt the
+	// heap: firing order stays (at, seq).
+	k := NewKernel(1)
+	r := rand.New(rand.NewSource(5))
+	var fired []time.Duration
+	var live []Event
+	for round := 0; round < 50; round++ {
+		for j := 0; j < 20; j++ {
+			d := k.Now() + time.Duration(1+r.Intn(1000))*time.Microsecond
+			live = append(live, k.At(d, func() { fired = append(fired, k.Now()) }))
+		}
+		for j := 0; j < len(live); j += 3 {
+			live[j].Cancel()
+		}
+		live = live[:0]
+		k.Run(k.Now() + 500*time.Microsecond)
+	}
+	k.RunAll()
+	for i := 1; i < len(fired); i++ {
+		if fired[i] < fired[i-1] {
+			t.Fatalf("order violated under churn at %d: %v < %v", i, fired[i], fired[i-1])
+		}
+	}
+}
+
 func BenchmarkKernelScheduleAndRun(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		k := NewKernel(1)
@@ -346,5 +425,37 @@ func BenchmarkKernelScheduleAndRun(b *testing.B) {
 			k.At(time.Duration(j)*time.Microsecond, func() {})
 		}
 		k.RunAll()
+	}
+}
+
+// BenchmarkKernelSteadyStateChurn is the simulator's real kernel
+// workload: a bounded window of pending events with a constant
+// schedule-one-fire-one rotation, so slot reuse (not slab growth) is on
+// the hot path.
+func BenchmarkKernelSteadyStateChurn(b *testing.B) {
+	k := NewKernel(1)
+	const window = 256
+	tick := func() {}
+	for j := 0; j < window; j++ {
+		k.At(time.Duration(j)*time.Microsecond, tick)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k.At(k.Now()+window*time.Microsecond, tick)
+		k.Run(k.Now() + time.Microsecond)
+	}
+}
+
+// BenchmarkKernelCancel measures the schedule-then-cancel path that MAC
+// and transport timers exercise constantly (most timers never fire).
+func BenchmarkKernelCancel(b *testing.B) {
+	k := NewKernel(1)
+	fn := func() {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := k.At(k.Now()+time.Millisecond, fn)
+		e.Cancel()
 	}
 }

@@ -87,7 +87,7 @@ type Sender struct {
 	dupAcks  int
 	lastAck  uint64
 
-	rtoTimer      *sim.Event
+	rtoTimer      sim.Event
 	closed        bool
 	onDone        func()
 	lastTimeoutAt time.Duration
@@ -149,10 +149,8 @@ func (s *Sender) Start() { s.pump() }
 // Stop cancels timers and halts the flow (e.g. scenario teardown).
 func (s *Sender) Stop() {
 	s.closed = true
-	if s.rtoTimer != nil {
-		s.rtoTimer.Cancel()
-		s.rtoTimer = nil
-	}
+	s.rtoTimer.Cancel()
+	s.rtoTimer = sim.Event{}
 }
 
 // pump transmits new segments while the window allows.
@@ -178,10 +176,8 @@ func (s *Sender) pump() {
 }
 
 func (s *Sender) armRTO() {
-	if s.rtoTimer != nil {
-		s.rtoTimer.Cancel()
-		s.rtoTimer = nil
-	}
+	s.rtoTimer.Cancel()
+	s.rtoTimer = sim.Event{}
 	if len(s.inflight) == 0 || s.closed {
 		return
 	}
@@ -194,7 +190,7 @@ func (s *Sender) armRTO() {
 // start. This is the mechanism that makes long off-channel dwells
 // expensive (§2.2.2).
 func (s *Sender) onRTO() {
-	s.rtoTimer = nil
+	s.rtoTimer = sim.Event{}
 	if len(s.inflight) == 0 || s.closed {
 		return
 	}

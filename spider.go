@@ -96,6 +96,8 @@ type (
 	Client = scenario.Client
 	// DriveSpec parameterizes a vehicular drive.
 	DriveSpec = scenario.DriveSpec
+	// CityGridSpec parameterizes a dense city-scale world.
+	CityGridSpec = scenario.CityGridSpec
 	// RadioConfig parameterizes the shared medium.
 	RadioConfig = radio.Config
 	// Point is a 2-D position in meters.
@@ -135,6 +137,12 @@ func AmherstDrive(seed int64) DriveSpec { return scenario.AmherstDrive(seed) }
 
 // BostonDrive returns the external-validation drive.
 func BostonDrive(seed int64) DriveSpec { return scenario.BostonDrive(seed) }
+
+// CityGrid returns a dense 3×3 km urban world with the given AP and
+// client populations — the scale the medium's spatial index is built for.
+func CityGrid(seed int64, numAPs, numClients int) CityGridSpec {
+	return scenario.CityGrid(seed, numAPs, numClients)
+}
 
 // StaticLab returns the Fig 9 micro-benchmark world.
 func StaticLab(seed int64, backhaulKbps int, channels ...int) *World {
