@@ -32,6 +32,7 @@ func main() {
 		seed    = flag.Int64("seed", 1, "simulation seed")
 		scale   = flag.Float64("scale", 1.0, "experiment scale in (0,1]")
 		workers = flag.Int("workers", runtime.NumCPU(), "worker goroutines for parallel sub-runs (results are identical at any count)")
+		chaos   = flag.String("chaos", "", "fault profile or timeline for the chaos experiment (mild, aggressive, or a script)")
 		list    = flag.Bool("list", false, "list experiment ids and exit")
 		plotOut = flag.Bool("plot", false, "render figures as terminal charts instead of data columns")
 		svgDir  = flag.String("svg", "", "also write each figure as an SVG into this directory")
@@ -57,7 +58,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "spider-exp: -id required (or -list); e.g. -id table2")
 		os.Exit(2)
 	}
-	opts := expt.Options{Seed: *seed, Scale: *scale, Workers: *workers}
+	opts := expt.Options{Seed: *seed, Scale: *scale, Workers: *workers, Chaos: *chaos}
 	ids := []string{*id}
 	if *id == "all" {
 		ids = expt.IDs()

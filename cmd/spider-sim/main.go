@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"spider/internal/core"
+	"spider/internal/fault"
 	"spider/internal/metrics"
 	"spider/internal/pcap"
 	"spider/internal/prof"
@@ -62,12 +63,14 @@ type driveResult struct {
 	conns, gaps    []time.Duration
 	instKBps       []float64
 	stats          core.Stats
+	faultReport    string // per-class ledger when -chaos is active
+	checkerErr     error  // invariant/deadlock/timer-leak verdict
 }
 
 // runDrive builds a fresh world from the flags and one seed, runs the
 // drive, and gathers the metrics. Each call is independent, so
 // replications can run concurrently.
-func runDrive(cfg core.Config, city string, seed int64, speed float64, numAPs int, dur time.Duration, pcapOut string) (driveResult, error) {
+func runDrive(cfg core.Config, city string, seed int64, speed float64, numAPs int, dur time.Duration, pcapOut, chaosSpec string) (driveResult, error) {
 	spec := scenario.AmherstDrive(seed)
 	if city == "boston" {
 		spec = scenario.BostonDrive(seed)
@@ -85,6 +88,18 @@ func runDrive(cfg core.Config, city string, seed int64, speed float64, numAPs in
 	}
 	world, mob := spec.Build()
 	client := world.AddClient(cfg, mob)
+	var chaos *scenario.Chaos
+	if chaosSpec != "" {
+		fcfg, tl, _, err := fault.Resolve(chaosSpec)
+		if err != nil {
+			return driveResult{}, err
+		}
+		chaos = scenario.ApplyChaos(world, client, fcfg)
+		if len(tl) > 0 {
+			chaos.Injector.ScheduleTimeline(tl)
+			chaos.Checker.StartLiveness(5 * time.Second)
+		}
+	}
 	var capture *pcap.Capture
 	if pcapOut != "" {
 		capture = pcap.NewCapture(world.Medium, 0)
@@ -105,7 +120,7 @@ func runDrive(cfg core.Config, city string, seed int64, speed float64, numAPs in
 			n, pcapOut, capture.Dropped)
 	}
 
-	return driveResult{
+	res := driveResult{
 		seed:           seed,
 		numAPs:         len(world.APs),
 		speedMS:        spec.SpeedMS,
@@ -116,7 +131,12 @@ func runDrive(cfg core.Config, city string, seed int64, speed float64, numAPs in
 		gaps:           client.Rec.Disruptions(dur),
 		instKBps:       client.Rec.InstantaneousKBps(dur),
 		stats:          client.Driver.Stats(),
-	}, nil
+	}
+	if chaos != nil {
+		res.faultReport = chaos.Injector.Report()
+		res.checkerErr = chaos.Checker.Verify()
+	}
+	return res, nil
 }
 
 func report(r driveResult) {
@@ -139,6 +159,16 @@ func report(r driveResult) {
 	fmt.Printf("\n  joins: %d ok / %d dhcp-failed (%d fast-path, %d soft handoffs), assoc %d/%d, switches %d\n",
 		st.JoinSuccesses, st.DHCPFailures, st.FastPathJoins, st.SoftHandoffs,
 		st.AssocSuccesses, st.AssocAttempts, st.Switches)
+	if r.faultReport != "" {
+		fmt.Printf("  recovery: %d blacklisted (%d evictions), %d lease revalidations, %d reset faults\n",
+			st.Blacklisted, st.BlacklistEvictions, st.LeaseRevalidations, st.ResetFaults)
+		fmt.Printf("\n%s", r.faultReport)
+		if r.checkerErr != nil {
+			fmt.Printf("\n  CHECKER FAILED: %v\n", r.checkerErr)
+		} else {
+			fmt.Printf("  checker: clean\n")
+		}
+	}
 }
 
 func main() {
@@ -152,6 +182,7 @@ func main() {
 		reps    = flag.Int("reps", 1, "independent drive replications")
 		workers = flag.Int("workers", runtime.NumCPU(), "worker goroutines when -reps > 1")
 		pcapOut = flag.String("pcap", "", "write an over-the-air capture to this file (single rep only)")
+		chaos   = flag.String("chaos", "", "fault injection: off, mild, aggressive, or a timeline script")
 		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
@@ -180,7 +211,7 @@ func main() {
 	start := time.Now()
 
 	if *reps == 1 {
-		r, err := runDrive(cfg, *city, *seed, *speed, *numAPs, dur, *pcapOut)
+		r, err := runDrive(cfg, *city, *seed, *speed, *numAPs, dur, *pcapOut, *chaos)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "spider-sim:", err)
 			os.Exit(1)
@@ -189,6 +220,9 @@ func main() {
 			*city, r.numAPs, r.speedMS, dur, time.Since(start).Round(time.Millisecond))
 		fmt.Printf("Driver: %s\n\n", r.mode)
 		report(r)
+		if r.checkerErr != nil {
+			os.Exit(1)
+		}
 		return
 	}
 
@@ -196,7 +230,7 @@ func main() {
 	// distinct streams per rep, reproducible at any -workers value.
 	results, err := sweep.RunN(context.Background(), *workers, *reps,
 		func(_ context.Context, rep int) (driveResult, error) {
-			return runDrive(cfg, *city, sweep.TaskSeed(*seed, *config, rep), *speed, *numAPs, dur, "")
+			return runDrive(cfg, *city, sweep.TaskSeed(*seed, *config, rep), *speed, *numAPs, dur, "", *chaos)
 		})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "spider-sim:", err)
@@ -207,10 +241,15 @@ func main() {
 		time.Since(start).Round(time.Millisecond), sweep.Workers(*workers))
 	fmt.Printf("Driver: %s\n\n", results[0].mode)
 	var tputs, conn []float64
+	checkerFailed := false
 	for i, r := range results {
 		fmt.Printf("  rep %d (seed %d): %s, connectivity %s, %d connections, %d disruptions\n",
 			i, r.seed, metrics.FormatKBps(r.throughputKBps), metrics.FormatPct(r.connectivity),
 			len(r.conns), len(r.gaps))
+		if r.checkerErr != nil {
+			fmt.Printf("    CHECKER FAILED: %v\n", r.checkerErr)
+			checkerFailed = true
+		}
 		tputs = append(tputs, r.throughputKBps)
 		conn = append(conn, r.connectivity)
 	}
@@ -218,4 +257,7 @@ func main() {
 		metrics.FormatKBps(metrics.Mean(tputs)), metrics.FormatKBps(metrics.StdDev(tputs)))
 	fmt.Printf("  connectivity:     %s ± %s\n",
 		metrics.FormatPct(metrics.Mean(conn)), metrics.FormatPct(metrics.StdDev(conn)))
+	if checkerFailed {
+		os.Exit(1)
+	}
 }

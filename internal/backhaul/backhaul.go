@@ -52,8 +52,17 @@ type Link struct {
 	down   direction // server -> AP
 	up     direction // AP -> server
 
+	// blackhole silently eats traffic in both directions while set; the
+	// fault injector flips it for backhaul-outage episodes.
+	blackhole bool
+	// faultLat is extra one-way delay during a latency-spike episode.
+	faultLat time.Duration
+
 	// Drops counts messages discarded due to a full queue, per direction.
 	DownDrops, UpDrops uint64
+	// BlackholeDrops counts messages eaten by an injected outage (also
+	// included in the per-direction drop counters).
+	BlackholeDrops uint64
 	// Delivered counts messages that made it through, per direction.
 	DownDelivered, UpDelivered uint64
 	// Bytes counts payload bytes carried.
@@ -77,6 +86,27 @@ func (l *Link) SetRateKbps(kbps int) {
 	if kbps > 0 {
 		l.cfg.RateKbps = kbps
 	}
+}
+
+// SetBlackhole starts or ends a backhaul outage: while set, both
+// directions silently drop everything — the dead DSLAM, the unplugged
+// modem. In-flight deliveries already scheduled still arrive (they had
+// left the pipe).
+func (l *Link) SetBlackhole(on bool) { l.blackhole = on }
+
+// Blackholed reports whether an outage is active.
+func (l *Link) Blackholed() bool { return l.blackhole }
+
+// FaultLatency returns the active latency-spike extra delay.
+func (l *Link) FaultLatency() time.Duration { return l.faultLat }
+
+// SetFaultLatency sets extra one-way delay applied to traffic sent
+// while a latency-spike episode is active. Zero ends the episode.
+func (l *Link) SetFaultLatency(extra time.Duration) {
+	if extra < 0 {
+		extra = 0
+	}
+	l.faultLat = extra
 }
 
 // Down sends size bytes from the server side toward the AP, invoking fn
@@ -106,6 +136,10 @@ func (l *Link) Up(size int, fn func()) bool {
 }
 
 func (l *Link) send(dir *direction, size int, fn func()) bool {
+	if l.blackhole {
+		l.BlackholeDrops++
+		return false
+	}
 	if size < 0 {
 		size = 0
 	}
@@ -121,7 +155,7 @@ func (l *Link) send(dir *direction, size int, fn func()) bool {
 	}
 	txTime := time.Duration(float64(size*8) / float64(l.cfg.RateKbps) / 1000 * float64(time.Second))
 	dir.busyUntil = start + txTime
-	l.kernel.At(start+txTime+l.cfg.Latency, fn)
+	l.kernel.At(start+txTime+l.cfg.Latency+l.faultLat, fn)
 	return true
 }
 

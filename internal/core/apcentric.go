@@ -14,6 +14,13 @@ func (d *Driver) startAPSlicer() {
 
 func (d *Driver) apSliceTick() {
 	defer d.kernel.After(d.cfg.APSliceDwell, d.apSliceTick)
+	d.apSliceRebalance()
+}
+
+// apSliceRebalance advances the slice rotation and reassigns PSM state.
+// Besides the periodic tick, teardown calls it when a connected vAP
+// dies so the dead AP's slice is redistributed immediately.
+func (d *Driver) apSliceRebalance() {
 	if d.switching {
 		return
 	}

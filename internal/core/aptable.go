@@ -31,6 +31,16 @@ type APRecord struct {
 
 	HoldUntil time.Duration // back-off after a failure
 
+	// ConsecFails counts consecutive failed joins (reset on success);
+	// the driver's retry budget and exponential backoff key off it.
+	ConsecFails int
+	// Quarantines counts budget exhaustions; each one doubles the next
+	// blacklist duration (capped).
+	Quarantines int
+	// BlacklistUntil quarantines the AP entirely until the deadline; the
+	// table lazily clears it (counting the eviction) once it passes.
+	BlacklistUntil time.Duration
+
 	LeaseIP     dhcp.IP
 	LeaseExpiry time.Duration
 }
@@ -68,6 +78,9 @@ func (r *APRecord) CachedLease(now time.Duration) dhcp.IP {
 // apTable is the driver's scan result store.
 type apTable struct {
 	byBSSID map[wifi.Addr]*APRecord
+	// evictions counts blacklist expirations (lazily detected in
+	// candidates); Driver.Stats surfaces it.
+	evictions uint64
 }
 
 func newAPTable() *apTable {
@@ -99,13 +112,18 @@ func (t *apTable) get(bssid wifi.Addr) *APRecord { return t.byBSSID[bssid] }
 func (t *apTable) candidates(channel int, now, staleAfter time.Duration, useHistory bool) []*APRecord {
 	var out []*APRecord
 	for _, r := range t.byBSSID {
+		if r.BlacklistUntil > 0 && now >= r.BlacklistUntil {
+			// Quarantine served: the AP is eligible again.
+			r.BlacklistUntil = 0
+			t.evictions++
+		}
 		if r.Channel != channel {
 			continue
 		}
 		if now-r.LastSeen > staleAfter {
 			continue
 		}
-		if now < r.HoldUntil {
+		if now < r.HoldUntil || now < r.BlacklistUntil {
 			continue
 		}
 		out = append(out, r)

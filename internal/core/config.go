@@ -91,7 +91,24 @@ type Config struct {
 	InactivityTimeout time.Duration
 	// HoldDown is the per-AP back-off after a failed join attempt. The
 	// stock value is the DHCP client's 60 s idle; Spider retries sooner.
+	// From the second consecutive failure the hold grows exponentially
+	// (±20% jitter) up to BackoffCap — a crashed AP should not be
+	// hammered every HoldDown forever.
 	HoldDown time.Duration
+	// BackoffCap bounds the exponential growth of the per-AP hold-down.
+	// Zero defaults to 8× HoldDown.
+	BackoffCap time.Duration
+	// MaxConsecFails is the per-AP consecutive-failure budget: once an AP
+	// fails this many joins in a row it is quarantined (blacklisted) for
+	// Quarantine instead of merely held down. Zero takes the default (5);
+	// negative disables quarantine.
+	MaxConsecFails int
+	// Quarantine is the base blacklist duration once the failure budget
+	// is exhausted. It doubles with each successive quarantine of the
+	// same AP (capped at 4×) and carries ±25% jitter so a fleet of
+	// failed APs does not return in lockstep. Zero defaults to 8×
+	// HoldDown when MaxConsecFails is set.
+	Quarantine time.Duration
 	// GlobalIdleOnDHCPFail reproduces the stock DHCP client's behaviour
 	// of going idle after a failed attempt window ("it is idle for 60
 	// seconds if it fails") — no joins to ANY AP until it expires.
@@ -208,6 +225,15 @@ func (c Config) withDefaults() Config {
 	}
 	if c.HoldDown <= 0 {
 		c.HoldDown = d.HoldDown
+	}
+	if c.BackoffCap <= 0 {
+		c.BackoffCap = 8 * c.HoldDown
+	}
+	if c.MaxConsecFails == 0 {
+		c.MaxConsecFails = 5
+	}
+	if c.Quarantine <= 0 {
+		c.Quarantine = 8 * c.HoldDown
 	}
 	if c.TxQueueFrames <= 0 {
 		c.TxQueueFrames = d.TxQueueFrames

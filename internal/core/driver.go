@@ -1,12 +1,14 @@
 package core
 
 import (
+	"math/rand"
 	"sort"
 	"time"
 
 	"spider/internal/dhcp"
 	"spider/internal/geo"
 	"spider/internal/mac"
+	"spider/internal/metrics"
 	"spider/internal/radio"
 	"spider/internal/sim"
 	"spider/internal/wifi"
@@ -51,6 +53,19 @@ type Stats struct {
 	// Renewals / RenewalFailures count T1 lease renewals.
 	Renewals        uint64
 	RenewalFailures uint64
+	// Blacklisted counts quarantines (retry budget exhausted);
+	// BlacklistEvictions counts quarantines served out.
+	Blacklisted        uint64
+	BlacklistEvictions uint64
+	// LeaseRevalidations counts re-associations that revalidated a cached
+	// lease via the REQUEST-first path.
+	LeaseRevalidations uint64
+	// ResetFaults counts channel switches whose hardware reset was
+	// fault-stretched.
+	ResetFaults uint64
+	// TeardownPurged counts frames purged from per-channel transmit
+	// queues because their interface was torn down.
+	TeardownPurged uint64
 }
 
 type queuedFrame struct {
@@ -84,6 +99,20 @@ type Driver struct {
 	scanEv  sim.Event
 	sliceEv sim.Event
 
+	// backoffRNG jitters escalated hold-downs and quarantines. Its own
+	// named stream: drawing it must not perturb any protocol stream.
+	backoffRNG *rand.Rand
+	// inv counts driver- and state-machine-level invariant violations
+	// (shared with each interface's joiner and DHCP client).
+	inv *metrics.InvariantSet
+	// resetFault, when set by the fault injector, returns extra hardware
+	// reset time for the next channel switch (0 = healthy).
+	resetFault func() time.Duration
+	// connectedHooks/teardownHooks observe interface lifecycle (fault
+	// injector recovery accounting, invariant checker).
+	connectedHooks []func(*Iface)
+	teardownHooks  []func(ifc *Iface, timersLeaked bool)
+
 	// Measurement series consumed by the experiment harness.
 	AssocTimes    []time.Duration // successful link-layer association durations
 	JoinTimes     []time.Duration // successful assoc+DHCP durations
@@ -98,12 +127,14 @@ type Driver struct {
 func NewDriver(m *radio.Medium, cfg Config, addr wifi.Addr, mob geo.Mobility, events Events) *Driver {
 	k := m.Kernel()
 	d := &Driver{
-		kernel: k,
-		cfg:    cfg.withDefaults(),
-		events: events,
-		table:  newAPTable(),
-		ifaces: make(map[wifi.Addr]*Iface),
-		txq:    make(map[int][]queuedFrame),
+		kernel:     k,
+		cfg:        cfg.withDefaults(),
+		events:     events,
+		table:      newAPTable(),
+		ifaces:     make(map[wifi.Addr]*Iface),
+		txq:        make(map[int][]queuedFrame),
+		backoffRNG: k.RNG("core.backoff." + addr.String()),
+		inv:        metrics.NewInvariantSet(),
 	}
 	d.radio = m.NewRadio(addr, func() geo.Point { return mob.PositionAt(k.Now()) }, radio.ReceiverFunc(d.receive))
 	d.radio.SetChannel(d.cfg.Schedule[0].Channel)
@@ -160,7 +191,55 @@ func (d *Driver) Addr() wifi.Addr { return d.radio.Addr() }
 func (d *Driver) Config() Config { return d.cfg }
 
 // Stats returns a snapshot of the counters.
-func (d *Driver) Stats() Stats { return d.stats }
+func (d *Driver) Stats() Stats {
+	s := d.stats
+	s.BlacklistEvictions = d.table.evictions
+	return s
+}
+
+// Invariants exposes the driver's invariant-violation counters (shared
+// with every interface's joiner and DHCP client).
+func (d *Driver) Invariants() *metrics.InvariantSet { return d.inv }
+
+// AddConnectedHook registers an observer invoked after each successful
+// join (after the OnConnected event). The fault injector uses it to
+// record recoveries.
+func (d *Driver) AddConnectedHook(fn func(*Iface)) {
+	d.connectedHooks = append(d.connectedHooks, fn)
+}
+
+// AddTeardownHook registers an observer invoked at the end of every
+// interface teardown. timersLeaked reports whether any of the
+// interface's timers survived the teardown — always false unless the
+// cancellation discipline regressed; the invariant checker fails the
+// run on it.
+func (d *Driver) AddTeardownHook(fn func(ifc *Iface, timersLeaked bool)) {
+	d.teardownHooks = append(d.teardownHooks, fn)
+}
+
+// SetResetFaultHook installs the fault injector's hardware-reset fault:
+// called once per channel switch, it returns extra reset time (0 =
+// healthy switch).
+func (d *Driver) SetResetFaultHook(fn func() time.Duration) { d.resetFault = fn }
+
+// Stalled returns a non-empty reason when the driver looks wedged: a
+// switch that never completed, a dwell with nothing to dwell on, or a
+// stopped channel rotation. Transient states trip it too (a switch IS
+// in flight for a few ms), so the invariant checker requires the same
+// reason across consecutive polls with no intervening switches before
+// declaring a deadlock.
+func (d *Driver) Stalled() string {
+	if d.switching {
+		return "channel switch in flight"
+	}
+	if d.dwelling && len(d.ifaces) == 0 {
+		return "dwelling with no interfaces"
+	}
+	if !d.dwelling && len(d.cfg.Schedule) > 1 && !d.sliceEv.Pending() {
+		return "channel rotation stopped"
+	}
+	return ""
+}
 
 // CurrentChannel returns the tuned channel (0 mid-reset).
 func (d *Driver) CurrentChannel() int { return d.radio.Channel() }
@@ -280,9 +359,18 @@ func (d *Driver) switchTo(ch int) {
 	// may have one frame already committed to its MAC, and resetting
 	// under it would throw away a TCP segment every single departure.
 	const psmLinger = 3 * time.Millisecond
+	// A fault-injected flaky chipset can stretch this reset; the modeled
+	// latency above keeps the healthy figure — the stretch is the fault.
+	reset := d.cfg.ResetBase
+	if d.resetFault != nil {
+		if stuck := d.resetFault(); stuck > 0 {
+			d.stats.ResetFaults++
+			reset += stuck
+		}
+	}
 	beginReset = func() {
 		d.kernel.After(psmLinger, func() {
-			d.radio.Retune(ch, d.cfg.ResetBase, d.arriveOn(ch, polls))
+			d.radio.Retune(ch, reset, d.arriveOn(ch, polls))
 		})
 	}
 	if outstanding == 0 {
@@ -372,6 +460,8 @@ func (d *Driver) startJoin(rec *APRecord) {
 	ifc.dhcpc = dhcp.NewClient(d.kernel, d.cfg.DHCP, d.Addr(),
 		func(m *dhcp.Message) { d.transmit(rec.Channel, m.Frame(d.Addr(), bssid, bssid)) },
 		func(res dhcp.Result) { d.onDHCPResult(ifc, res) })
+	ifc.joiner.SetInvariants(d.inv)
+	ifc.dhcpc.SetInvariants(d.inv)
 	d.ifaces[bssid] = ifc
 	rec.Attempts++
 	d.stats.AssocAttempts++
@@ -400,6 +490,12 @@ func (d *Driver) onAssocResult(ifc *Iface, res mac.AssocResult) {
 	var cached dhcp.IP
 	if d.cfg.UseLeaseCache {
 		cached = ifc.rec.CachedLease(d.kernel.Now())
+	}
+	if cached != 0 {
+		// Re-association with a cached lease: the REQUEST-first start IS
+		// the revalidation — a rebooted server NAKs it and the client
+		// falls back to discovery inside the same attempt window.
+		d.stats.LeaseRevalidations++
 	}
 	ifc.dhcpc.Start(cached)
 }
@@ -431,6 +527,7 @@ func (d *Driver) onDHCPResult(ifc *Iface, res dhcp.Result) {
 	}
 	rec := ifc.rec
 	rec.Successes++
+	rec.ConsecFails = 0
 	rec.TotalJoin += elapsed
 	rec.LeaseIP = res.IP
 	rec.LeaseExpiry = d.kernel.Now() + res.LeaseDur
@@ -445,6 +542,9 @@ func (d *Driver) onDHCPResult(ifc *Iface, res dhcp.Result) {
 	d.scheduleRenewal(ifc, res.LeaseDur)
 	if d.events.OnConnected != nil {
 		d.events.OnConnected(ifc)
+	}
+	for _, fn := range d.connectedHooks {
+		fn(ifc)
 	}
 }
 
@@ -484,12 +584,55 @@ func (d *Driver) onRenewResult(ifc *Iface, res dhcp.Result) {
 }
 
 func (d *Driver) failJoin(ifc *Iface) {
-	ifc.rec.HoldUntil = d.kernel.Now() + d.cfg.HoldDown
+	d.applyFailBackoff(ifc.rec)
 	d.teardown(ifc)
 }
 
-// teardown removes an interface. notify controls the OnDisconnected
-// upcall (only for interfaces that were connected).
+// applyFailBackoff escalates an AP's hold-down after a failed join and
+// quarantines it once the retry budget is spent.
+func (d *Driver) applyFailBackoff(rec *APRecord) {
+	rec.ConsecFails++
+	now := d.kernel.Now()
+	if d.cfg.MaxConsecFails > 0 && rec.ConsecFails >= d.cfg.MaxConsecFails {
+		// Retry budget exhausted: quarantine the AP. The duration doubles
+		// with each successive quarantine (capped at 4× base) and carries
+		// ±25% jitter so a fleet of crashed APs does not come back — and
+		// fail again — in lockstep.
+		rec.Quarantines++
+		q := d.cfg.Quarantine
+		shift := rec.Quarantines - 1
+		if shift > 2 {
+			shift = 2
+		}
+		q <<= uint(shift)
+		q += time.Duration((d.backoffRNG.Float64()*0.5 - 0.25) * float64(q))
+		rec.BlacklistUntil = now + q
+		rec.HoldUntil = rec.BlacklistUntil
+		rec.ConsecFails = 0
+		d.stats.Blacklisted++
+	} else {
+		// First failure keeps the plain hold-down; repeats escalate
+		// exponentially (with jitter) up to the cap.
+		hold := d.cfg.HoldDown
+		if rec.ConsecFails >= 2 {
+			shift := rec.ConsecFails - 1
+			if shift > 6 {
+				shift = 6
+			}
+			hold <<= uint(shift)
+			if d.cfg.BackoffCap > 0 && hold > d.cfg.BackoffCap {
+				hold = d.cfg.BackoffCap
+			}
+			hold += time.Duration((d.backoffRNG.Float64()*0.4 - 0.2) * float64(hold))
+		}
+		rec.HoldUntil = now + hold
+	}
+}
+
+// teardown removes an interface, cancelling every timer it owns and
+// purging its queued frames — after it returns, nothing may fire into
+// the dead interface. notify controls the OnDisconnected upcall (only
+// for interfaces that were connected).
 func (d *Driver) teardown(ifc *Iface) {
 	bssid := ifc.BSSID()
 	if d.ifaces[bssid] != ifc {
@@ -500,7 +643,24 @@ func (d *Driver) teardown(ifc *Iface) {
 	ifc.dhcpc.Abort()
 	ifc.renewEv.Cancel()
 	ifc.renewEv = sim.Event{}
+	leaked := ifc.TimersPending()
+	if leaked {
+		d.inv.Violate("core.teardown.timer-leak")
+	}
 	delete(d.ifaces, bssid)
+	// Purge this interface's frames from the per-channel queue: they
+	// would otherwise hit a dead (or rebooted) AP on the next visit.
+	if q := d.txq[ifc.Channel()]; len(q) > 0 {
+		kept := q[:0]
+		for _, qf := range q {
+			if qf.f.DA == bssid {
+				d.stats.TeardownPurged++
+				continue
+			}
+			kept = append(kept, qf)
+		}
+		d.txq[ifc.Channel()] = kept
+	}
 	if wasConnected {
 		d.stats.Disconnects++
 		// Best-effort deauth so the AP frees state.
@@ -516,6 +676,14 @@ func (d *Driver) teardown(ifc *Iface) {
 		if len(d.cfg.Schedule) > 1 && !d.sliceEv.Pending() {
 			d.sliceEv = d.kernel.After(0, d.nextSlice)
 		}
+	}
+	// FatVAP-style slicing: hand the dead vAP's slice to the survivors
+	// immediately instead of idling the channel until the next tick.
+	if d.cfg.APCentric && wasConnected && !d.switching {
+		d.apSliceRebalance()
+	}
+	for _, fn := range d.teardownHooks {
+		fn(ifc, leaked)
 	}
 }
 

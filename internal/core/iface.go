@@ -62,3 +62,12 @@ func (ifc *Iface) IP() dhcp.IP { return ifc.ip }
 
 // Connected reports whether the interface holds a lease.
 func (ifc *Iface) Connected() bool { return ifc.state == IfaceConnected }
+
+// TimersPending reports whether any timer owned by this interface — the
+// joiner's link timer, the DHCP client's retx/deadline timers, or the
+// lease-renewal timer — is still armed. After teardown it must be
+// false; a pending timer there is a leak that will fire into a dead
+// interface.
+func (ifc *Iface) TimersPending() bool {
+	return ifc.joiner.TimerPending() || ifc.dhcpc.TimersPending() || ifc.renewEv.Pending()
+}

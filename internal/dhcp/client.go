@@ -4,6 +4,7 @@ import (
 	"math/rand"
 	"time"
 
+	"spider/internal/metrics"
 	"spider/internal/sim"
 	"spider/internal/wifi"
 )
@@ -111,6 +112,9 @@ type Client struct {
 	retxTimer sim.Event
 	deadline  sim.Event
 
+	// inv counts impossible-state transitions (nil-safe; see SetInvariants).
+	inv *metrics.InvariantSet
+
 	// Counters across attempts (Table 3 feeds on these).
 	Attempts, Successes, Failures uint64
 }
@@ -130,8 +134,16 @@ func NewClient(k *sim.Kernel, cfg ClientConfig, mac wifi.Addr, send func(m *Mess
 // Config returns the effective configuration.
 func (c *Client) Config() ClientConfig { return c.cfg }
 
+// SetInvariants points the client at a shared invariant-violation set.
+// A nil set (the default) is safe: violations are simply not counted.
+func (c *Client) SetInvariants(inv *metrics.InvariantSet) { c.inv = inv }
+
 // Busy reports whether an acquisition attempt is in flight.
 func (c *Client) Busy() bool { return c.state == stateDiscovering || c.state == stateRequesting }
+
+// TimersPending reports whether any client timer event is still armed —
+// after Abort it must be false, or the owner leaked a timer.
+func (c *Client) TimersPending() bool { return c.retxTimer.Pending() || c.deadline.Pending() }
 
 // Start begins an acquisition attempt. If cachedIP is nonzero the client
 // tries the REQUEST-first fast path ("caching dhcp leases... essential
@@ -180,6 +192,9 @@ func (c *Client) sendCurrent() {
 	case stateRequesting:
 		m = &Message{Op: Request, XID: c.xid, ClientMAC: c.mac, YourIP: c.offered}
 	default:
+		// A send can only be driven by Start or a live timer; reaching it
+		// idle/bound means a stale timer outlived its state machine.
+		c.inv.Violate("dhcp.client.send-while-idle")
 		return
 	}
 	c.send(m)
@@ -197,6 +212,7 @@ func (c *Client) sendCurrent() {
 		// transaction id; a response to the abandoned request that
 		// arrives later is discarded as stale. This is why reducing the
 		// timer below the server's think-time raises the failure rate.
+		c.retxTimer = sim.Event{}
 		c.retxN++
 		c.xid = c.nextXID
 		c.nextXID++
@@ -205,6 +221,13 @@ func (c *Client) sendCurrent() {
 }
 
 func (c *Client) fail() {
+	c.deadline = sim.Event{} // we are its firing; the handle is spent
+	if c.state != stateDiscovering && c.state != stateRequesting {
+		// A deadline can only fire during a live attempt; anything else is
+		// a timer that outlived Abort/completion.
+		c.inv.Violate("dhcp.client.deadline-while-idle")
+		return
+	}
 	c.stopTimers()
 	c.state = stateIdle
 	c.Failures++
@@ -222,6 +245,7 @@ func (c *Client) HandleMessage(m *Message) {
 			return
 		}
 		c.retxTimer.Cancel()
+		c.retxTimer = sim.Event{}
 		c.state = stateRequesting
 		c.offered = m.YourIP
 		c.sendCurrent()
@@ -245,6 +269,7 @@ func (c *Client) HandleMessage(m *Message) {
 		// Cached address rejected: fall back to full discovery inside the
 		// same attempt window.
 		c.retxTimer.Cancel()
+		c.retxTimer = sim.Event{}
 		c.cached = 0
 		c.fastPath = false
 		c.state = stateDiscovering

@@ -4,9 +4,24 @@ import (
 	"math/rand"
 	"time"
 
+	"spider/internal/metrics"
 	"spider/internal/sim"
 	"spider/internal/wifi"
 )
+
+// Chaos is injected server misbehavior, applied per incoming message:
+// Drop silently discards it, Nak refuses a REQUEST (a DISCOVER under a
+// NAK draw is dropped instead — NAK has no meaning for it), SlowProb
+// stalls the response by an extra SlowThink sample. One RNG draw
+// partitions [0,1) across the three, so probabilities must sum ≤ 1.
+type Chaos struct {
+	Drop     float64
+	Nak      float64
+	SlowProb float64
+	SlowThink sim.Dist
+}
+
+func (c Chaos) active() bool { return c.Drop > 0 || c.Nak > 0 || c.SlowProb > 0 }
 
 // ServerConfig parameterizes one AP's DHCP server.
 type ServerConfig struct {
@@ -82,8 +97,18 @@ type Server struct {
 	bindings map[wifi.Addr]binding
 	nextIP   int
 
+	// Fault-injection state (inert until SetChaos).
+	chaos    Chaos
+	chaosRNG *rand.Rand
+	onFault  func(kind string)
+
+	// inv counts protocol-impossible inputs (nil-safe; see SetInvariants).
+	inv *metrics.InvariantSet
+
 	// Stats.
 	Discovers, Offers, Requests, Acks, Naks uint64
+	// ChaosDrops/ChaosNaks/ChaosSlows count injected misbehaviors.
+	ChaosDrops, ChaosNaks, ChaosSlows uint64
 }
 
 // NewServer creates a server. send transmits a message toward a client;
@@ -104,9 +129,85 @@ func NewServer(k *sim.Kernel, cfg ServerConfig, serverID uint32, send func(to wi
 // Config returns the effective configuration.
 func (s *Server) Config() ServerConfig { return s.cfg }
 
+// SetChaos installs (or replaces) injected misbehavior. rng must be a
+// stream owned by the caller — the fault injector passes a dedicated
+// per-server stream so chaos draws never share randomness with the
+// server's think-time stream. onFault (optional) observes each injected
+// misbehavior by kind ("drop", "nak", "slow").
+func (s *Server) SetChaos(rng *rand.Rand, c Chaos, onFault func(kind string)) {
+	s.chaos = c
+	s.chaosRNG = rng
+	s.onFault = onFault
+}
+
+// ChaosConfig returns the active injected-misbehavior settings.
+func (s *Server) ChaosConfig() Chaos { return s.chaos }
+
+// SetInvariants points the server at a shared invariant-violation set.
+// A nil set (the default) is safe: violations are simply not counted.
+func (s *Server) SetInvariants(inv *metrics.InvariantSet) { s.inv = inv }
+
+// Reset wipes the lease database — the volatile memory of rebooting
+// consumer CPE. Responses already scheduled on the kernel still fire;
+// the AP's radio is dark during a crash, so they die on the air, which
+// is exactly what happens to a rebooting box's last in-flight replies.
+func (s *Server) Reset() {
+	s.bindings = make(map[wifi.Addr]binding)
+	s.nextIP = 0
+}
+
+// chaosIntercept applies injected misbehavior to one incoming message.
+// It reports whether the message should be processed at all and how
+// much extra think-time to add to the response.
+func (s *Server) chaosIntercept(m *Message) (proceed bool, extra time.Duration) {
+	if !s.chaos.active() || s.chaosRNG == nil {
+		return true, 0
+	}
+	r := s.chaosRNG.Float64()
+	switch {
+	case r < s.chaos.Drop:
+		s.ChaosDrops++
+		s.notifyFault("drop")
+		return false, 0
+	case r < s.chaos.Drop+s.chaos.Nak:
+		if m.Op == Request {
+			s.ChaosNaks++
+			s.notifyFault("nak")
+			s.kernel.After(s.cfg.AckLatency.Sample(s.rng), func() {
+				s.Naks++
+				s.send(m.ClientMAC, &Message{Op: Nak, XID: m.XID, ClientMAC: m.ClientMAC, ServerID: s.cfg.ServerID})
+			})
+			return false, 0
+		}
+		s.ChaosDrops++
+		s.notifyFault("drop")
+		return false, 0
+	case r < s.chaos.Drop+s.chaos.Nak+s.chaos.SlowProb:
+		s.ChaosSlows++
+		s.notifyFault("slow")
+		if s.chaos.SlowThink != nil {
+			extra = s.chaos.SlowThink.Sample(s.chaosRNG)
+		} else {
+			extra = 2 * time.Second
+		}
+		return true, extra
+	}
+	return true, 0
+}
+
+func (s *Server) notifyFault(kind string) {
+	if s.onFault != nil {
+		s.onFault(kind)
+	}
+}
+
 // HandleMessage processes one client message. Responses are emitted via
 // the send function after the configured server latency.
 func (s *Server) HandleMessage(m *Message) {
+	proceed, extra := s.chaosIntercept(m)
+	if !proceed {
+		return
+	}
 	switch m.Op {
 	case Discover:
 		s.Discovers++
@@ -116,7 +217,7 @@ func (s *Server) HandleMessage(m *Message) {
 		}
 		resp := &Message{Op: Offer, XID: m.XID, ClientMAC: m.ClientMAC,
 			YourIP: ip, ServerID: s.cfg.ServerID, LeaseSecs: uint32(s.cfg.LeaseDur.Seconds())}
-		s.kernel.After(s.cfg.OfferLatency.Sample(s.rng), func() {
+		s.kernel.After(s.cfg.OfferLatency.Sample(s.rng)+extra, func() {
 			s.Offers++
 			s.send(m.ClientMAC, resp)
 		})
@@ -129,7 +230,7 @@ func (s *Server) HandleMessage(m *Message) {
 		}
 		if ok && m.YourIP != 0 && m.YourIP != b.ip {
 			// Client asked for a stale cached address someone else holds.
-			s.kernel.After(s.cfg.AckLatency.Sample(s.rng), func() {
+			s.kernel.After(s.cfg.AckLatency.Sample(s.rng)+extra, func() {
 				s.Naks++
 				s.send(m.ClientMAC, &Message{Op: Nak, XID: m.XID, ClientMAC: m.ClientMAC, ServerID: s.cfg.ServerID})
 			})
@@ -143,7 +244,7 @@ func (s *Server) HandleMessage(m *Message) {
 				s.bindings[m.ClientMAC] = b
 				ok = true
 			} else {
-				s.kernel.After(s.cfg.AckLatency.Sample(s.rng), func() {
+				s.kernel.After(s.cfg.AckLatency.Sample(s.rng)+extra, func() {
 					s.Naks++
 					s.send(m.ClientMAC, &Message{Op: Nak, XID: m.XID, ClientMAC: m.ClientMAC, ServerID: s.cfg.ServerID})
 				})
@@ -154,10 +255,14 @@ func (s *Server) HandleMessage(m *Message) {
 		s.bindings[m.ClientMAC] = b
 		resp := &Message{Op: Ack, XID: m.XID, ClientMAC: m.ClientMAC,
 			YourIP: b.ip, ServerID: s.cfg.ServerID, LeaseSecs: uint32(s.cfg.LeaseDur.Seconds())}
-		s.kernel.After(s.cfg.AckLatency.Sample(s.rng), func() {
+		s.kernel.After(s.cfg.AckLatency.Sample(s.rng)+extra, func() {
 			s.Acks++
 			s.send(m.ClientMAC, resp)
 		})
+	default:
+		// A server receiving a server-side op (Offer/Ack/Nak) means some
+		// component routed a frame backwards — count it, don't crash.
+		s.inv.Violate("dhcp.server.client-op")
 	}
 }
 

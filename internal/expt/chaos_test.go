@@ -1,0 +1,92 @@
+package expt
+
+import (
+	"strings"
+	"testing"
+
+	"spider/internal/fault"
+)
+
+// TestChaosDriveAggressiveSurvives is the tentpole acceptance run: a
+// full Amherst drive under the aggressive fault profile must complete
+// with a clean checker (no invariant violations, no leaked timers, no
+// deadlock) and show the driver actually recovering — at least one
+// recovery in every fault class the run injected.
+func TestChaosDriveAggressiveSurvives(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full chaos drive is slow")
+	}
+	res, err := ChaosDrive(Options{Seed: 1, Scale: 0.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Err != nil {
+		t.Fatalf("checker failed: %v", res.Err)
+	}
+	injected := false
+	for _, cs := range res.Stats {
+		if cs.Injected == 0 {
+			continue
+		}
+		injected = true
+		if cs.Recovered == 0 {
+			t.Errorf("class %s: %d injected, zero recoveries", cs.Class, cs.Injected)
+		}
+	}
+	if !injected {
+		t.Fatal("aggressive profile injected nothing")
+	}
+	// Every class should fire at least once on a quarter-scale drive
+	// with the aggressive profile — a silent class means its episode
+	// wiring is broken.
+	for _, cs := range res.Stats {
+		if cs.Injected == 0 {
+			t.Errorf("class %s never injected under the aggressive profile", cs.Class)
+		}
+	}
+}
+
+// TestChaosDriveTimelineSpec runs the experiment with an explicit
+// scripted timeline instead of a profile.
+func TestChaosDriveTimelineSpec(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos drives are slow")
+	}
+	res, err := ChaosDrive(Options{Seed: 2, Scale: 0.1,
+		Chaos: "ap-crash:0@30s+20s; blackhole@60s+15s; burst-loss:1@90s+20s=0.6"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Err != nil {
+		t.Fatalf("checker failed: %v", res.Err)
+	}
+	if !strings.HasPrefix(res.Profile, "timeline:") {
+		t.Fatalf("profile label %q", res.Profile)
+	}
+	var crash, hole, burst fault.ClassStat
+	for _, cs := range res.Stats {
+		switch cs.Class {
+		case fault.ClassAPCrash:
+			crash = cs
+		case fault.ClassBlackhole:
+			hole = cs
+		case fault.ClassBurstLoss:
+			burst = cs
+		}
+	}
+	if crash.Injected != 1 {
+		t.Errorf("ap-crash injected %d, want 1", crash.Injected)
+	}
+	if hole.Injected == 0 {
+		t.Errorf("blackhole (all links) injected %d, want >0", hole.Injected)
+	}
+	if burst.Injected != 1 {
+		t.Errorf("burst-loss injected %d, want 1", burst.Injected)
+	}
+}
+
+func TestChaosBadSpecErrors(t *testing.T) {
+	if _, err := ChaosDrive(Options{Seed: 1, Scale: 0.02, Chaos: "not-a-profile"}); err == nil {
+		t.Fatal("garbage chaos spec should error")
+	}
+}

@@ -35,6 +35,10 @@ type Options struct {
 	// sequential execution. The value never affects results, only
 	// wall-clock time.
 	Workers int
+	// Chaos selects the fault profile (or timeline script) for the
+	// chaos experiment; other experiments ignore it. Empty means the
+	// experiment's default profile.
+	Chaos string
 }
 
 // DefaultOptions is the paper-like scale.

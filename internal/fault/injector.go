@@ -1,0 +1,321 @@
+package fault
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"time"
+
+	"spider/internal/backhaul"
+	"spider/internal/core"
+	"spider/internal/dhcp"
+	"spider/internal/mac"
+	"spider/internal/radio"
+	"spider/internal/sim"
+	"spider/internal/sweep"
+)
+
+// ClassStat is one fault class's counters.
+type ClassStat struct {
+	Class string
+	// Injected counts fault events applied; Skipped counts timeline
+	// entries that resolved to no target.
+	Injected uint64
+	Skipped  uint64
+	// Recovered counts injected faults followed by a successful driver
+	// join; TTR aggregates the time from fault start to that join.
+	Recovered uint64
+	TTRTotal  time.Duration
+	TTRMax    time.Duration
+}
+
+// MeanTTR returns the mean time-to-recover (0 with no recoveries).
+func (c ClassStat) MeanTTR() time.Duration {
+	if c.Recovered == 0 {
+		return 0
+	}
+	return c.TTRTotal / time.Duration(c.Recovered)
+}
+
+// outstandingCap bounds the per-class list of unrecovered fault starts;
+// beyond it, new faults still count as injected but cannot each earn a
+// recovery credit (the run is saturated anyway).
+const outstandingCap = 32
+
+// Injector owns a run's fault schedule. Create it with NewInjector,
+// attach the world's components (AttachAP/AttachLink/AttachMedium/
+// AttachDriver), and the configured episodes arm themselves on the
+// kernel. All-zero configs attach without scheduling anything or
+// drawing any randomness — wrapped runs stay byte-identical.
+//
+// Streams: each (class, target) pair draws from
+// sweep.RNG(kernelSeed, "fault."+class, targetIndex) — splitmix64
+// derived, disjoint from every simulation stream by construction.
+type Injector struct {
+	kernel *sim.Kernel
+	cfg    Config
+	seed   int64
+
+	aps    []*mac.AP
+	links  []*backhaul.Link
+	medium *radio.Medium
+	driver *core.Driver
+
+	// dhcpRNG holds the lazily created per-AP chaos streams (shared by
+	// the profile chaos and timeline overrides of one server).
+	dhcpRNG map[int]*rand.Rand
+
+	// Reset-fault state: the profile probability plus any timeline
+	// window override.
+	resetRNG         *rand.Rand
+	resetWindowProb  float64
+	resetWindowUntil time.Duration
+
+	classes map[string]*ClassStat
+	// outstanding tracks unrecovered fault start times per class; the
+	// driver's next successful join clears (and credits) them all.
+	outstanding map[string][]time.Duration
+}
+
+// NewInjector creates an injector for the kernel's run. Nothing fires
+// until components are attached.
+func NewInjector(k *sim.Kernel, cfg Config) *Injector {
+	in := &Injector{
+		kernel:      k,
+		cfg:         cfg,
+		seed:        k.Seed(),
+		dhcpRNG:     make(map[int]*rand.Rand),
+		classes:     make(map[string]*ClassStat, len(Classes)),
+		outstanding: make(map[string][]time.Duration),
+	}
+	for _, c := range Classes {
+		in.classes[c] = &ClassStat{Class: c}
+	}
+	return in
+}
+
+// Config returns the injector's fault profile.
+func (in *Injector) Config() Config { return in.cfg }
+
+func (in *Injector) stream(class string, target int) *rand.Rand {
+	return sweep.RNG(in.seed, "fault."+class, target)
+}
+
+// recordFault counts one injected fault and opens a recovery marker.
+func (in *Injector) recordFault(class string) {
+	cs := in.classes[class]
+	cs.Injected++
+	if o := in.outstanding[class]; len(o) < outstandingCap {
+		in.outstanding[class] = append(o, in.kernel.Now())
+	}
+}
+
+// onDriverConnected credits every outstanding fault as recovered: the
+// driver proved it can still join the hostile city.
+func (in *Injector) onDriverConnected() {
+	now := in.kernel.Now()
+	for _, class := range Classes {
+		o := in.outstanding[class]
+		if len(o) == 0 {
+			continue
+		}
+		cs := in.classes[class]
+		for _, t0 := range o {
+			cs.Recovered++
+			ttr := now - t0
+			cs.TTRTotal += ttr
+			if ttr > cs.TTRMax {
+				cs.TTRMax = ttr
+			}
+		}
+		in.outstanding[class] = o[:0]
+	}
+}
+
+// scheduleEpisodes arms one target's recurring fault timeline:
+// exponential inter-arrival gaps with the given mean, each episode
+// applying start, then stop after a dur sample. Episodes on one target
+// never overlap, and a 1 ms minimum spacing guards against event
+// storms from tiny MTBF configs.
+func (in *Injector) scheduleEpisodes(class string, rng *rand.Rand, mtbf time.Duration, dur sim.Dist, start, stop func()) {
+	var arm func()
+	arm = func() {
+		gap := time.Duration(rng.ExpFloat64() * float64(mtbf))
+		if gap < time.Millisecond {
+			gap = time.Millisecond
+		}
+		in.kernel.After(gap, func() {
+			in.recordFault(class)
+			start()
+			var d time.Duration
+			if dur != nil {
+				d = dur.Sample(rng)
+			}
+			if d < time.Millisecond {
+				d = time.Millisecond
+			}
+			in.kernel.After(d, func() {
+				stop()
+				arm()
+			})
+		})
+	}
+	arm()
+}
+
+// AttachAP registers an access point as fault target: crash/reboot
+// cycles, beacon silences, and DHCP server misbehavior per the config.
+// Target index is assignment order (the scenario's AP order).
+func (in *Injector) AttachAP(ap *mac.AP) {
+	idx := len(in.aps)
+	in.aps = append(in.aps, ap)
+	if in.cfg.APCrashMTBF > 0 {
+		rng := in.stream(ClassAPCrash, idx)
+		in.scheduleEpisodes(ClassAPCrash, rng, in.cfg.APCrashMTBF, in.cfg.APDowntime,
+			ap.Crash, ap.Restart)
+	}
+	if in.cfg.BeaconSilenceMTBF > 0 {
+		rng := in.stream(ClassBeaconSilence, idx)
+		in.scheduleEpisodes(ClassBeaconSilence, rng, in.cfg.BeaconSilenceMTBF, in.cfg.BeaconSilenceDur,
+			func() { ap.SetBeaconMute(true) }, func() { ap.SetBeaconMute(false) })
+	}
+	if in.cfg.DHCPDrop > 0 || in.cfg.DHCPNak > 0 || in.cfg.DHCPSlowProb > 0 {
+		in.setServerChaos(idx, in.baseChaos())
+	}
+}
+
+// baseChaos is the profile-level DHCP misbehavior.
+func (in *Injector) baseChaos() dhcp.Chaos {
+	return dhcp.Chaos{
+		Drop: in.cfg.DHCPDrop, Nak: in.cfg.DHCPNak,
+		SlowProb: in.cfg.DHCPSlowProb, SlowThink: in.cfg.DHCPSlowThink,
+	}
+}
+
+// setServerChaos (re)installs chaos on AP idx's DHCP server, reusing
+// one per-AP stream so repeated installs never reset the draw sequence.
+func (in *Injector) setServerChaos(idx int, c dhcp.Chaos) {
+	if idx < 0 || idx >= len(in.aps) {
+		return
+	}
+	rng := in.dhcpRNG[idx]
+	if rng == nil {
+		rng = in.stream("dhcp", idx)
+		in.dhcpRNG[idx] = rng
+	}
+	in.aps[idx].DHCPServer().SetChaos(rng, c, func(kind string) {
+		in.recordFault("dhcp-" + kind)
+	})
+}
+
+// AttachLink registers a backhaul link as fault target: blackhole
+// outages and latency spikes. Target index is assignment order.
+func (in *Injector) AttachLink(l *backhaul.Link) {
+	idx := len(in.links)
+	in.links = append(in.links, l)
+	if in.cfg.BlackholeMTBF > 0 {
+		rng := in.stream(ClassBlackhole, idx)
+		in.scheduleEpisodes(ClassBlackhole, rng, in.cfg.BlackholeMTBF, in.cfg.BlackholeDur,
+			func() { l.SetBlackhole(true) }, func() { l.SetBlackhole(false) })
+	}
+	if in.cfg.LatencySpikeMTBF > 0 {
+		rng := in.stream(ClassLatencySpike, idx)
+		extraDist := in.cfg.LatencySpikeExtra
+		in.scheduleEpisodes(ClassLatencySpike, rng, in.cfg.LatencySpikeMTBF, in.cfg.LatencySpikeDur,
+			func() {
+				extra := 300 * time.Millisecond
+				if extraDist != nil {
+					extra = extraDist.Sample(rng)
+				}
+				l.SetFaultLatency(extra)
+			},
+			func() { l.SetFaultLatency(0) })
+	}
+}
+
+// AttachMedium registers the radio medium and the channels that can
+// take burst-loss episodes (one independent stream per channel).
+func (in *Injector) AttachMedium(m *radio.Medium, channels []int) {
+	in.medium = m
+	if in.cfg.BurstMTBF > 0 && in.cfg.BurstExtraLoss > 0 {
+		for i, ch := range channels {
+			ch := ch
+			rng := in.stream(ClassBurstLoss, i)
+			extra := in.cfg.BurstExtraLoss
+			in.scheduleEpisodes(ClassBurstLoss, rng, in.cfg.BurstMTBF, in.cfg.BurstDur,
+				func() { m.SetBurstLoss(ch, extra) }, func() { m.SetBurstLoss(ch, 0) })
+		}
+	}
+}
+
+// AttachDriver registers the Spider driver: recovery accounting chains
+// onto its connected hook, and reset faults install when configured.
+func (in *Injector) AttachDriver(d *core.Driver) {
+	in.driver = d
+	d.AddConnectedHook(func(*core.Iface) { in.onDriverConnected() })
+	if in.cfg.ResetFailProb > 0 {
+		in.ensureResetHook()
+	}
+}
+
+// ensureResetHook installs the hardware-reset fault on the driver once.
+func (in *Injector) ensureResetHook() {
+	if in.resetRNG != nil || in.driver == nil {
+		return
+	}
+	in.resetRNG = in.stream(ClassResetFail, 0)
+	in.driver.SetResetFaultHook(func() time.Duration {
+		p := in.cfg.ResetFailProb
+		if in.kernel.Now() < in.resetWindowUntil && in.resetWindowProb > p {
+			p = in.resetWindowProb
+		}
+		if p <= 0 || in.resetRNG.Float64() >= p {
+			return 0
+		}
+		in.recordFault(ClassResetFail)
+		stuck := 250 * time.Millisecond
+		if in.cfg.ResetStuck != nil {
+			stuck = in.cfg.ResetStuck.Sample(in.resetRNG)
+		}
+		if stuck < time.Millisecond {
+			stuck = time.Millisecond
+		}
+		return stuck
+	})
+}
+
+// Snapshot returns every class's counters in canonical order.
+func (in *Injector) Snapshot() []ClassStat {
+	out := make([]ClassStat, 0, len(Classes))
+	for _, c := range Classes {
+		out = append(out, *in.classes[c])
+	}
+	return out
+}
+
+// TotalInjected sums injected faults across classes.
+func (in *Injector) TotalInjected() uint64 {
+	var t uint64
+	for _, c := range Classes {
+		t += in.classes[c].Injected
+	}
+	return t
+}
+
+// Report renders a deterministic per-class table for the CLI.
+func (in *Injector) Report() string {
+	var b strings.Builder
+	b.WriteString("fault report:\n")
+	for _, cs := range in.Snapshot() {
+		if cs.Injected == 0 && cs.Skipped == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "  %-15s injected %-5d recovered %-5d mean-ttr %-10v max-ttr %v\n",
+			cs.Class, cs.Injected, cs.Recovered, cs.MeanTTR().Round(time.Millisecond),
+			cs.TTRMax.Round(time.Millisecond))
+	}
+	if in.TotalInjected() == 0 {
+		b.WriteString("  (no faults injected)\n")
+	}
+	return b.String()
+}

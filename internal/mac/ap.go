@@ -10,6 +10,7 @@ import (
 
 	"spider/internal/dhcp"
 	"spider/internal/geo"
+	"spider/internal/metrics"
 	"spider/internal/radio"
 	"spider/internal/sim"
 	"spider/internal/wifi"
@@ -69,6 +70,15 @@ type AP struct {
 	clients map[wifi.Addr]*apClient
 	uplink  func(from wifi.Addr, db *wifi.DataBody)
 
+	// down marks a crashed (rebooting) AP: radio dark, state wiped.
+	down bool
+	// muted suppresses beacons while the AP otherwise keeps working —
+	// the half-dead box whose management plane wedged.
+	muted bool
+
+	// inv collects invariant violations from the AP and its DHCP server.
+	inv *metrics.InvariantSet
+
 	// Stats.
 	AssocGrants   uint64
 	PSMBuffered   uint64
@@ -93,10 +103,12 @@ func NewAPAt(m *radio.Medium, cfg APConfig, addr wifi.Addr, pos geo.Point, serve
 		kernel:  m.Kernel(),
 		cfg:     cfg,
 		clients: make(map[wifi.Addr]*apClient),
+		inv:     metrics.NewInvariantSet(),
 	}
 	ap.radio = m.NewStaticRadio(addr, pos, radio.ReceiverFunc(ap.receive))
 	ap.radio.SetChannel(cfg.Channel)
 	ap.dhcpd = dhcp.NewServer(ap.kernel, cfg.DHCP, serverID, ap.sendDHCP)
+	ap.dhcpd.SetInvariants(ap.inv)
 	if cfg.BeaconInterval > 0 {
 		ap.kernel.After(cfg.BeaconInterval, ap.beacon)
 	}
@@ -114,6 +126,43 @@ func (ap *AP) SSID() string { return ap.cfg.SSID }
 
 // DHCPServer exposes the embedded DHCP server.
 func (ap *AP) DHCPServer() *dhcp.Server { return ap.dhcpd }
+
+// Invariants exposes the AP's invariant-violation counters.
+func (ap *AP) Invariants() *metrics.InvariantSet { return ap.inv }
+
+// Down reports whether the AP is crashed (rebooting).
+func (ap *AP) Down() bool { return ap.down }
+
+// Crash takes the AP dark: radio off, association table and DHCP lease
+// database wiped — the volatile memory of consumer CPE. Responses the
+// AP had already scheduled die on the dark radio. No-op if already down.
+func (ap *AP) Crash() {
+	if ap.down {
+		return
+	}
+	ap.down = true
+	ap.radio.SetChannel(0)
+	ap.clients = make(map[wifi.Addr]*apClient)
+	ap.dhcpd.Reset()
+}
+
+// Restart brings a crashed AP back on its configured channel with empty
+// state. Clients that still believe they are associated discover the
+// truth via the class-3 deauth their next data frame provokes.
+func (ap *AP) Restart() {
+	if !ap.down {
+		return
+	}
+	ap.down = false
+	ap.radio.SetChannel(ap.cfg.Channel)
+}
+
+// SetBeaconMute suppresses (true) or resumes (false) beaconing while
+// the AP otherwise keeps serving — the half-dead box fault mode.
+func (ap *AP) SetBeaconMute(on bool) { ap.muted = on }
+
+// BeaconsMuted reports whether beaconing is suppressed.
+func (ap *AP) BeaconsMuted() bool { return ap.muted }
 
 // SetUplinkHandler registers the wired-side sink for client data frames.
 func (ap *AP) SetUplinkHandler(h func(from wifi.Addr, db *wifi.DataBody)) { ap.uplink = h }
@@ -144,11 +193,15 @@ func (ap *AP) nextSeq() uint16 {
 }
 
 func (ap *AP) beacon() {
-	ap.radio.Send(&wifi.Frame{
-		Type: wifi.TypeBeacon, SA: ap.Addr(), DA: wifi.Broadcast, BSSID: ap.Addr(), Seq: ap.nextSeq(),
-		Body: &wifi.BeaconBody{SSID: ap.cfg.SSID, Channel: uint8(ap.cfg.Channel),
-			BackhaulKbps: uint32(ap.cfg.BackhaulKbps)},
-	})
+	// The schedule keeps ticking through crashes and silences so the
+	// beat resumes cleanly; only the transmission is suppressed.
+	if !ap.down && !ap.muted {
+		ap.radio.Send(&wifi.Frame{
+			Type: wifi.TypeBeacon, SA: ap.Addr(), DA: wifi.Broadcast, BSSID: ap.Addr(), Seq: ap.nextSeq(),
+			Body: &wifi.BeaconBody{SSID: ap.cfg.SSID, Channel: uint8(ap.cfg.Channel),
+				BackhaulKbps: uint32(ap.cfg.BackhaulKbps)},
+		})
+	}
 	ap.kernel.After(ap.cfg.BeaconInterval, ap.beacon)
 }
 
@@ -160,6 +213,9 @@ func (ap *AP) respondAfterDelay(f *wifi.Frame) {
 }
 
 func (ap *AP) receive(f *wifi.Frame) {
+	if ap.down {
+		return // a crashed box hears nothing (its radio is dark anyway)
+	}
 	switch f.Type {
 	case wifi.TypeProbeReq:
 		body, ok := f.Body.(*wifi.ProbeReqBody)
@@ -236,7 +292,14 @@ func (ap *AP) receive(f *wifi.Frame) {
 			return
 		}
 		if !ok || !c.associated {
-			return // data from strangers is dropped
+			// Class-3 frame from a non-associated station: per 802.11 the
+			// AP answers with a deauth. This is how a client that slept
+			// through our reboot learns its association is gone — without
+			// it, restarted-AP beacons keep refreshing the client's
+			// inactivity timer and the zombie association lives forever.
+			ap.radio.Send(&wifi.Frame{Type: wifi.TypeDeauth, SA: ap.Addr(), DA: f.SA,
+				BSSID: ap.Addr(), Seq: ap.nextSeq(), Body: &wifi.DeauthBody{Reason: 7}})
+			return
 		}
 		ap.UplinkFrames++
 		if ap.uplink != nil {

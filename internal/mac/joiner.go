@@ -4,6 +4,7 @@ import (
 	"math/rand"
 	"time"
 
+	"spider/internal/metrics"
 	"spider/internal/sim"
 	"spider/internal/wifi"
 )
@@ -103,6 +104,9 @@ type Joiner struct {
 	seq     uint16
 	rng     *rand.Rand
 
+	// inv counts impossible-state transitions (nil-safe; see SetInvariants).
+	inv *metrics.InvariantSet
+
 	// Counters.
 	Attempts, Successes, Failures uint64
 }
@@ -123,6 +127,14 @@ func NewJoiner(k *sim.Kernel, cfg JoinConfig, self, bssid wifi.Addr, ssid string
 
 // Config returns the effective configuration.
 func (j *Joiner) Config() JoinConfig { return j.cfg }
+
+// SetInvariants points the joiner at a shared invariant-violation set.
+// A nil set (the default) is safe: violations are simply not counted.
+func (j *Joiner) SetInvariants(inv *metrics.InvariantSet) { j.inv = inv }
+
+// TimerPending reports whether the per-message timer is still armed —
+// after Abort it must be false, or the owner leaked a timer.
+func (j *Joiner) TimerPending() bool { return j.timer.Pending() }
 
 // Stage returns the current join stage.
 func (j *Joiner) Stage() JoinStage { return j.stage }
@@ -170,6 +182,9 @@ func (j *Joiner) sendCurrent() {
 		f = &wifi.Frame{Type: wifi.TypeAssocReq, SA: j.self, DA: j.bssid, BSSID: j.bssid,
 			Seq: j.nextSeq(), Body: &wifi.AssocReqBody{SSID: j.ssid, ListenInterval: 10}}
 	default:
+		// Sends are driven by Start or a live timer; reaching here idle or
+		// associated means a stale timer outlived its state machine.
+		j.inv.Violate("mac.joiner.send-while-idle")
 		return
 	}
 	j.send(f)
@@ -180,6 +195,11 @@ func (j *Joiner) sendCurrent() {
 }
 
 func (j *Joiner) onTimeout() {
+	j.timer = sim.Event{} // we are its firing; the handle is spent
+	if !j.Busy() {
+		j.inv.Violate("mac.joiner.timeout-while-idle")
+		return
+	}
 	j.retries++
 	if j.retries > j.cfg.MaxRetries {
 		stage := j.stage

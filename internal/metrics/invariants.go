@@ -1,0 +1,80 @@
+package metrics
+
+import (
+	"fmt"
+	"strings"
+)
+
+// InvariantSet counts named invariant violations. Protocol state
+// machines (the MAC joiner, the DHCP client and server, the driver's
+// teardown path) use it instead of panicking on "impossible" internal
+// states: a violation under fault injection is a diagnosable counter,
+// not a crashed run. Panics remain only for programmer errors (nil
+// kernel, nil callbacks) caught at construction time.
+//
+// The zero value is not usable; a nil *InvariantSet is — every method
+// is a safe no-op on nil, so components can hold an optional set
+// without guarding each call site.
+type InvariantSet struct {
+	counts map[string]uint64
+	order  []string // first-violation order, for deterministic reports
+}
+
+// NewInvariantSet creates an empty set.
+func NewInvariantSet() *InvariantSet {
+	return &InvariantSet{counts: make(map[string]uint64)}
+}
+
+// Violate records one violation of the named invariant. No-op on nil.
+func (s *InvariantSet) Violate(name string) {
+	if s == nil {
+		return
+	}
+	if _, seen := s.counts[name]; !seen {
+		s.order = append(s.order, name)
+	}
+	s.counts[name]++
+}
+
+// Count returns the violation count for one invariant (0 on nil).
+func (s *InvariantSet) Count(name string) uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.counts[name]
+}
+
+// Total returns the violation count across all invariants (0 on nil).
+func (s *InvariantSet) Total() uint64 {
+	if s == nil {
+		return 0
+	}
+	var t uint64
+	for _, c := range s.counts {
+		t += c
+	}
+	return t
+}
+
+// Names returns the violated invariant names in first-violation order.
+func (s *InvariantSet) Names() []string {
+	if s == nil {
+		return nil
+	}
+	return append([]string(nil), s.order...)
+}
+
+// String renders "name=count" pairs in first-violation order, or "clean".
+func (s *InvariantSet) String() string {
+	if s == nil || len(s.order) == 0 {
+		return "clean"
+	}
+	var b strings.Builder
+	for i, name := range s.order {
+		if i > 0 {
+			b.WriteString(" ")
+		}
+		fmt.Fprintf(&b, "%s=%d", name, s.counts[name])
+	}
+	return b.String()
+}

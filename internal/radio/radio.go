@@ -128,6 +128,13 @@ type Medium struct {
 	// (independent of delivery outcome) — the capture hook.
 	tap func(f *wifi.Frame, ch int, at time.Duration)
 
+	// burst holds per-channel additive loss while a fault-injected
+	// interference episode is active (nil when no episode ever ran). The
+	// boost perturbs only the loss comparison, never the RNG draw — the
+	// draw happens once per delivery candidate regardless — so enabling
+	// an episode cannot shift any other stream's randomness.
+	burst map[int]float64
+
 	// active tracks in-flight transmissions for hidden-terminal checks.
 	active []activeTx
 
@@ -171,6 +178,26 @@ func (m *Medium) Config() Config { return m.cfg }
 
 // Stats returns a snapshot of the medium counters.
 func (m *Medium) Stats() Stats { return m.stats }
+
+// SetBurstLoss sets the additive per-frame loss applied on one channel
+// (clamped into [0,1] at delivery time). Zero clears the episode. The
+// fault injector uses it for lossy-burst interference episodes.
+func (m *Medium) SetBurstLoss(ch int, extra float64) {
+	if m.burst == nil {
+		if extra == 0 {
+			return
+		}
+		m.burst = make(map[int]float64)
+	}
+	if extra == 0 {
+		delete(m.burst, ch)
+		return
+	}
+	m.burst[ch] = extra
+}
+
+// BurstLoss returns the active additive loss on a channel (0 if none).
+func (m *Medium) BurstLoss(ch int) float64 { return m.burst[ch] }
 
 // Kernel returns the simulation kernel the medium runs on.
 func (m *Medium) Kernel() *sim.Kernel { return m.kernel }
@@ -511,7 +538,14 @@ func (m *Medium) deliver(tx *Radio, f *wifi.Frame, ch int, dur time.Duration) bo
 			}
 			continue
 		}
-		if m.rng.Float64() < m.lossAt(math.Sqrt(d2)) {
+		p := m.lossAt(math.Sqrt(d2))
+		if extra := m.burst[ch]; extra > 0 {
+			p += extra
+			if p > 1 {
+				p = 1
+			}
+		}
+		if m.rng.Float64() < p {
 			if addressed {
 				m.stats.LostRandom++
 			}

@@ -1,0 +1,77 @@
+package scenario
+
+// Zero-fault equivalence: attaching the chaos machinery with an
+// all-zero fault config must leave a full vehicular drive byte-identical
+// to a never-wrapped run, across seeds — the proof that ApplyChaos with
+// faults off is pure bookkeeping (no kernel events, no RNG draws, no
+// schedule perturbation). This is the chaos counterpart of the spatial
+// index equivalence suite.
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"spider/internal/core"
+	"spider/internal/fault"
+	"spider/internal/radio"
+)
+
+// chaosFingerprint mirrors driveFingerprint but optionally wraps the
+// world in a zero-config fault injector + checker before running.
+func chaosFingerprint(seed int64, wrap bool) string {
+	spec := AmherstDrive(seed)
+	rc := radio.Defaults()
+	rc.DataRateKbps = 24_000
+	rc.Loss = 0.08
+	rc.EdgeStart = 0.55
+	spec.Radio = rc
+	world, mob := spec.Build()
+	cfg := core.SpiderDefaults(core.MultiChannelMultiAP,
+		core.EqualSchedule(200*time.Millisecond, 1, 6, 11))
+	client := world.AddClient(cfg, mob)
+	var ch *Chaos
+	if wrap {
+		ch = ApplyChaos(world, client, fault.Config{})
+	}
+	const dur = 4 * time.Minute
+	world.Run(dur)
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "seed=%d\n", seed)
+	fmt.Fprintf(&b, "bytes=%d\n", client.Rec.TotalBytes())
+	fmt.Fprintf(&b, "throughput=%.6f\n", client.Rec.ThroughputKBps(dur))
+	fmt.Fprintf(&b, "connectivity=%.6f\n", client.Rec.Connectivity(dur))
+	fmt.Fprintf(&b, "connections=%v\n", client.Rec.Connections(dur))
+	fmt.Fprintf(&b, "disruptions=%v\n", client.Rec.Disruptions(dur))
+	fmt.Fprintf(&b, "driver=%+v\n", client.Driver.Stats())
+	fmt.Fprintf(&b, "medium=%+v\n", world.Medium.Stats())
+	fmt.Fprintf(&b, "fired=%d at=%v\n", world.Kernel.Fired(), world.Kernel.Now())
+	if wrap {
+		if n := ch.Injector.TotalInjected(); n != 0 {
+			fmt.Fprintf(&b, "UNEXPECTED injected=%d\n", n)
+		}
+		if err := ch.Checker.Verify(); err != nil {
+			fmt.Fprintf(&b, "UNEXPECTED checker=%v\n", err)
+		}
+	}
+	return b.String()
+}
+
+func TestZeroFaultChaosIsByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-seed full drives are slow")
+	}
+	for _, seed := range []int64{1, 2, 5} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			t.Parallel()
+			base := chaosFingerprint(seed, false)
+			wrapped := chaosFingerprint(seed, true)
+			if base != wrapped {
+				t.Fatalf("zero-fault chaos wrap diverged from baseline:\n--- baseline ---\n%s\n--- wrapped ---\n%s", base, wrapped)
+			}
+		})
+	}
+}
