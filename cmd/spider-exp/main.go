@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"spider/internal/expt"
+	"spider/internal/obs"
 	"spider/internal/prof"
 	"spider/internal/sweep"
 )
@@ -37,8 +38,11 @@ func main() {
 		plotOut = flag.Bool("plot", false, "render figures as terminal charts instead of data columns")
 		svgDir  = flag.String("svg", "", "also write each figure as an SVG into this directory")
 		csvDir  = flag.String("csv", "", "also write each figure's series as CSV into this directory")
-		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
-		memProf = flag.String("memprofile", "", "write a heap profile to this file at exit")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf  = flag.String("memprofile", "", "write a heap profile to this file at exit")
+		metricsO = flag.String("metrics-out", "", "write Prometheus-format metrics (accumulated across all runs) to this file")
+		traceO   = flag.String("trace-out", "", "write the event trace to this file: .jsonl for JSONL, else Chrome trace JSON (forces -workers 1)")
+		traceF   = flag.String("trace-filter", "", "comma-separated category prefixes to trace (empty = all)")
 	)
 	flag.Parse()
 	stopProf, err := prof.Start(*cpuProf, *memProf)
@@ -46,7 +50,11 @@ func main() {
 		fmt.Fprintln(os.Stderr, "spider-exp:", err)
 		os.Exit(2)
 	}
-	defer stopProf()
+	defer func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintln(os.Stderr, "spider-exp:", err)
+		}
+	}()
 
 	if *list {
 		for _, e := range expt.IDs() {
@@ -58,7 +66,19 @@ func main() {
 		fmt.Fprintln(os.Stderr, "spider-exp: -id required (or -list); e.g. -id table2")
 		os.Exit(2)
 	}
-	opts := expt.Options{Seed: *seed, Scale: *scale, Workers: *workers, Chaos: *chaos}
+	if *traceO != "" {
+		// A trace of concurrently interleaved worlds is unreadable and
+		// nondeterministic; tracing serializes the run.
+		*workers = 1
+	}
+	var o *obs.Obs
+	if *metricsO != "" || *traceO != "" {
+		o = obs.New(0)
+		if *traceF != "" {
+			o.Tracer.SetFilter(strings.Split(*traceF, ",")...)
+		}
+	}
+	opts := expt.Options{Seed: *seed, Scale: *scale, Workers: *workers, Chaos: *chaos, Obs: o}
 	ids := []string{*id}
 	if *id == "all" {
 		ids = expt.IDs()
@@ -108,6 +128,23 @@ func main() {
 		}
 		fmt.Printf("   [%s regenerated in %v at scale %.2f, seed %d]\n\n",
 			e, o.elapsed.Round(time.Millisecond), *scale, *seed)
+	}
+	if *metricsO != "" {
+		if err := obs.WriteMetricsFile(*metricsO, o.Reg.Snapshot()); err != nil {
+			fmt.Fprintln(os.Stderr, "spider-exp:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("   wrote %s\n", *metricsO)
+	}
+	if *traceO != "" {
+		if err := obs.WriteTraceFile(*traceO, o.Tracer); err != nil {
+			fmt.Fprintln(os.Stderr, "spider-exp:", err)
+			os.Exit(1)
+		}
+		if d := o.Tracer.Dropped(); d > 0 {
+			fmt.Fprintf(os.Stderr, "spider-exp: trace ring wrapped; oldest %d events dropped (narrow with -trace-filter)\n", d)
+		}
+		fmt.Printf("   wrote %s\n", *traceO)
 	}
 }
 

@@ -22,11 +22,13 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strings"
 	"time"
 
 	"spider/internal/core"
 	"spider/internal/fault"
 	"spider/internal/metrics"
+	"spider/internal/obs"
 	"spider/internal/pcap"
 	"spider/internal/prof"
 	"spider/internal/radio"
@@ -65,12 +67,28 @@ type driveResult struct {
 	stats          core.Stats
 	faultReport    string // per-class ledger when -chaos is active
 	checkerErr     error  // invariant/deadlock/timer-leak verdict
+
+	// Observability exports (nil/empty when -metrics-out/-trace-out are
+	// unset). Each replication snapshots its own registry; the reps path
+	// merges the snapshots in index order, so the merged export is
+	// identical at any -workers value.
+	snap   obs.Snapshot
+	tracer *obs.Tracer
 }
+
+// obsSpec carries the observability flags into runDrive.
+type obsSpec struct {
+	metrics bool
+	trace   bool
+	filter  []string
+}
+
+func (s obsSpec) enabled() bool { return s.metrics || s.trace }
 
 // runDrive builds a fresh world from the flags and one seed, runs the
 // drive, and gathers the metrics. Each call is independent, so
 // replications can run concurrently.
-func runDrive(cfg core.Config, city string, seed int64, speed float64, numAPs int, dur time.Duration, pcapOut, chaosSpec string) (driveResult, error) {
+func runDrive(cfg core.Config, city string, seed int64, speed float64, numAPs int, dur time.Duration, pcapOut, chaosSpec string, ospec obsSpec) (driveResult, error) {
 	spec := scenario.AmherstDrive(seed)
 	if city == "boston" {
 		spec = scenario.BostonDrive(seed)
@@ -87,6 +105,14 @@ func runDrive(cfg core.Config, city string, seed int64, speed float64, numAPs in
 		spec.NumAPs = numAPs
 	}
 	world, mob := spec.Build()
+	// Attach before AddClient and ApplyChaos so the driver histograms and
+	// the injector's episode spans are wired from the start.
+	var o *obs.Obs
+	if ospec.enabled() {
+		o = obs.New(0)
+		o.Tracer.SetFilter(ospec.filter...)
+		world.AttachObs(o)
+	}
 	client := world.AddClient(cfg, mob)
 	var chaos *scenario.Chaos
 	if chaosSpec != "" {
@@ -136,6 +162,10 @@ func runDrive(cfg core.Config, city string, seed int64, speed float64, numAPs in
 		res.faultReport = chaos.Injector.Report()
 		res.checkerErr = chaos.Checker.Verify()
 	}
+	if o != nil {
+		res.snap = o.Reg.Snapshot()
+		res.tracer = o.Tracer
+	}
 	return res, nil
 }
 
@@ -171,6 +201,24 @@ func report(r driveResult) {
 	}
 }
 
+// writeObs writes the single-rep observability exports.
+func writeObs(metricsOut, traceOut string, snap obs.Snapshot, tr *obs.Tracer) error {
+	if metricsOut != "" {
+		if err := obs.WriteMetricsFile(metricsOut, snap); err != nil {
+			return err
+		}
+	}
+	if traceOut != "" {
+		if err := obs.WriteTraceFile(traceOut, tr); err != nil {
+			return err
+		}
+		if d := tr.Dropped(); d > 0 {
+			fmt.Fprintf(os.Stderr, "spider-sim: trace ring wrapped; oldest %d events dropped (narrow with -trace-filter)\n", d)
+		}
+	}
+	return nil
+}
+
 func main() {
 	var (
 		config  = flag.String("config", "ch1-multi", "driver configuration")
@@ -181,10 +229,13 @@ func main() {
 		numAPs  = flag.Int("aps", 0, "override deployed AP count")
 		reps    = flag.Int("reps", 1, "independent drive replications")
 		workers = flag.Int("workers", runtime.NumCPU(), "worker goroutines when -reps > 1")
-		pcapOut = flag.String("pcap", "", "write an over-the-air capture to this file (single rep only)")
-		chaos   = flag.String("chaos", "", "fault injection: off, mild, aggressive, or a timeline script")
-		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
-		memProf = flag.String("memprofile", "", "write a heap profile to this file at exit")
+		pcapOut  = flag.String("pcap", "", "write an over-the-air capture to this file (single rep only)")
+		chaos    = flag.String("chaos", "", "fault injection: off, mild, aggressive, or a timeline script")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf  = flag.String("memprofile", "", "write a heap profile to this file at exit")
+		metricsO = flag.String("metrics-out", "", "write Prometheus-format metrics to this file (reps merge in index order)")
+		traceO   = flag.String("trace-out", "", "write the event trace to this file: .jsonl for JSONL, else Chrome trace JSON (single rep only)")
+		traceF   = flag.String("trace-filter", "", "comma-separated category prefixes to trace (empty = all)")
 	)
 	flag.Parse()
 	stopProf, err := prof.Start(*cpuProf, *memProf)
@@ -192,7 +243,11 @@ func main() {
 		fmt.Fprintln(os.Stderr, "spider-sim:", err)
 		os.Exit(2)
 	}
-	defer stopProf()
+	defer func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintln(os.Stderr, "spider-sim:", err)
+		}
+	}()
 
 	cfg, err := driverConfig(*config)
 	if err != nil {
@@ -207,11 +262,19 @@ func main() {
 		fmt.Fprintln(os.Stderr, "spider-sim: -pcap requires -reps 1")
 		os.Exit(2)
 	}
+	if *traceO != "" && *reps > 1 {
+		fmt.Fprintln(os.Stderr, "spider-sim: -trace-out requires -reps 1")
+		os.Exit(2)
+	}
+	ospec := obsSpec{metrics: *metricsO != "", trace: *traceO != ""}
+	if *traceF != "" {
+		ospec.filter = strings.Split(*traceF, ",")
+	}
 	dur := time.Duration(*minutes) * time.Minute
 	start := time.Now()
 
 	if *reps == 1 {
-		r, err := runDrive(cfg, *city, *seed, *speed, *numAPs, dur, *pcapOut, *chaos)
+		r, err := runDrive(cfg, *city, *seed, *speed, *numAPs, dur, *pcapOut, *chaos, ospec)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "spider-sim:", err)
 			os.Exit(1)
@@ -220,6 +283,10 @@ func main() {
 			*city, r.numAPs, r.speedMS, dur, time.Since(start).Round(time.Millisecond))
 		fmt.Printf("Driver: %s\n\n", r.mode)
 		report(r)
+		if err := writeObs(*metricsO, *traceO, r.snap, r.tracer); err != nil {
+			fmt.Fprintln(os.Stderr, "spider-sim:", err)
+			os.Exit(1)
+		}
 		if r.checkerErr != nil {
 			os.Exit(1)
 		}
@@ -227,14 +294,34 @@ func main() {
 	}
 
 	// Each replication derives its world seed from (seed, config, rep):
-	// distinct streams per rep, reproducible at any -workers value.
-	results, err := sweep.RunN(context.Background(), *workers, *reps,
+	// distinct streams per rep, reproducible at any -workers value. The
+	// fold runs after the sweep, over the index-ordered results, so both
+	// the report and the merged metrics are worker-count independent.
+	type accum struct {
+		results []driveResult
+		snaps   []obs.Snapshot
+	}
+	acc, err := sweep.Reduce(context.Background(), *workers, *reps,
 		func(_ context.Context, rep int) (driveResult, error) {
-			return runDrive(cfg, *city, sweep.TaskSeed(*seed, *config, rep), *speed, *numAPs, dur, "", *chaos)
+			return runDrive(cfg, *city, sweep.TaskSeed(*seed, *config, rep), *speed, *numAPs, dur, "", *chaos, ospec)
+		},
+		accum{}, func(a accum, r driveResult) accum {
+			a.results = append(a.results, r)
+			if r.snap != nil {
+				a.snaps = append(a.snaps, r.snap)
+			}
+			return a
 		})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "spider-sim:", err)
 		os.Exit(1)
+	}
+	results := acc.results
+	if *metricsO != "" {
+		if err := obs.WriteMetricsFile(*metricsO, obs.MergeSnapshots(acc.snaps...)); err != nil {
+			fmt.Fprintln(os.Stderr, "spider-sim:", err)
+			os.Exit(1)
+		}
 	}
 	fmt.Printf("Drive: %s, %d APs, %.1f m/s, %v simulated ×%d reps (%v wall, %d workers)\n",
 		*city, results[0].numAPs, results[0].speedMS, dur, *reps,

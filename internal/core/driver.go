@@ -3,12 +3,14 @@ package core
 import (
 	"math/rand"
 	"sort"
+	"strconv"
 	"time"
 
 	"spider/internal/dhcp"
 	"spider/internal/geo"
 	"spider/internal/mac"
 	"spider/internal/metrics"
+	"spider/internal/obs"
 	"spider/internal/radio"
 	"spider/internal/sim"
 	"spider/internal/wifi"
@@ -66,6 +68,10 @@ type Stats struct {
 	// TeardownPurged counts frames purged from per-channel transmit
 	// queues because their interface was torn down.
 	TeardownPurged uint64
+	// DwellOverruns counts slice boundaries that arrived while the
+	// previous channel switch was still in flight — the schedule asked
+	// for a dwell shorter than the switch machinery could deliver.
+	DwellOverruns uint64
 }
 
 type queuedFrame struct {
@@ -112,6 +118,12 @@ type Driver struct {
 	// injector recovery accounting, invariant checker).
 	connectedHooks []func(*Iface)
 	teardownHooks  []func(ifc *Iface, timersLeaked bool)
+
+	// Observability (all nil-safe; see AttachObs). The tracer guard at
+	// call sites skips argument construction when tracing is off.
+	tr                     *obs.Tracer
+	hAssoc, hJoin, hSwitch *obs.Histogram
+	dwellStart             time.Duration
 
 	// Measurement series consumed by the experiment harness.
 	AssocTimes    []time.Duration // successful link-layer association durations
@@ -200,6 +212,26 @@ func (d *Driver) Stats() Stats {
 // Invariants exposes the driver's invariant-violation counters (shared
 // with every interface's joiner and DHCP client).
 func (d *Driver) Invariants() *metrics.InvariantSet { return d.inv }
+
+// AttachObs wires this driver into an observability sink: join/assoc/
+// switch latency histograms plus trace spans for dwells, switches, and
+// join lifecycle. Safe to skip entirely — a driver with no obs attached
+// runs byte-identically to one with it, because the instrumentation
+// never draws RNG, never schedules events, and only reads state the
+// driver already maintains.
+func (d *Driver) AttachObs(o *obs.Obs) {
+	if o == nil {
+		return
+	}
+	d.tr = o.Tracer
+	d.hAssoc = o.Reg.Histogram("spider_assoc_seconds",
+		"Successful link-layer association durations.")
+	d.hJoin = o.Reg.Histogram("spider_join_seconds",
+		"Successful full-join (assoc+DHCP) durations.")
+	d.hSwitch = o.Reg.Histogram("spider_switch_latency_seconds",
+		"Modeled channel-switch latencies (PSM + reset + polls).")
+	d.dwellStart = d.kernel.Now()
+}
 
 // AddConnectedHook registers an observer invoked after each successful
 // join (after the OnConnected event). The fault injector uses it to
@@ -300,9 +332,22 @@ func (d *Driver) nextSlice() {
 		// mode); the rotation resumes on disconnect.
 		return
 	}
+	if d.switching {
+		// The previous switch is still in flight at this slice boundary:
+		// the schedule asked for a dwell shorter than the switch costs.
+		d.stats.DwellOverruns++
+		if d.tr != nil {
+			d.tr.Instant("core.dwell", "overrun")
+		}
+	}
+	prevCh := d.cfg.Schedule[d.schedIdx].Channel
 	d.schedIdx = (d.schedIdx + 1) % len(d.cfg.Schedule)
 	next := d.cfg.Schedule[d.schedIdx]
 	d.sliceEv = d.kernel.After(next.Dwell, d.nextSlice)
+	if d.tr != nil {
+		d.tr.Complete("core.dwell", "ch"+strconv.Itoa(prevCh), d.dwellStart)
+	}
+	d.dwellStart = d.kernel.Now()
 	d.switchTo(next.Channel)
 }
 
@@ -352,6 +397,12 @@ func (d *Driver) switchTo(ch int) {
 	}
 	d.stats.Switches++
 	d.SwitchLatency = append(d.SwitchLatency, latency)
+	d.hSwitch.Observe(latency.Seconds())
+	if d.tr != nil {
+		d.tr.Instant("core.switch", "switch",
+			obs.I("from", int64(from)), obs.I("to", int64(ch)),
+			obs.D("latency", latency), obs.I("connected", int64(connected)))
+	}
 	if d.events.OnSwitch != nil {
 		d.events.OnSwitch(from, ch, latency, connected)
 	}
@@ -462,6 +513,8 @@ func (d *Driver) startJoin(rec *APRecord) {
 		func(res dhcp.Result) { d.onDHCPResult(ifc, res) })
 	ifc.joiner.SetInvariants(d.inv)
 	ifc.dhcpc.SetInvariants(d.inv)
+	ifc.joiner.SetTracer(d.tr)
+	ifc.dhcpc.SetTracer(d.tr)
 	d.ifaces[bssid] = ifc
 	rec.Attempts++
 	d.stats.AssocAttempts++
@@ -484,6 +537,7 @@ func (d *Driver) onAssocResult(ifc *Iface, res mac.AssocResult) {
 	}
 	d.stats.AssocSuccesses++
 	d.AssocTimes = append(d.AssocTimes, res.Elapsed)
+	d.hAssoc.Observe(res.Elapsed.Seconds())
 	ifc.state = IfaceDHCP
 	ifc.lastHeard = d.kernel.Now()
 	d.stats.DHCPAttempts++
@@ -532,6 +586,11 @@ func (d *Driver) onDHCPResult(ifc *Iface, res dhcp.Result) {
 	rec.LeaseIP = res.IP
 	rec.LeaseExpiry = d.kernel.Now() + res.LeaseDur
 	d.JoinTimes = append(d.JoinTimes, elapsed)
+	d.hJoin.Observe(elapsed.Seconds())
+	if d.tr != nil {
+		d.tr.Instant("core.join", "connected",
+			obs.S("bssid", ifc.BSSID().String()), obs.D("elapsed", elapsed))
+	}
 	ifc.state = IfaceConnected
 	ifc.ip = res.IP
 	ifc.lastHeard = d.kernel.Now()
@@ -584,6 +643,9 @@ func (d *Driver) onRenewResult(ifc *Iface, res dhcp.Result) {
 }
 
 func (d *Driver) failJoin(ifc *Iface) {
+	if d.tr != nil {
+		d.tr.Instant("core.join", "failed", obs.S("bssid", ifc.BSSID().String()))
+	}
 	d.applyFailBackoff(ifc.rec)
 	d.teardown(ifc)
 }
@@ -610,6 +672,10 @@ func (d *Driver) applyFailBackoff(rec *APRecord) {
 		rec.HoldUntil = rec.BlacklistUntil
 		rec.ConsecFails = 0
 		d.stats.Blacklisted++
+		if d.tr != nil {
+			d.tr.Instant("core.fault", "quarantine",
+				obs.S("bssid", rec.BSSID.String()), obs.D("for", q))
+		}
 	} else {
 		// First failure keeps the plain hold-down; repeats escalate
 		// exponentially (with jitter) up to the cap.
@@ -663,6 +729,9 @@ func (d *Driver) teardown(ifc *Iface) {
 	}
 	if wasConnected {
 		d.stats.Disconnects++
+		if d.tr != nil {
+			d.tr.Instant("core.join", "disconnect", obs.S("bssid", bssid.String()))
+		}
 		// Best-effort deauth so the AP frees state.
 		d.transmit(ifc.Channel(), &wifi.Frame{Type: wifi.TypeDeauth, SA: d.Addr(), DA: bssid,
 			BSSID: bssid, Seq: d.nextSeq(), Body: &wifi.DeauthBody{Reason: 3}})

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"spider/internal/metrics"
+	"spider/internal/obs"
 	"spider/internal/sim"
 	"spider/internal/wifi"
 )
@@ -114,6 +115,9 @@ type Client struct {
 
 	// inv counts impossible-state transitions (nil-safe; see SetInvariants).
 	inv *metrics.InvariantSet
+	// tr, when set, records each acquisition attempt as a trace span
+	// plus instants for offer/ack/nak arrivals.
+	tr *obs.Tracer
 
 	// Counters across attempts (Table 3 feeds on these).
 	Attempts, Successes, Failures uint64
@@ -137,6 +141,10 @@ func (c *Client) Config() ClientConfig { return c.cfg }
 // SetInvariants points the client at a shared invariant-violation set.
 // A nil set (the default) is safe: violations are simply not counted.
 func (c *Client) SetInvariants(inv *metrics.InvariantSet) { c.inv = inv }
+
+// SetTracer attaches a trace sink for acquisition spans. A nil tracer
+// (the default) records nothing and costs one branch per outcome.
+func (c *Client) SetTracer(tr *obs.Tracer) { c.tr = tr }
 
 // Busy reports whether an acquisition attempt is in flight.
 func (c *Client) Busy() bool { return c.state == stateDiscovering || c.state == stateRequesting }
@@ -231,6 +239,10 @@ func (c *Client) fail() {
 	c.stopTimers()
 	c.state = stateIdle
 	c.Failures++
+	if c.tr != nil {
+		c.tr.Complete("dhcp", "acquire", c.started,
+			obs.S("result", "failed"), obs.I("retx", int64(c.retxN)))
+	}
 	c.onResult(Result{Success: false, Elapsed: c.kernel.Now() - c.started, Retx: c.retxN})
 }
 
@@ -244,6 +256,9 @@ func (c *Client) HandleMessage(m *Message) {
 		if c.state != stateDiscovering {
 			return
 		}
+		if c.tr != nil {
+			c.tr.Instant("dhcp", "offer", obs.S("ip", m.YourIP.String()))
+		}
 		c.retxTimer.Cancel()
 		c.retxTimer = sim.Event{}
 		c.state = stateRequesting
@@ -256,6 +271,11 @@ func (c *Client) HandleMessage(m *Message) {
 		c.stopTimers()
 		c.state = stateBound
 		c.Successes++
+		if c.tr != nil {
+			c.tr.Complete("dhcp", "acquire", c.started,
+				obs.S("result", "ok"), obs.S("ip", m.YourIP.String()),
+				obs.I("retx", int64(c.retxN)))
+		}
 		c.onResult(Result{
 			Success: true, IP: m.YourIP,
 			LeaseDur: time.Duration(m.LeaseSecs) * time.Second,
@@ -265,6 +285,9 @@ func (c *Client) HandleMessage(m *Message) {
 	case Nak:
 		if c.state != stateRequesting {
 			return
+		}
+		if c.tr != nil {
+			c.tr.Instant("dhcp", "nak", obs.S("ip", c.offered.String()))
 		}
 		// Cached address rejected: fall back to full discovery inside the
 		// same attempt window.

@@ -8,6 +8,7 @@ import (
 	"spider/internal/core"
 	"spider/internal/fault"
 	"spider/internal/metrics"
+	"spider/internal/obs"
 	"spider/internal/scenario"
 	"spider/internal/sweep"
 )
@@ -62,10 +63,11 @@ func chaosProfile(spec string) (fault.Config, fault.Timeline, string, error) {
 
 // chaosDrive runs one Amherst drive under the given fault config and
 // returns the client, chaos state and duration.
-func chaosDrive(seed int64, dur time.Duration, cfg core.Config, fcfg fault.Config, tl fault.Timeline) (*scenario.Client, *scenario.Chaos, time.Duration) {
+func chaosDrive(seed int64, dur time.Duration, cfg core.Config, fcfg fault.Config, tl fault.Timeline, o *obs.Obs) (*scenario.Client, *scenario.Chaos, time.Duration) {
 	spec := scenario.AmherstDrive(seed)
 	spec.Radio = driveRadio()
 	w, m := spec.Build()
+	w.AttachObs(o)
 	c := w.AddClient(cfg, m)
 	ch := scenario.ApplyChaos(w, c, fcfg)
 	if len(tl) > 0 {
@@ -113,10 +115,10 @@ func ChaosDrive(o Options) (ChaosResult, error) {
 	}
 	runs := fanOut(o, 2, func(i int) drive {
 		if i == 0 {
-			c, ch, _ := chaosDrive(seed, dur, cfg, fault.Config{}, nil)
+			c, ch, _ := chaosDrive(seed, dur, cfg, fault.Config{}, nil, o.Obs)
 			return drive{c, ch}
 		}
-		c, ch, _ := chaosDrive(seed, dur, cfg, fcfg, tl)
+		c, ch, _ := chaosDrive(seed, dur, cfg, fcfg, tl, o.Obs)
 		return drive{c, ch}
 	})
 

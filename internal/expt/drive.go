@@ -53,6 +53,7 @@ func driveClient(o Options, boston bool, cfg core.Config) (*scenario.Client, tim
 	}
 	spec.Radio = driveRadio()
 	w, m := spec.Build()
+	w.AttachObs(o.Obs)
 	c := w.AddClient(cfg, m)
 	dur := o.driveDur()
 	w.Run(dur)

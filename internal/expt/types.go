@@ -17,6 +17,7 @@ import (
 	"strings"
 	"time"
 
+	"spider/internal/obs"
 	"spider/internal/plot"
 )
 
@@ -39,6 +40,12 @@ type Options struct {
 	// chaos experiment; other experiments ignore it. Empty means the
 	// experiment's default profile.
 	Chaos string
+	// Obs, when non-nil, is attached to every world the experiments
+	// build. Counter and histogram totals accumulate across sub-runs
+	// (commutative sums, so still deterministic at any worker count);
+	// tracing concurrent sub-runs into one timeline is only meaningful
+	// with Workers=1, which the CLI enforces for -trace-out.
+	Obs *obs.Obs
 }
 
 // DefaultOptions is the paper-like scale.

@@ -10,6 +10,7 @@ import (
 	"spider/internal/core"
 	"spider/internal/dhcp"
 	"spider/internal/mac"
+	"spider/internal/obs"
 	"spider/internal/radio"
 	"spider/internal/sim"
 	"spider/internal/sweep"
@@ -75,6 +76,9 @@ type Injector struct {
 	// outstanding tracks unrecovered fault start times per class; the
 	// driver's next successful join clears (and credits) them all.
 	outstanding map[string][]time.Duration
+
+	// tr, when set, records each fault episode as a trace span.
+	tr *obs.Tracer
 }
 
 // NewInjector creates an injector for the kernel's run. Nothing fires
@@ -96,6 +100,28 @@ func NewInjector(k *sim.Kernel, cfg Config) *Injector {
 
 // Config returns the injector's fault profile.
 func (in *Injector) Config() Config { return in.cfg }
+
+// AttachObs exports per-class injected/recovered counters and records
+// each fault episode as a trace span. The counters are read-closures
+// over the ledger the injector already keeps, so the fault hot path is
+// untouched; the tracer never draws RNG or schedules events, so an
+// attached run stays byte-identical to a bare one.
+func (in *Injector) AttachObs(o *obs.Obs) {
+	if o == nil {
+		return
+	}
+	in.tr = o.Tracer
+	for _, class := range Classes {
+		cs := in.classes[class]
+		name := strings.ReplaceAll(class, "-", "_")
+		o.Reg.CounterFunc("fault_"+name+"_injected_total",
+			"Faults of class "+class+" injected.",
+			func() float64 { return float64(cs.Injected) })
+		o.Reg.CounterFunc("fault_"+name+"_recovered_total",
+			"Faults of class "+class+" credited as recovered.",
+			func() float64 { return float64(cs.Recovered) })
+	}
+}
 
 func (in *Injector) stream(class string, target int) *rand.Rand {
 	return sweep.RNG(in.seed, "fault."+class, target)
@@ -147,6 +173,7 @@ func (in *Injector) scheduleEpisodes(class string, rng *rand.Rand, mtbf time.Dur
 		in.kernel.After(gap, func() {
 			in.recordFault(class)
 			start()
+			t0 := in.kernel.Now()
 			var d time.Duration
 			if dur != nil {
 				d = dur.Sample(rng)
@@ -156,6 +183,11 @@ func (in *Injector) scheduleEpisodes(class string, rng *rand.Rand, mtbf time.Dur
 			}
 			in.kernel.After(d, func() {
 				stop()
+				// in.tr is read at fire time, so episodes armed before
+				// AttachObs still trace once it lands.
+				if in.tr != nil {
+					in.tr.Complete("fault."+class, class, t0)
+				}
 				arm()
 			})
 		})

@@ -87,6 +87,11 @@ type AP struct {
 	UplinkFrames  uint64
 	DownFrames    uint64
 	DownDelivered uint64
+	// BeaconsMissed counts beacon slots whose transmission was suppressed
+	// because the AP was crashed or beacon-muted — the fault injector's
+	// beacon silences made visible to clients only as absence, and to the
+	// observability layer as this counter.
+	BeaconsMissed uint64
 }
 
 // NewAPAt creates an access point at a fixed position, registers its
@@ -201,6 +206,8 @@ func (ap *AP) beacon() {
 			Body: &wifi.BeaconBody{SSID: ap.cfg.SSID, Channel: uint8(ap.cfg.Channel),
 				BackhaulKbps: uint32(ap.cfg.BackhaulKbps)},
 		})
+	} else {
+		ap.BeaconsMissed++
 	}
 	ap.kernel.After(ap.cfg.BeaconInterval, ap.beacon)
 }

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"spider/internal/metrics"
+	"spider/internal/obs"
 	"spider/internal/sim"
 	"spider/internal/wifi"
 )
@@ -106,6 +107,10 @@ type Joiner struct {
 
 	// inv counts impossible-state transitions (nil-safe; see SetInvariants).
 	inv *metrics.InvariantSet
+	// tr, when set, records each handshake phase as a trace span.
+	// stageStart is the kernel time the current phase began.
+	tr         *obs.Tracer
+	stageStart time.Duration
 
 	// Counters.
 	Attempts, Successes, Failures uint64
@@ -132,6 +137,11 @@ func (j *Joiner) Config() JoinConfig { return j.cfg }
 // A nil set (the default) is safe: violations are simply not counted.
 func (j *Joiner) SetInvariants(inv *metrics.InvariantSet) { j.inv = inv }
 
+// SetTracer attaches a trace sink for handshake phase spans. A nil
+// tracer (the default) records nothing and costs one branch per phase
+// transition.
+func (j *Joiner) SetTracer(tr *obs.Tracer) { j.tr = tr }
+
 // TimerPending reports whether the per-message timer is still armed —
 // after Abort it must be false, or the owner leaked a timer.
 func (j *Joiner) TimerPending() bool { return j.timer.Pending() }
@@ -147,6 +157,7 @@ func (j *Joiner) Start() {
 	j.cancelTimer()
 	j.Attempts++
 	j.started = j.kernel.Now()
+	j.stageStart = j.started
 	j.retries = 0
 	j.stage = StageAuth
 	j.sendCurrent()
@@ -205,6 +216,10 @@ func (j *Joiner) onTimeout() {
 		stage := j.stage
 		j.stage = StageIdle
 		j.Failures++
+		if j.tr != nil {
+			j.tr.Complete("mac.join", stage.String(), j.stageStart,
+				obs.S("bssid", j.bssid.String()), obs.S("result", "failed"))
+		}
 		j.onResult(AssocResult{Success: false, Stage: stage,
 			Elapsed: j.kernel.Now() - j.started, Retries: j.retries - 1})
 		return
@@ -228,6 +243,11 @@ func (j *Joiner) HandleFrame(f *wifi.Frame) {
 		}
 		j.cancelTimer()
 		j.retries = 0
+		if j.tr != nil {
+			j.tr.Complete("mac.join", "auth", j.stageStart,
+				obs.S("bssid", j.bssid.String()))
+		}
+		j.stageStart = j.kernel.Now()
 		j.stage = StageAssoc
 		j.sendCurrent()
 	case wifi.TypeAssocResp:
@@ -241,6 +261,10 @@ func (j *Joiner) HandleFrame(f *wifi.Frame) {
 		j.cancelTimer()
 		j.stage = StageAssociated
 		j.Successes++
+		if j.tr != nil {
+			j.tr.Complete("mac.join", "assoc", j.stageStart,
+				obs.S("bssid", j.bssid.String()))
+		}
 		j.onResult(AssocResult{Success: true, Stage: StageAssociated,
 			Elapsed: j.kernel.Now() - j.started, Retries: j.retries})
 	case wifi.TypeDeauth:

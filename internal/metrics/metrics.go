@@ -48,6 +48,41 @@ func (r *Recorder) Add(t time.Duration, bytes int) {
 // TotalBytes returns all bytes recorded.
 func (r *Recorder) TotalBytes() int64 { return r.total }
 
+// Window returns the recorded data extent rounded up to a whole bin —
+// the smallest window that covers every byte this recorder has seen.
+// Callers that measured "until the run ended" can pass it to the
+// window-taking methods instead of re-deriving the duration.
+func (r *Recorder) Window() time.Duration {
+	if r.total == 0 {
+		return 0
+	}
+	return (r.maxT/r.bin + 1) * r.bin
+}
+
+// numBins returns how many bins the window covers, counting a trailing
+// partial bin as a bin. The earlier `window / bin` truncation silently
+// dropped the final partial bin for windows that were not a multiple of
+// the bin width, biasing connectivity and the run extraction.
+func (r *Recorder) numBins(window time.Duration) int64 {
+	if window <= 0 {
+		return 0
+	}
+	n := int64(window / r.bin)
+	if window%r.bin != 0 {
+		n++
+	}
+	return n
+}
+
+// binWidth returns bin i's width within the window (the final bin may
+// be partial).
+func (r *Recorder) binWidth(i int64, window time.Duration) time.Duration {
+	if rem := window - time.Duration(i)*r.bin; rem < r.bin {
+		return rem
+	}
+	return r.bin
+}
+
 // ThroughputKBps returns average throughput over the window in KB/s
 // (the unit Table 2 reports).
 func (r *Recorder) ThroughputKBps(window time.Duration) float64 {
@@ -60,7 +95,7 @@ func (r *Recorder) ThroughputKBps(window time.Duration) float64 {
 // Connectivity returns the fraction of bins within the window that saw a
 // non-zero transfer.
 func (r *Recorder) Connectivity(window time.Duration) float64 {
-	n := int64(window / r.bin)
+	n := r.numBins(window)
 	if n <= 0 {
 		return 0
 	}
@@ -86,22 +121,24 @@ func (r *Recorder) Disruptions(window time.Duration) []time.Duration {
 }
 
 func (r *Recorder) runs(window time.Duration, busy bool) []time.Duration {
-	n := int64(window / r.bin)
+	n := r.numBins(window)
 	var out []time.Duration
-	run := int64(0)
+	var run time.Duration
 	for i := int64(0); i < n; i++ {
 		isBusy := r.bins[i] > 0
 		if isBusy == busy {
-			run++
+			// A trailing partial bin contributes only its clipped width, so
+			// run durations never exceed the window.
+			run += r.binWidth(i, window)
 			continue
 		}
 		if run > 0 {
-			out = append(out, time.Duration(run)*r.bin)
+			out = append(out, run)
 			run = 0
 		}
 	}
 	if run > 0 {
-		out = append(out, time.Duration(run)*r.bin)
+		out = append(out, run)
 	}
 	return out
 }
@@ -109,11 +146,13 @@ func (r *Recorder) runs(window time.Duration, busy bool) []time.Duration {
 // InstantaneousKBps returns the per-busy-bin transfer rates in KB/s —
 // the paper's "instantaneous bandwidth" CDF input (Fig 10c).
 func (r *Recorder) InstantaneousKBps(window time.Duration) []float64 {
-	n := int64(window / r.bin)
+	n := r.numBins(window)
 	var out []float64
 	for i := int64(0); i < n; i++ {
 		if b := r.bins[i]; b > 0 {
-			out = append(out, float64(b)/1000/r.bin.Seconds())
+			// Rate over the bin's width within the window: a trailing
+			// partial bin's bytes were delivered in its clipped span.
+			out = append(out, float64(b)/1000/r.binWidth(i, window).Seconds())
 		}
 	}
 	return out

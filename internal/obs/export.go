@@ -1,0 +1,38 @@
+package obs
+
+import (
+	"os"
+	"strings"
+)
+
+// WriteMetricsFile writes the snapshot to path in the Prometheus text
+// exposition format.
+func WriteMetricsFile(path string, s Snapshot) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	err = s.WritePrometheus(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// WriteTraceFile writes the tracer's retained events to path: JSONL
+// when the path ends in .jsonl, Chrome trace_event JSON otherwise.
+func WriteTraceFile(path string, tr *Tracer) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if strings.HasSuffix(path, ".jsonl") {
+		err = tr.WriteJSONL(f)
+	} else {
+		err = tr.WriteChromeTrace(f)
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

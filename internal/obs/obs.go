@@ -1,0 +1,34 @@
+// Package obs is the observability layer: a metric registry
+// (counters/gauges/histograms with Prometheus-style text export) and a
+// ring-buffered structured event tracer (JSONL and Chrome trace_event
+// export, loadable in chrome://tracing or Perfetto).
+//
+// Determinism contract: observation must never perturb a run. Nothing
+// in this package draws randomness, schedules kernel events, or feeds
+// values back into simulation logic; every hook in the stack guards its
+// instrumentation behind a nil check so a run with observation off
+// executes the exact instruction stream the uninstrumented build would.
+// The scenario equivalence test (obs_equivalence_test.go) enforces
+// byte-identical metrics with observation on vs. off, seed by seed.
+//
+// Concurrency: handles use atomics and the registry/tracer lock their
+// internals, because spider-exp shares one Obs across the sub-runs of
+// an experiment fanned out by the sweep engine. Counter and histogram
+// merges are commutative sums, so a shared registry exports the same
+// totals at any worker count; traces and gauges are only meaningful on
+// single-worker (or single-run) sessions.
+package obs
+
+// Obs bundles the two observation surfaces a run wires through its
+// stack. A nil *Obs (the default everywhere) disables observation at
+// zero cost.
+type Obs struct {
+	Reg    *Registry
+	Tracer *Tracer
+}
+
+// New creates an observation bundle with the given trace ring capacity
+// (0 picks the default).
+func New(traceCap int) *Obs {
+	return &Obs{Reg: NewRegistry(), Tracer: NewTracer(traceCap)}
+}

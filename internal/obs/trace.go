@@ -1,0 +1,302 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Arg is one key/value annotation on a trace event.
+type Arg struct{ Key, Val string }
+
+// S builds a string arg.
+func S(k, v string) Arg { return Arg{Key: k, Val: v} }
+
+// I builds an integer arg.
+func I(k string, v int64) Arg { return Arg{Key: k, Val: strconv.FormatInt(v, 10)} }
+
+// D builds a duration arg.
+func D(k string, v time.Duration) Arg { return Arg{Key: k, Val: v.String()} }
+
+// Event phases (a subset of the Chrome trace_event vocabulary).
+const (
+	PhaseInstant  = 'i'
+	PhaseComplete = 'X'
+)
+
+// TraceEvent is one recorded event on the tracer's timeline.
+type TraceEvent struct {
+	Ts   time.Duration // event time on the tracer's (concatenated) clock
+	Dur  time.Duration // span length for PhaseComplete events
+	Ph   byte
+	Cat  string
+	Name string
+	Args []Arg
+}
+
+// defaultTraceCap bounds the ring when NewTracer gets 0: enough for a
+// multi-hour drive's control-plane events without unbounded memory.
+const defaultTraceCap = 1 << 16
+
+// Tracer records structured events into a fixed ring buffer, stamped by
+// the simulation kernel's virtual clock. When the ring wraps, the
+// oldest events are overwritten (Dropped counts them). A nil *Tracer is
+// safe: every method no-ops — but hot paths should still guard with a
+// nil check to avoid evaluating args.
+//
+// AttachClock binds (or re-binds) the time source. Re-binding offsets
+// the new clock by the high-water timestamp already recorded, so a
+// tracer shared across sequential worlds (spider-exp) renders as one
+// concatenated timeline instead of overlapping runs.
+type Tracer struct {
+	mu      sync.Mutex
+	now     func() time.Duration
+	base    time.Duration
+	high    time.Duration
+	ring    []TraceEvent
+	total   uint64
+	filter  []string
+	dropped uint64
+}
+
+// NewTracer creates a tracer with the given ring capacity (0 = default).
+// It records nothing until AttachClock.
+func NewTracer(capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = defaultTraceCap
+	}
+	return &Tracer{ring: make([]TraceEvent, capacity)}
+}
+
+// AttachClock binds the virtual-time source (typically sim.Kernel.Now).
+// Subsequent events are stamped base+now() where base is the high-water
+// mark at attach time.
+func (t *Tracer) AttachClock(now func() time.Duration) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.base = t.high
+	t.now = now
+}
+
+// SetFilter restricts recording to events whose category starts with
+// one of the prefixes. No prefixes (or an empty string) records all.
+func (t *Tracer) SetFilter(prefixes ...string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.filter = nil
+	for _, p := range prefixes {
+		if p != "" {
+			t.filter = append(t.filter, p)
+		}
+	}
+}
+
+func (t *Tracer) pass(cat string) bool {
+	if len(t.filter) == 0 {
+		return true
+	}
+	for _, p := range t.filter {
+		if strings.HasPrefix(cat, p) {
+			return true
+		}
+	}
+	return false
+}
+
+func (t *Tracer) record(ev TraceEvent) {
+	if !t.pass(ev.Cat) {
+		return
+	}
+	if ev.Ts > t.high {
+		t.high = ev.Ts
+	}
+	i := t.total % uint64(len(t.ring))
+	if t.total >= uint64(len(t.ring)) {
+		t.dropped++
+	}
+	t.ring[i] = ev
+	t.total++
+}
+
+// Instant records a point event at the current clock time.
+func (t *Tracer) Instant(cat, name string, args ...Arg) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.now == nil {
+		return
+	}
+	t.record(TraceEvent{Ts: t.base + t.now(), Ph: PhaseInstant, Cat: cat, Name: name, Args: args})
+}
+
+// Complete records a span from start (a time in the attached clock's
+// domain, e.g. a kernel timestamp the caller saved) to now.
+func (t *Tracer) Complete(cat, name string, start time.Duration, args ...Arg) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.now == nil {
+		return
+	}
+	dur := t.now() - start
+	if dur < 0 {
+		dur = 0
+	}
+	t.record(TraceEvent{Ts: t.base + start, Dur: dur, Ph: PhaseComplete, Cat: cat, Name: name, Args: args})
+}
+
+// Total returns how many events were recorded (including overwritten).
+func (t *Tracer) Total() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.total
+}
+
+// Dropped returns how many events the ring overwrote.
+func (t *Tracer) Dropped() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
+// Events returns the retained events in recording order (oldest first).
+func (t *Tracer) Events() []TraceEvent {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := t.total
+	capN := uint64(len(t.ring))
+	if n <= capN {
+		return append([]TraceEvent(nil), t.ring[:n]...)
+	}
+	out := make([]TraceEvent, 0, capN)
+	head := n % capN
+	out = append(out, t.ring[head:]...)
+	out = append(out, t.ring[:head]...)
+	return out
+}
+
+func usec(d time.Duration) float64 { return float64(d) / float64(time.Microsecond) }
+
+func argMap(args []Arg) map[string]string {
+	if len(args) == 0 {
+		return nil
+	}
+	m := make(map[string]string, len(args))
+	for _, a := range args {
+		m[a.Key] = a.Val
+	}
+	return m
+}
+
+// jsonlEvent is the JSONL export schema.
+type jsonlEvent struct {
+	TsUs  float64           `json:"ts_us"`
+	DurUs float64           `json:"dur_us,omitempty"`
+	Ph    string            `json:"ph"`
+	Cat   string            `json:"cat"`
+	Name  string            `json:"name"`
+	Args  map[string]string `json:"args,omitempty"`
+}
+
+// WriteJSONL writes one JSON object per retained event.
+func (t *Tracer) WriteJSONL(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	for _, ev := range t.Events() {
+		je := jsonlEvent{
+			TsUs: usec(ev.Ts), Ph: string(ev.Ph), Cat: ev.Cat, Name: ev.Name,
+			Args: argMap(ev.Args),
+		}
+		if ev.Ph == PhaseComplete {
+			je.DurUs = usec(ev.Dur)
+		}
+		if err := enc.Encode(je); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// chromeEvent is the Chrome trace_event schema (object format).
+type chromeEvent struct {
+	Name  string            `json:"name"`
+	Cat   string            `json:"cat,omitempty"`
+	Ph    string            `json:"ph"`
+	Ts    float64           `json:"ts"`
+	Dur   *float64          `json:"dur,omitempty"`
+	Pid   int               `json:"pid"`
+	Tid   int               `json:"tid"`
+	Scope string            `json:"s,omitempty"`
+	Args  map[string]string `json:"args,omitempty"`
+}
+
+// WriteChromeTrace writes the retained events as Chrome trace_event
+// JSON ({"traceEvents": [...]}), loadable in chrome://tracing and
+// Perfetto. Each event category renders as its own named track.
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	events := t.Events()
+	cats := make(map[string]int)
+	var catNames []string
+	for _, ev := range events {
+		if _, ok := cats[ev.Cat]; !ok {
+			cats[ev.Cat] = 0
+			catNames = append(catNames, ev.Cat)
+		}
+	}
+	sort.Strings(catNames)
+	for i, c := range catNames {
+		cats[c] = i + 1
+	}
+
+	out := make([]chromeEvent, 0, len(events)+len(catNames)+1)
+	out = append(out, chromeEvent{
+		Name: "process_name", Ph: "M", Pid: 1,
+		Args: map[string]string{"name": "spider"},
+	})
+	for _, c := range catNames {
+		out = append(out, chromeEvent{
+			Name: "thread_name", Ph: "M", Pid: 1, Tid: cats[c],
+			Args: map[string]string{"name": c},
+		})
+	}
+	for _, ev := range events {
+		ce := chromeEvent{
+			Name: ev.Name, Cat: ev.Cat, Ph: string(ev.Ph),
+			Ts: usec(ev.Ts), Pid: 1, Tid: cats[ev.Cat], Args: argMap(ev.Args),
+		}
+		if ev.Ph == PhaseComplete {
+			d := usec(ev.Dur)
+			ce.Dur = &d
+		}
+		if ev.Ph == PhaseInstant {
+			ce.Scope = "t" // thread-scoped instant renders as a tick mark
+		}
+		out = append(out, ce)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(struct {
+		TraceEvents []chromeEvent `json:"traceEvents"`
+	}{out})
+}

@@ -12,13 +12,17 @@ import (
 
 // Start begins CPU profiling into cpuPath (if non-empty) and returns a
 // stop function that ends the CPU profile and writes a heap profile to
-// memPath (if non-empty). Call the stop function on every successful
-// exit path, typically via defer:
+// memPath (if non-empty). The stop function returns the first error of
+// the profile writes — a silently truncated or missing profile used to
+// look exactly like a healthy run. Call it on every successful exit
+// path and check the error:
 //
 //	stop, err := prof.Start(*cpuprofile, *memprofile)
 //	if err != nil { ... }
-//	defer stop()
-func Start(cpuPath, memPath string) (stop func(), err error) {
+//	defer func() {
+//		if err := stop(); err != nil { ... }
+//	}()
+func Start(cpuPath, memPath string) (stop func() error, err error) {
 	var cpuFile *os.File
 	if cpuPath != "" {
 		cpuFile, err = os.Create(cpuPath)
@@ -30,22 +34,31 @@ func Start(cpuPath, memPath string) (stop func(), err error) {
 			return nil, fmt.Errorf("prof: %w", err)
 		}
 	}
-	return func() {
+	return func() error {
+		var firstErr error
 		if cpuFile != nil {
 			pprof.StopCPUProfile()
-			cpuFile.Close()
+			if err := cpuFile.Close(); err != nil {
+				firstErr = fmt.Errorf("prof: %w", err)
+			}
 		}
 		if memPath != "" {
 			f, err := os.Create(memPath)
 			if err != nil {
-				fmt.Fprintln(os.Stderr, "prof:", err)
-				return
+				if firstErr == nil {
+					firstErr = fmt.Errorf("prof: %w", err)
+				}
+				return firstErr
 			}
 			runtime.GC() // settle allocations so the heap profile is stable
-			if err := pprof.WriteHeapProfile(f); err != nil {
-				fmt.Fprintln(os.Stderr, "prof:", err)
+			err = pprof.WriteHeapProfile(f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
 			}
-			f.Close()
+			if err != nil && firstErr == nil {
+				firstErr = fmt.Errorf("prof: %w", err)
+			}
 		}
+		return firstErr
 	}, nil
 }

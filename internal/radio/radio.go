@@ -157,6 +157,7 @@ type Stats struct {
 	Retries         uint64 // MAC-level data retransmissions
 	FlushedOnRetune uint64 // frames discarded from a MAC queue after a channel change
 	Collisions      uint64 // receptions corrupted by hidden terminals
+	CSDeferred      uint64 // transmissions delayed by a carrier-sense busy medium
 }
 
 // NewMedium creates a medium bound to the kernel.
@@ -400,6 +401,7 @@ func (r *Radio) kick() {
 	start := now
 	if r.busyUntil > start {
 		start = r.busyUntil
+		m.stats.CSDeferred++
 	}
 	if r.suspendedTo > start {
 		start = r.suspendedTo

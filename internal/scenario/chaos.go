@@ -64,5 +64,8 @@ func ApplyChaos(w *World, client *Client, cfg fault.Config) *Chaos {
 	if cfg.Enabled() && d != nil {
 		chk.StartLiveness(livenessPoll)
 	}
+	// A world attached to an obs sink (AttachObs before ApplyChaos)
+	// exports the injector's per-class ledger and episode spans too.
+	inj.AttachObs(w.obs)
 	return &Chaos{Injector: inj, Checker: chk}
 }

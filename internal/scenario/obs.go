@@ -1,0 +1,233 @@
+package scenario
+
+import (
+	"spider/internal/core"
+	"spider/internal/obs"
+)
+
+// AttachObs wires the world into an observability sink. Every exported
+// counter is a read-closure over state the simulation already keeps —
+// kernel counters, medium stats, AP/server/driver ledgers — so an
+// attached world runs byte-identically to a bare one: the closures are
+// only evaluated at export time, and the tracer neither draws RNG nor
+// schedules events.
+//
+// Call it before the run (and before ApplyChaos, so the injector's
+// episode spans trace too). Clients added after attachment pick up the
+// sink automatically; the closures iterate the live AP/client slices,
+// so late additions are covered either way.
+func (w *World) AttachObs(o *obs.Obs) {
+	if o == nil {
+		return
+	}
+	w.obs = o
+	// Sequential worlds sharing one tracer concatenate on one timeline:
+	// AttachClock offsets this world's events past the previous high-water.
+	o.Tracer.AttachClock(w.Kernel.Now)
+	for _, c := range w.Clients {
+		c.Driver.AttachObs(o)
+	}
+
+	reg := o.Reg
+	sumAP := func(pick func(*APNode) uint64) func() float64 {
+		return func() float64 {
+			var t uint64
+			for _, n := range w.APs {
+				t += pick(n)
+			}
+			return float64(t)
+		}
+	}
+	sumDriver := func(pick func(core.Stats) uint64) func() float64 {
+		return func() float64 {
+			var t uint64
+			for _, c := range w.Clients {
+				t += pick(c.Driver.Stats())
+			}
+			return float64(t)
+		}
+	}
+	sumTCP := func(pick func(TCPStats) uint64) func() float64 {
+		return func() float64 {
+			var t uint64
+			for _, c := range w.Clients {
+				t += pick(c.TCPStats())
+			}
+			return float64(t)
+		}
+	}
+
+	// Kernel.
+	reg.CounterFunc("sim_events_fired_total",
+		"Discrete events executed by the sim kernel.",
+		func() float64 { return float64(w.Kernel.Fired()) })
+	reg.GaugeFunc("sim_virtual_time_seconds",
+		"Virtual time reached by the sim kernel.",
+		func() float64 { return w.Kernel.Now().Seconds() })
+
+	// Radio medium.
+	reg.CounterFunc("radio_tx_total",
+		"Frames offered to the air.",
+		func() float64 { return float64(w.Medium.Stats().Transmitted) })
+	reg.CounterFunc("radio_delivered_total",
+		"Successful per-receiver frame deliveries.",
+		func() float64 { return float64(w.Medium.Stats().Delivered) })
+	reg.CounterFunc("radio_lost_random_total",
+		"Deliveries suppressed by random loss.",
+		func() float64 { return float64(w.Medium.Stats().LostRandom) })
+	reg.CounterFunc("radio_missed_away_total",
+		"Deliveries suppressed because the receiver was off-channel or suspended.",
+		func() float64 { return float64(w.Medium.Stats().MissedAway) })
+	reg.CounterFunc("radio_out_of_range_total",
+		"Deliveries suppressed by range.",
+		func() float64 { return float64(w.Medium.Stats().OutOfRange) })
+	reg.CounterFunc("radio_retries_total",
+		"MAC-level data retransmissions.",
+		func() float64 { return float64(w.Medium.Stats().Retries) })
+	reg.CounterFunc("radio_flushed_on_retune_total",
+		"Frames discarded from a MAC queue after a channel change.",
+		func() float64 { return float64(w.Medium.Stats().FlushedOnRetune) })
+	reg.CounterFunc("radio_collisions_total",
+		"Receptions corrupted by hidden terminals.",
+		func() float64 { return float64(w.Medium.Stats().Collisions) })
+	reg.CounterFunc("radio_cs_deferrals_total",
+		"Transmissions delayed by a carrier-sense busy medium.",
+		func() float64 { return float64(w.Medium.Stats().CSDeferred) })
+
+	// Access points.
+	reg.CounterFunc("mac_assoc_grants_total",
+		"Association requests granted by APs.",
+		sumAP(func(n *APNode) uint64 { return n.AP.AssocGrants }))
+	reg.CounterFunc("mac_beacons_missed_total",
+		"Beacon slots suppressed by crashed or muted APs.",
+		sumAP(func(n *APNode) uint64 { return n.AP.BeaconsMissed }))
+	reg.CounterFunc("mac_psm_buffered_total",
+		"Frames buffered for power-saving clients.",
+		sumAP(func(n *APNode) uint64 { return n.AP.PSMBuffered }))
+	reg.CounterFunc("mac_psm_drops_total",
+		"Frames dropped from full PSM buffers.",
+		sumAP(func(n *APNode) uint64 { return n.AP.PSMDrops }))
+	reg.CounterFunc("mac_psm_flushed_total",
+		"PSM-buffered frames flushed by client teardown.",
+		sumAP(func(n *APNode) uint64 { return n.AP.PSMFlushed }))
+
+	// DHCP servers.
+	reg.CounterFunc("dhcp_discovers_total",
+		"DISCOVER messages received by DHCP servers.",
+		sumAP(func(n *APNode) uint64 { return n.AP.DHCPServer().Discovers }))
+	reg.CounterFunc("dhcp_offers_total",
+		"OFFER messages sent by DHCP servers.",
+		sumAP(func(n *APNode) uint64 { return n.AP.DHCPServer().Offers }))
+	reg.CounterFunc("dhcp_requests_total",
+		"REQUEST messages received by DHCP servers.",
+		sumAP(func(n *APNode) uint64 { return n.AP.DHCPServer().Requests }))
+	reg.CounterFunc("dhcp_acks_total",
+		"ACK messages sent by DHCP servers.",
+		sumAP(func(n *APNode) uint64 { return n.AP.DHCPServer().Acks }))
+	reg.CounterFunc("dhcp_naks_total",
+		"NAK messages sent by DHCP servers.",
+		sumAP(func(n *APNode) uint64 { return n.AP.DHCPServer().Naks }))
+	reg.CounterFunc("dhcp_chaos_drops_total",
+		"Server messages dropped by injected chaos.",
+		sumAP(func(n *APNode) uint64 { return n.AP.DHCPServer().ChaosDrops }))
+	reg.CounterFunc("dhcp_chaos_naks_total",
+		"NAKs forced by injected chaos.",
+		sumAP(func(n *APNode) uint64 { return n.AP.DHCPServer().ChaosNaks }))
+	reg.CounterFunc("dhcp_chaos_slows_total",
+		"Server responses slowed by injected chaos.",
+		sumAP(func(n *APNode) uint64 { return n.AP.DHCPServer().ChaosSlows }))
+
+	// Spider drivers.
+	reg.CounterFunc("spider_switches_total",
+		"Channel switches performed.",
+		sumDriver(func(s core.Stats) uint64 { return s.Switches }))
+	reg.CounterFunc("spider_dwell_overruns_total",
+		"Slice boundaries that arrived with the previous switch still in flight.",
+		sumDriver(func(s core.Stats) uint64 { return s.DwellOverruns }))
+	reg.CounterFunc("spider_assoc_attempts_total",
+		"Link-layer join attempts started.",
+		sumDriver(func(s core.Stats) uint64 { return s.AssocAttempts }))
+	reg.CounterFunc("spider_assoc_successes_total",
+		"Link-layer join attempts that associated.",
+		sumDriver(func(s core.Stats) uint64 { return s.AssocSuccesses }))
+	reg.CounterFunc("spider_dhcp_attempts_total",
+		"DHCP acquisitions started.",
+		sumDriver(func(s core.Stats) uint64 { return s.DHCPAttempts }))
+	reg.CounterFunc("spider_dhcp_successes_total",
+		"DHCP acquisitions that obtained a lease.",
+		sumDriver(func(s core.Stats) uint64 { return s.DHCPSuccesses }))
+	reg.CounterFunc("spider_dhcp_failures_total",
+		"DHCP acquisitions that timed out.",
+		sumDriver(func(s core.Stats) uint64 { return s.DHCPFailures }))
+	reg.CounterFunc("spider_join_successes_total",
+		"Full joins (assoc+DHCP) completed.",
+		sumDriver(func(s core.Stats) uint64 { return s.JoinSuccesses }))
+	reg.CounterFunc("spider_fastpath_joins_total",
+		"Joins completed via the cached-lease REQUEST-first path.",
+		sumDriver(func(s core.Stats) uint64 { return s.FastPathJoins }))
+	reg.CounterFunc("spider_soft_handoffs_total",
+		"Joins completed while another association was already connected.",
+		sumDriver(func(s core.Stats) uint64 { return s.SoftHandoffs }))
+	reg.CounterFunc("spider_renewals_total",
+		"T1 lease renewals attempted.",
+		sumDriver(func(s core.Stats) uint64 { return s.Renewals }))
+	reg.CounterFunc("spider_renewal_failures_total",
+		"T1 lease renewals that failed.",
+		sumDriver(func(s core.Stats) uint64 { return s.RenewalFailures }))
+	reg.CounterFunc("spider_blacklisted_total",
+		"APs quarantined after exhausting their retry budget.",
+		sumDriver(func(s core.Stats) uint64 { return s.Blacklisted }))
+	reg.CounterFunc("spider_blacklist_evictions_total",
+		"Quarantines served out.",
+		sumDriver(func(s core.Stats) uint64 { return s.BlacklistEvictions }))
+	reg.CounterFunc("spider_lease_revalidations_total",
+		"Re-associations that revalidated a cached lease.",
+		sumDriver(func(s core.Stats) uint64 { return s.LeaseRevalidations }))
+	reg.CounterFunc("spider_reset_faults_total",
+		"Channel switches whose hardware reset was fault-stretched.",
+		sumDriver(func(s core.Stats) uint64 { return s.ResetFaults }))
+	reg.CounterFunc("spider_disconnects_total",
+		"Connected interfaces torn down.",
+		sumDriver(func(s core.Stats) uint64 { return s.Disconnects }))
+	reg.CounterFunc("spider_txq_drops_total",
+		"Frames dropped from full per-channel transmit queues.",
+		sumDriver(func(s core.Stats) uint64 { return s.TxQueueDrops }))
+	reg.CounterFunc("spider_teardown_purged_total",
+		"Queued frames purged by interface teardown.",
+		sumDriver(func(s core.Stats) uint64 { return s.TeardownPurged }))
+	reg.CounterFunc("spider_invariant_violations_total",
+		"Invariant violations recorded across all drivers.",
+		func() float64 {
+			var t uint64
+			for _, c := range w.Clients {
+				t += c.Driver.Invariants().Total()
+			}
+			return float64(t)
+		})
+
+	// TCP data path.
+	reg.CounterFunc("tcp_segments_total",
+		"TCP segments sent (including retransmissions).",
+		sumTCP(func(t TCPStats) uint64 { return t.SegmentsSent }))
+	reg.CounterFunc("tcp_retx_segments_total",
+		"TCP segments retransmitted.",
+		sumTCP(func(t TCPStats) uint64 { return t.RetxSegments }))
+	reg.CounterFunc("tcp_rto_fires_total",
+		"Retransmission timeouts fired.",
+		sumTCP(func(t TCPStats) uint64 { return t.Timeouts }))
+	reg.CounterFunc("tcp_fast_retx_total",
+		"Fast retransmits triggered by duplicate ACKs.",
+		sumTCP(func(t TCPStats) uint64 { return t.FastRetx }))
+	reg.CounterFunc("tcp_bytes_acked_total",
+		"Payload bytes cumulatively acknowledged.",
+		sumTCP(func(t TCPStats) uint64 { return t.BytesAcked }))
+	reg.CounterFunc("client_goodput_bytes_total",
+		"In-order payload bytes delivered to clients.",
+		func() float64 {
+			var t int64
+			for _, c := range w.Clients {
+				t += c.Rec.TotalBytes()
+			}
+			return float64(t)
+		})
+}

@@ -125,6 +125,9 @@ func (w *WebWorkload) resume(c *Client, page int64) {
 // standard downlink path. size -1 is unbounded; onDone fires for finite
 // flows.
 func (c *Client) newSender(cn *conn, size int64, onDone func()) *tcpsim.Sender {
+	// The conn's previous sender (a finished page fetch being replaced)
+	// leaves the stats ledger here, not the world.
+	c.tcpClosed.absorb(cn.sender)
 	c.nextFlow++
 	flowID := c.nextFlow
 	cn.receiver = tcpsim.NewReceiver(flowID)

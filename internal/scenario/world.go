@@ -15,6 +15,7 @@ import (
 	"spider/internal/geo"
 	"spider/internal/mac"
 	"spider/internal/metrics"
+	"spider/internal/obs"
 	"spider/internal/radio"
 	"spider/internal/sim"
 	"spider/internal/tcpsim"
@@ -55,6 +56,10 @@ type World struct {
 	nextAP uint32
 
 	Clients []*Client
+
+	// obs, when set via AttachObs, is wired into every component added
+	// afterwards (and everything that existed at attach time).
+	obs *obs.Obs
 }
 
 // NewWorld creates an empty world on a fresh kernel.
@@ -185,6 +190,41 @@ type Client struct {
 	// Logs consumed by experiments.
 	Joins  []JoinEvent
 	Assocs []AssocEvent
+
+	// tcpClosed accumulates sender counters from flows already replaced
+	// or torn down, so TCPStats covers the client's whole history.
+	tcpClosed TCPStats
+}
+
+// TCPStats aggregates one client's TCP sender counters across every
+// flow it has ever run — live senders plus those already closed.
+type TCPStats struct {
+	SegmentsSent uint64
+	RetxSegments uint64
+	Timeouts     uint64
+	FastRetx     uint64
+	BytesAcked   uint64
+}
+
+func (t *TCPStats) absorb(s *tcpsim.Sender) {
+	if s == nil {
+		return
+	}
+	t.SegmentsSent += s.SegmentsSent
+	t.RetxSegments += s.RetxSegments
+	t.Timeouts += s.Timeouts
+	t.FastRetx += s.FastRetx
+	t.BytesAcked += s.BytesAcked
+}
+
+// TCPStats returns the client's all-time TCP totals (closed flows plus
+// whatever is live right now).
+func (c *Client) TCPStats() TCPStats {
+	t := c.tcpClosed
+	for _, cn := range c.conns {
+		t.absorb(cn.sender)
+	}
+	return t
 }
 
 // AddClient creates a client with the given driver config and mobility.
@@ -207,6 +247,9 @@ func (w *World) AddClient(cfg core.Config, mob geo.Mobility) *Client {
 	}
 	c.Driver = core.NewDriver(w.Medium, cfg, wifi.NewAddr(0xC0, idx), mob, events)
 	c.Driver.SetDataSink(c.downlink)
+	if w.obs != nil {
+		c.Driver.AttachObs(w.obs)
+	}
 	w.Clients = append(w.Clients, c)
 	w.byMAC[c.Driver.Addr()] = c
 	return c
@@ -246,6 +289,7 @@ func (c *Client) closeFlow(ifc *core.Iface) {
 	if cn.sender != nil {
 		cn.sender.Stop()
 	}
+	c.tcpClosed.absorb(cn.sender)
 	// Remove the conn BEFORE the abort hook runs: workloads resume on
 	// "any live association" and must not pick the one being torn down.
 	delete(c.conns, ifc.BSSID())

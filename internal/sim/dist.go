@@ -58,8 +58,23 @@ func (u Uniform) Sample(r *rand.Rand) time.Duration {
 	return d
 }
 
-// Mean implements Dist.
-func (u Uniform) Mean() time.Duration { return u.Min/2 + u.Max/2 }
+// Mean implements Dist. Bounds are normalized the way Sample normalizes
+// them: reversed bounds describe the same interval, and the result is
+// clamped non-negative to match Sample's clamping of draws. The
+// midpoint is computed as lo + (hi-lo)/2 — overflow-safe, and exact
+// where the old Min/2 + Max/2 truncated each operand (off by 1 ns
+// whenever both bounds were odd nanosecond counts).
+func (u Uniform) Mean() time.Duration {
+	lo, hi := u.Min, u.Max
+	if hi < lo {
+		lo, hi = hi, lo
+	}
+	m := lo + (hi-lo)/2
+	if m < 0 {
+		return 0
+	}
+	return m
+}
 
 func (u Uniform) String() string { return fmt.Sprintf("uniform[%v,%v]", u.Min, u.Max) }
 

@@ -1,0 +1,31 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// Regression: Uniform.Mean computed Min/2 + Max/2, which truncates each
+// operand and lands 1 ns low whenever both bounds are odd nanosecond
+// counts. It also ignored Sample's bound normalization and clamping.
+func TestUniformMean(t *testing.T) {
+	cases := []struct {
+		name string
+		u    Uniform
+		want time.Duration
+	}{
+		{"odd bounds exact", Uniform{Min: 1, Max: 3}, 2}, // old code: 0+1 = 1 ns
+		{"even bounds", Uniform{Min: 2 * time.Second, Max: 4 * time.Second}, 3 * time.Second},
+		{"degenerate", Uniform{Min: time.Second, Max: time.Second}, time.Second},
+		{"reversed bounds normalize", Uniform{Min: 3, Max: 1}, 2},
+		{"negative interval clamps like Sample", Uniform{Min: -4 * time.Second, Max: -2 * time.Second}, 0},
+		{"overflow-safe midpoint", Uniform{Min: 1<<62 + 1, Max: 1<<62 + 3}, 1<<62 + 2},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := tc.u.Mean(); got != tc.want {
+				t.Fatalf("%v.Mean() = %d, want %d", tc.u, got, tc.want)
+			}
+		})
+	}
+}

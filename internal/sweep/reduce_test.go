@@ -1,0 +1,53 @@
+package sweep
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+// Reduce must fold in index order after the sweep completes, so even a
+// non-commutative fold (string concatenation here) is identical at any
+// worker count — the property the metrics-merge in cmd/spider-sim
+// leans on.
+func TestReduceDeterministicAcrossWorkerCounts(t *testing.T) {
+	run := func(workers int) string {
+		out, err := Reduce(context.Background(), workers, 16,
+			func(_ context.Context, i int) (string, error) {
+				// Stagger completions so out-of-order finishes would show.
+				time.Sleep(time.Duration(16-i) * time.Millisecond)
+				return fmt.Sprintf("[%d]", i), nil
+			},
+			"", func(acc, s string) string { return acc + s })
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	want := run(1)
+	for _, w := range []int{2, 8} {
+		if got := run(w); got != want {
+			t.Fatalf("workers=%d: %q != workers=1: %q", w, got, want)
+		}
+	}
+}
+
+func TestReducePropagatesTaskError(t *testing.T) {
+	boom := errors.New("boom")
+	acc, err := Reduce(context.Background(), 4, 8,
+		func(_ context.Context, i int) (int, error) {
+			if i == 3 {
+				return 0, boom
+			}
+			return 1, nil
+		},
+		100, func(a, v int) int { return a + v })
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if acc != 100 {
+		t.Fatalf("failed reduce returned acc = %d, want untouched initial 100", acc)
+	}
+}

@@ -195,3 +195,21 @@ func Map[In, Out any](ctx context.Context, workers int, in []In, f func(ctx cont
 		return f(ctx, i, in[i])
 	})
 }
+
+// Reduce runs task for i in [0, n) across the worker pool and folds the
+// results IN INDEX ORDER into acc. Because the fold happens after the
+// sweep, on the index-ordered slice, the accumulated value is identical
+// at any worker count even when fold is not commutative — this is how
+// per-task metric snapshots and result logs aggregate deterministically.
+func Reduce[T, A any](ctx context.Context, workers, n int,
+	task func(ctx context.Context, i int) (T, error),
+	acc A, fold func(A, T) A) (A, error) {
+	results, err := RunN(ctx, workers, n, task)
+	if err != nil {
+		return acc, err
+	}
+	for _, r := range results {
+		acc = fold(acc, r)
+	}
+	return acc, nil
+}

@@ -100,6 +100,9 @@ type Sender struct {
 	Timeouts     uint64
 	FastRetx     uint64
 	SegmentsSent uint64
+	// RetxSegments counts segments resent by retransmitHead — the
+	// wasted-airtime share of SegmentsSent.
+	RetxSegments uint64
 	BytesAcked   uint64
 }
 
@@ -226,6 +229,7 @@ func (s *Sender) retransmitHead() {
 	u.retx = true
 	u.sentAt = s.kernel.Now()
 	s.SegmentsSent++
+	s.RetxSegments++
 	s.transmit(&Segment{FlowID: s.flowID, Seq: u.seq, Len: u.len, Retx: true})
 }
 
