@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"spider/internal/expt"
+	"spider/internal/shard"
 )
 
 // benchOpts is the benchmark scale: small enough to iterate, large
@@ -319,6 +320,51 @@ func BenchmarkDriveSimulationRate(b *testing.B) {
 // (driver, TCP, mobility) is a shared floor, so the ratio understates
 // the medium-path speedup itself; see BenchmarkMediumBroadcast in
 // internal/radio for the isolated number.
+// BenchmarkCityScaleSharded measures what spatial sharding buys on top
+// of the indexed medium: the same 6×6 km / 2000 AP / 200 client city,
+// partitioned into stripes advancing in lockstep epochs, with the
+// barrier exchange (halo beacons + client migration) between them. The
+// tile layout is fixed by the scenario — "shards" only sets how many
+// tiles advance concurrently — so every variant simulates byte-identical
+// cities (see internal/shard's identity tests); only the wall clock
+// differs. The "unsharded" variant is the monolithic single-kernel build
+// from BenchmarkCityScale; shards=1 against it prices the sharding
+// machinery itself (epoch chopping, halo mirroring, barrier scans),
+// which the issue requires to stay within 5%.
+func BenchmarkCityScaleSharded(b *testing.B) {
+	const virtual = 2 * time.Second
+	cfg := Defaults(MultiChannelMultiAP, EqualSchedule(200*time.Millisecond, 1, 6, 11))
+	citySpec := func(seed int64) CityGridSpec {
+		spec := CityGrid(seed, 2000, 200)
+		spec.AreaW, spec.AreaH = 6000, 6000
+		rc := DefaultRadio()
+		rc.DataRateKbps = 24_000
+		spec.Radio = rc
+		return spec
+	}
+	b.Run("unsharded", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			world, mobs := citySpec(int64(i + 1)).Build()
+			for _, mob := range mobs {
+				world.AddClient(cfg, mob)
+			}
+			world.Run(virtual)
+		}
+		b.ReportMetric(virtual.Seconds()*float64(b.N)/b.Elapsed().Seconds(), "sim-s/wall-s")
+	})
+	for _, shards := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				city := shard.NewCity(citySpec(int64(i+1)), cfg, shards)
+				if err := city.Run(virtual); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(virtual.Seconds()*float64(b.N)/b.Elapsed().Seconds(), "sim-s/wall-s")
+		})
+	}
+}
+
 func BenchmarkCityScale(b *testing.B) {
 	const virtual = 2 * time.Second
 	for _, v := range []struct {

@@ -29,15 +29,16 @@ import (
 
 func main() {
 	var (
-		id      = flag.String("id", "", "experiment id (fig2…fig14, table1…table4, ablation-…, or 'all')")
-		seed    = flag.Int64("seed", 1, "simulation seed")
-		scale   = flag.Float64("scale", 1.0, "experiment scale in (0,1]")
-		workers = flag.Int("workers", runtime.NumCPU(), "worker goroutines for parallel sub-runs (results are identical at any count)")
-		chaos   = flag.String("chaos", "", "fault profile or timeline for the chaos experiment (mild, aggressive, or a script)")
-		list    = flag.Bool("list", false, "list experiment ids and exit")
-		plotOut = flag.Bool("plot", false, "render figures as terminal charts instead of data columns")
-		svgDir  = flag.String("svg", "", "also write each figure as an SVG into this directory")
-		csvDir  = flag.String("csv", "", "also write each figure's series as CSV into this directory")
+		id       = flag.String("id", "", "experiment id (fig2…fig14, table1…table4, ablation-…, or 'all')")
+		seed     = flag.Int64("seed", 1, "simulation seed")
+		scale    = flag.Float64("scale", 1.0, "experiment scale in (0,1]")
+		workers  = flag.Int("workers", runtime.NumCPU(), "worker goroutines for parallel sub-runs (results are identical at any count)")
+		shards   = flag.Int("shards", 1, "worker goroutines advancing city tiles in the sharded city experiment (results are identical at any count)")
+		chaos    = flag.String("chaos", "", "fault profile or timeline for the chaos experiment (mild, aggressive, or a script)")
+		list     = flag.Bool("list", false, "list experiment ids and exit")
+		plotOut  = flag.Bool("plot", false, "render figures as terminal charts instead of data columns")
+		svgDir   = flag.String("svg", "", "also write each figure as an SVG into this directory")
+		csvDir   = flag.String("csv", "", "also write each figure's series as CSV into this directory")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf  = flag.String("memprofile", "", "write a heap profile to this file at exit")
 		metricsO = flag.String("metrics-out", "", "write Prometheus-format metrics (accumulated across all runs) to this file")
@@ -78,7 +79,7 @@ func main() {
 			o.Tracer.SetFilter(strings.Split(*traceF, ",")...)
 		}
 	}
-	opts := expt.Options{Seed: *seed, Scale: *scale, Workers: *workers, Chaos: *chaos, Obs: o}
+	opts := expt.Options{Seed: *seed, Scale: *scale, Workers: *workers, Chaos: *chaos, Obs: o, Shards: *shards}
 	ids := []string{*id}
 	if *id == "all" {
 		ids = expt.IDs()

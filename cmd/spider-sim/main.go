@@ -6,8 +6,15 @@
 //	spider-sim -config ch1-multi -minutes 30
 //	spider-sim -config 3ch-multi -city boston -speed 8 -seed 7
 //	spider-sim -config 3ch-multi -reps 8 -workers 4
+//	spider-sim -city citygrid -clients 100 -aps 600 -minutes 2 -shards 4
 //
 // Configurations: ch1-multi, ch1-single, 3ch-multi, 3ch-single, stock.
+//
+// -city citygrid runs the sharded city-scale scenario instead of a
+// single drive: a whole vehicle fleet over a square-kilometer AP
+// deployment, partitioned into spatial tiles advancing in lockstep.
+// -shards sets how many tiles advance concurrently; results are
+// byte-identical at any value.
 //
 // With -reps N > 1, N independent replications of the drive run on the
 // sweep engine (bounded by -workers goroutines) and the report adds
@@ -33,6 +40,7 @@ import (
 	"spider/internal/prof"
 	"spider/internal/radio"
 	"spider/internal/scenario"
+	"spider/internal/shard"
 	"spider/internal/sweep"
 )
 
@@ -219,16 +227,89 @@ func writeObs(metricsOut, traceOut string, snap obs.Snapshot, tr *obs.Tracer) er
 	return nil
 }
 
+// runCityGrid builds and runs the sharded city-scale scenario and
+// reports fleet-wide aggregates.
+func runCityGrid(cfg core.Config, seed int64, numAPs, clients, shards int, dur time.Duration, chaosSpec string, ospec obsSpec, metricsOut, traceOut string) error {
+	if numAPs <= 0 {
+		numAPs = 600
+	}
+	spec := scenario.CityGrid(seed, numAPs, clients)
+	rc := radio.Defaults()
+	rc.DataRateKbps = 24_000
+	spec.Radio = rc
+
+	start := time.Now()
+	c := shard.NewCity(spec, cfg, shards)
+	if ospec.enabled() {
+		c.EnableObs(0, ospec.filter...)
+	}
+	if chaosSpec != "" {
+		fcfg, ok := fault.Profile(chaosSpec)
+		if !ok {
+			return fmt.Errorf("citygrid: unknown chaos profile %q (timeline scripts are single-drive only)", chaosSpec)
+		}
+		c.ApplyChaos(fcfg)
+	}
+	if err := c.Run(dur); err != nil {
+		return err
+	}
+
+	fmt.Printf("City: %.0f×%.0f m, %d APs, %d clients, %v simulated (%v wall)\n",
+		spec.AreaW, spec.AreaH, numAPs, clients, dur, time.Since(start).Round(time.Millisecond))
+	fmt.Printf("Layout: %s, %d shard workers\n", c.Layout, sweep.Workers(shards))
+	fmt.Printf("Driver: %s\n\n", cfg.Mode)
+
+	var tputs []float64
+	var joins, switches, haloRecs uint64
+	for _, cl := range c.Clients() {
+		tputs = append(tputs, cl.Rec.ThroughputKBps(dur))
+		s := cl.Stats()
+		joins += s.JoinSuccesses
+		switches += s.Switches
+	}
+	for _, t := range c.Tiles {
+		haloRecs += t.World.Medium.Stats().HaloInjected
+		fmt.Printf("  tile %d [%5.0f, %5.0f): %3d APs, %3d clients\n",
+			t.Index, t.Lo, t.Hi, len(t.World.APs), len(t.World.Clients))
+	}
+	cdf := metrics.NewCDF(tputs)
+	fmt.Printf("\n  fleet goodput:    mean %s, p50 %s, p90 %s\n",
+		metrics.FormatKBps(metrics.Mean(tputs)),
+		metrics.FormatKBps(cdf.Quantile(0.5)), metrics.FormatKBps(cdf.Quantile(0.9)))
+	fmt.Printf("  joins: %d ok, switches %d\n", joins, switches)
+	fmt.Printf("  shard machinery:  %d migrations, %d halo beacons mirrored\n", c.Migrations, haloRecs)
+	if len(c.Injectors) > 0 {
+		fmt.Printf("  faults injected:  %d\n", c.TotalInjected())
+	}
+	if inv := c.InvariantsTotal(); inv > 0 {
+		fmt.Printf("  INVARIANT VIOLATIONS: %d\n", inv)
+	}
+
+	if metricsOut != "" {
+		if err := obs.WriteMetricsFile(metricsOut, c.MergedSnapshot()); err != nil {
+			return err
+		}
+	}
+	if traceOut != "" {
+		if err := obs.WriteTraceEventsFile(traceOut, c.TraceEvents()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 func main() {
 	var (
-		config  = flag.String("config", "ch1-multi", "driver configuration")
-		city    = flag.String("city", "amherst", "drive scenario: amherst or boston")
-		minutes = flag.Int("minutes", 30, "drive duration in simulated minutes")
-		seed    = flag.Int64("seed", 1, "simulation seed")
-		speed   = flag.Float64("speed", 0, "override vehicle speed (m/s)")
-		numAPs  = flag.Int("aps", 0, "override deployed AP count")
-		reps    = flag.Int("reps", 1, "independent drive replications")
-		workers = flag.Int("workers", runtime.NumCPU(), "worker goroutines when -reps > 1")
+		config   = flag.String("config", "ch1-multi", "driver configuration")
+		city     = flag.String("city", "amherst", "scenario: amherst, boston, or citygrid (sharded fleet)")
+		clients  = flag.Int("clients", 100, "vehicle fleet size (citygrid only)")
+		shards   = flag.Int("shards", 1, "concurrent tile workers (citygrid only; results identical at any value)")
+		minutes  = flag.Int("minutes", 30, "drive duration in simulated minutes")
+		seed     = flag.Int64("seed", 1, "simulation seed")
+		speed    = flag.Float64("speed", 0, "override vehicle speed (m/s)")
+		numAPs   = flag.Int("aps", 0, "override deployed AP count")
+		reps     = flag.Int("reps", 1, "independent drive replications")
+		workers  = flag.Int("workers", runtime.NumCPU(), "worker goroutines when -reps > 1")
 		pcapOut  = flag.String("pcap", "", "write an over-the-air capture to this file (single rep only)")
 		chaos    = flag.String("chaos", "", "fault injection: off, mild, aggressive, or a timeline script")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -253,6 +334,23 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "spider-sim:", err)
 		os.Exit(2)
+	}
+	if *city == "citygrid" {
+		if *reps > 1 {
+			fmt.Fprintln(os.Stderr, "spider-sim: -city citygrid requires -reps 1 (use -shards for parallelism)")
+			os.Exit(2)
+		}
+		ospec := obsSpec{metrics: *metricsO != "", trace: *traceO != ""}
+		if *traceF != "" {
+			ospec.filter = strings.Split(*traceF, ",")
+		}
+		err := runCityGrid(cfg, *seed, *numAPs, *clients, *shards,
+			time.Duration(*minutes)*time.Minute, *chaos, ospec, *metricsO, *traceO)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "spider-sim:", err)
+			os.Exit(1)
+		}
+		return
 	}
 	if *reps < 1 {
 		fmt.Fprintln(os.Stderr, "spider-sim: -reps must be at least 1")

@@ -13,6 +13,9 @@ func (d *Driver) startAPSlicer() {
 }
 
 func (d *Driver) apSliceTick() {
+	if d.stopped {
+		return
+	}
 	defer d.kernel.After(d.cfg.APSliceDwell, d.apSliceTick)
 	d.apSliceRebalance()
 }

@@ -43,6 +43,13 @@ type APRecord struct {
 
 	LeaseIP     dhcp.IP
 	LeaseExpiry time.Duration
+
+	// Halo marks a record learned only through a neighboring shard's halo
+	// (a mirrored beacon, or a cache handoff for an AP the new shard does
+	// not own). The driver keeps the history — it warms the rejoin when
+	// the AP is seen directly — but never selects a Halo record as a join
+	// candidate: the AP's MAC and DHCP machinery live in another shard.
+	Halo bool
 }
 
 // AvgJoin returns the mean successful join time, or 0 with no history.
@@ -87,11 +94,14 @@ func newAPTable() *apTable {
 	return &apTable{byBSSID: make(map[wifi.Addr]*APRecord)}
 }
 
-// observe records a beacon or probe response sighting.
-func (t *apTable) observe(bssid wifi.Addr, ssid string, channel int, backhaulKbps int, now time.Duration) *APRecord {
+// observe records a beacon or probe response sighting. halo marks a
+// sighting that arrived through a shard halo rather than this shard's
+// own air; a direct sighting always clears the Halo mark (the AP is
+// local after all), a halo sighting never sets it on a local record.
+func (t *apTable) observe(bssid wifi.Addr, ssid string, channel int, backhaulKbps int, now time.Duration, halo bool) *APRecord {
 	r, ok := t.byBSSID[bssid]
 	if !ok {
-		r = &APRecord{BSSID: bssid, SSID: ssid, Channel: channel, FirstSeen: now}
+		r = &APRecord{BSSID: bssid, SSID: ssid, Channel: channel, FirstSeen: now, Halo: halo}
 		t.byBSSID[bssid] = r
 	}
 	r.SSID = ssid
@@ -100,6 +110,9 @@ func (t *apTable) observe(bssid wifi.Addr, ssid string, channel int, backhaulKbp
 		r.BackhaulKbps = backhaulKbps
 	}
 	r.LastSeen = now
+	if !halo {
+		r.Halo = false
+	}
 	return r
 }
 
@@ -116,6 +129,9 @@ func (t *apTable) candidates(channel int, now, staleAfter time.Duration, useHist
 			// Quarantine served: the AP is eligible again.
 			r.BlacklistUntil = 0
 			t.evictions++
+		}
+		if r.Halo {
+			continue
 		}
 		if r.Channel != channel {
 			continue

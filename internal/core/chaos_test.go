@@ -59,7 +59,7 @@ func TestBackoffEscalates(t *testing.T) {
 	cfg := singleChannelCfg(SingleChannelMultiAP, 6)
 	cfg = cfg.withDefaults()
 	d := w.addDriver(cfg, geo.Static{P: geo.Point{}})
-	rec := d.table.observe(ap.Addr(), "open", 6, 0, 0)
+	rec := d.table.observe(ap.Addr(), "open", 6, 0, 0, false)
 
 	d.applyFailBackoff(rec)
 	if got := rec.HoldUntil; got != cfg.HoldDown {

@@ -74,6 +74,36 @@ type Stats struct {
 	DwellOverruns uint64
 }
 
+// Add returns the field-wise sum of two snapshots. Client-lifetime
+// accounting sums the snapshots of every driver a migrating client has
+// run on.
+func (s Stats) Add(o Stats) Stats {
+	s.Switches += o.Switches
+	s.AssocAttempts += o.AssocAttempts
+	s.AssocSuccesses += o.AssocSuccesses
+	s.DHCPAttempts += o.DHCPAttempts
+	s.DHCPSuccesses += o.DHCPSuccesses
+	s.DHCPFailures += o.DHCPFailures
+	s.JoinSuccesses += o.JoinSuccesses
+	s.FastPathJoins += o.FastPathJoins
+	s.ProbesSent += o.ProbesSent
+	s.TxQueueDrops += o.TxQueueDrops
+	s.UplinkFrames += o.UplinkFrames
+	s.DownlinkFrames += o.DownlinkFrames
+	s.DownlinkBytes += o.DownlinkBytes
+	s.Disconnects += o.Disconnects
+	s.SoftHandoffs += o.SoftHandoffs
+	s.Renewals += o.Renewals
+	s.RenewalFailures += o.RenewalFailures
+	s.Blacklisted += o.Blacklisted
+	s.BlacklistEvictions += o.BlacklistEvictions
+	s.LeaseRevalidations += o.LeaseRevalidations
+	s.ResetFaults += o.ResetFaults
+	s.TeardownPurged += o.TeardownPurged
+	s.DwellOverruns += o.DwellOverruns
+	return s
+}
+
 type queuedFrame struct {
 	f *wifi.Frame
 }
@@ -93,8 +123,11 @@ type Driver struct {
 	schedIdx   int
 	apSliceIdx int
 	switching  bool
-	dwelling   bool // multi-channel single-AP: pinned to the connected AP's channel
-	seq        uint16
+	// stopped is set by Shutdown: every self-rescheduling tick and every
+	// in-flight completion checks it and winds down instead of re-arming.
+	stopped  bool
+	dwelling bool // multi-channel single-AP: pinned to the connected AP's channel
+	seq      uint16
 	// idleUntil blocks all joins (the stock client's post-failure sulk).
 	idleUntil time.Duration
 
@@ -164,9 +197,68 @@ func NewDriver(m *radio.Medium, cfg Config, addr wifi.Addr, mob geo.Mobility, ev
 	return d
 }
 
+// Shutdown permanently stops the driver: every interface is torn down
+// (deauthing connected APs so they free state), the channel rotation and
+// scan timers are disarmed, and the radio is left untuned, so the driver
+// neither transmits nor receives again. The shard runtime calls it when
+// a client migrates out of a shard; the client's protocol life continues
+// in the destination shard's driver, warmed by ExportAPRecords.
+func (d *Driver) Shutdown() {
+	if d.stopped {
+		return
+	}
+	for _, ifc := range d.Interfaces() {
+		d.teardown(ifc)
+	}
+	d.stopped = true
+	d.sliceEv.Cancel()
+	d.sliceEv = sim.Event{}
+	d.radio.SetChannel(0)
+}
+
+// Stopped reports whether Shutdown has run.
+func (d *Driver) Stopped() bool { return d.stopped }
+
+// ExportAPRecords returns value copies of the scan table, sorted by
+// BSSID — the deterministic handoff payload for a shard migration.
+func (d *Driver) ExportAPRecords() []APRecord {
+	recs := d.table.all()
+	out := make([]APRecord, 0, len(recs))
+	for _, r := range recs {
+		out = append(out, *r)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].BSSID, out[j].BSSID
+		for k := range a {
+			if a[k] != b[k] {
+				return a[k] < b[k]
+			}
+		}
+		return false
+	})
+	return out
+}
+
+// ImportAPRecord seeds the scan table with a record learned elsewhere (a
+// migrating client's history). halo marks APs that do not exist in this
+// driver's world — the history is kept for when/if the AP is ever seen
+// directly, but the record is not joinable. Records the driver already
+// knows first-hand are left untouched.
+func (d *Driver) ImportAPRecord(rec APRecord, halo bool) {
+	if d.table.get(rec.BSSID) != nil {
+		return
+	}
+	r := rec
+	r.Halo = halo
+	d.table.byBSSID[r.BSSID] = &r
+}
+
 // backgroundScanTick implements the roaming single-AP driver's periodic
 // off-channel peek while dwelling on its associated AP's channel.
 func (d *Driver) backgroundScanTick() {
+	if d.stopped {
+		return
+	}
 	defer d.kernel.After(d.cfg.BackgroundScanEvery, d.backgroundScanTick)
 	if !d.dwelling || d.switching {
 		return
@@ -190,7 +282,7 @@ func (d *Driver) backgroundScanTick() {
 	}
 	d.switchTo(target)
 	d.kernel.After(d.cfg.BackgroundScanDwell, func() {
-		if d.dwelling { // still associated: come home
+		if d.dwelling && !d.stopped { // still associated: come home
 			d.switchTo(home)
 		}
 	})
@@ -327,6 +419,9 @@ func (d *Driver) ForceSwitch(ch int) { d.switchTo(ch) }
 
 func (d *Driver) nextSlice() {
 	d.sliceEv = sim.Event{}
+	if d.stopped {
+		return
+	}
 	if d.dwelling {
 		// Pinned to a connected AP's channel (multi-channel single-AP
 		// mode); the rotation resumes on disconnect.
@@ -421,6 +516,9 @@ func (d *Driver) switchTo(ch int) {
 	}
 	beginReset = func() {
 		d.kernel.After(psmLinger, func() {
+			if d.stopped {
+				return
+			}
 			d.radio.Retune(ch, reset, d.arriveOn(ch, polls))
 		})
 	}
@@ -434,6 +532,11 @@ func (d *Driver) switchTo(ch int) {
 func (d *Driver) arriveOn(ch int, polls []*Iface) func() {
 	return func() {
 		d.switching = false
+		if d.stopped {
+			// Shut down while the retune was in flight: stay deaf.
+			d.radio.SetChannel(0)
+			return
+		}
 		// Wake the APs on this channel: PSM off flushes their buffers.
 		for _, ifc := range polls {
 			if ifc.psmOn && d.ifaces[ifc.BSSID()] == ifc {
@@ -455,6 +558,9 @@ func (d *Driver) nextSeq() uint16 {
 // ---- Scanning ----
 
 func (d *Driver) scanTick() {
+	if d.stopped {
+		return
+	}
 	d.probe()
 	d.kernel.After(d.cfg.ScanInterval, d.scanTick)
 }
@@ -475,7 +581,7 @@ func (d *Driver) probe() {
 // maybeJoin starts joins toward the best candidates on the current
 // channel, respecting the interface budget.
 func (d *Driver) maybeJoin() {
-	if d.switching {
+	if d.switching || d.stopped {
 		return
 	}
 	ch := d.radio.Channel()
@@ -758,6 +864,9 @@ func (d *Driver) teardown(ifc *Iface) {
 
 // inactivityTick drops interfaces whose AP has gone silent (range exit).
 func (d *Driver) inactivityTick() {
+	if d.stopped {
+		return
+	}
 	now := d.kernel.Now()
 	for _, ifc := range d.Interfaces() {
 		if now-ifc.lastHeard > d.cfg.InactivityTimeout {
@@ -815,6 +924,9 @@ func (d *Driver) Uplink(bssid wifi.Addr, db *wifi.DataBody) bool {
 // ---- Receive path ----
 
 func (d *Driver) receive(f *wifi.Frame) {
+	if d.stopped {
+		return
+	}
 	now := d.kernel.Now()
 	switch f.Type {
 	case wifi.TypeBeacon, wifi.TypeProbeResp:
@@ -822,7 +934,7 @@ func (d *Driver) receive(f *wifi.Frame) {
 		if !ok {
 			return
 		}
-		d.table.observe(f.BSSID, body.SSID, int(body.Channel), int(body.BackhaulKbps), now)
+		d.table.observe(f.BSSID, body.SSID, int(body.Channel), int(body.BackhaulKbps), now, f.Halo)
 		if ifc, ok := d.ifaces[f.BSSID]; ok {
 			ifc.lastHeard = now
 		}

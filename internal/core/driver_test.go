@@ -440,14 +440,14 @@ func TestAPTableScoring(t *testing.T) {
 func TestAPTableCandidatesFilterAndOrder(t *testing.T) {
 	tb := newAPTable()
 	now := 100 * time.Second
-	a := tb.observe(wifi.NewAddr(0, 1), "a", 6, 0, now)
+	a := tb.observe(wifi.NewAddr(0, 1), "a", 6, 0, now, false)
 	a.Attempts, a.Successes, a.TotalJoin = 5, 5, 5*time.Second
-	b := tb.observe(wifi.NewAddr(0, 2), "b", 6, 0, now)
+	b := tb.observe(wifi.NewAddr(0, 2), "b", 6, 0, now, false)
 	b.Attempts, b.Successes, b.TotalJoin = 5, 1, 4*time.Second
-	tb.observe(wifi.NewAddr(0, 3), "c", 11, 0, now)                        // wrong channel
-	stale := tb.observe(wifi.NewAddr(0, 4), "d", 6, 0, now-10*time.Second) // stale
+	tb.observe(wifi.NewAddr(0, 3), "c", 11, 0, now, false)                        // wrong channel
+	stale := tb.observe(wifi.NewAddr(0, 4), "d", 6, 0, now-10*time.Second, false) // stale
 	_ = stale
-	held := tb.observe(wifi.NewAddr(0, 5), "e", 6, 0, now)
+	held := tb.observe(wifi.NewAddr(0, 5), "e", 6, 0, now, false)
 	held.HoldUntil = now + time.Minute
 	got := tb.candidates(6, now, 2*time.Second, true)
 	if len(got) != 2 {
@@ -611,7 +611,7 @@ func TestPropertyCandidateOrderingStable(t *testing.T) {
 			if i >= 12 {
 				break
 			}
-			r := tb.observe(wifi.NewAddr(0, uint32(i)), "s", 6, 0, now)
+			r := tb.observe(wifi.NewAddr(0, uint32(i)), "s", 6, 0, now, false)
 			r.Attempts = int(b % 7)
 			r.Successes = int(b%7) / 2
 			r.TotalJoin = time.Duration(b) * 100 * time.Millisecond

@@ -1,0 +1,103 @@
+package expt
+
+import (
+	"fmt"
+	"time"
+
+	"spider/internal/core"
+	"spider/internal/fault"
+	"spider/internal/metrics"
+	"spider/internal/radio"
+	"spider/internal/scenario"
+	"spider/internal/shard"
+)
+
+func init() {
+	register("city", func(o Options) (fmt.Stringer, error) { return CityScale(o) })
+}
+
+// CityScale runs the roadmap's infrastructure-density workload — a
+// square-kilometer city of open APs with a vehicle fleet running the
+// full Spider stack — on the sharded engine, and reports the fleet-wide
+// outcome distributions. The result is byte-identical at any -shards
+// value: shards only set how many tiles advance concurrently.
+//
+// Unlike the drive experiments this one exercises hundreds of
+// *concurrent* drivers contending for airtime and DHCP servers, which
+// is the regime the paper's per-client analysis abstracts away.
+func CityScale(o Options) (Figure, error) {
+	o = o.withDefaults()
+	spec := scenario.CityGrid(o.Seed, o.scaleN(1000, 60), o.scaleN(100, 10))
+	spec.Radio = radio.Defaults()
+	spec.Radio.DataRateKbps = 24_000
+	dur := o.scaleDur(2*time.Minute, 15*time.Second)
+	cfg := core.SpiderDefaults(core.MultiChannelMultiAP,
+		core.EqualSchedule(200*time.Millisecond, 1, 6, 11))
+
+	workers := o.Shards
+	if workers <= 0 {
+		workers = 1
+	}
+	city := shard.NewCity(spec, cfg, workers)
+	if o.Chaos != "" {
+		fcfg, ok := fault.Profile(o.Chaos)
+		if !ok {
+			return Figure{}, fmt.Errorf("city: unknown chaos profile %q", o.Chaos)
+		}
+		city.ApplyChaos(fcfg)
+	}
+	if err := city.Run(dur); err != nil {
+		return Figure{}, err
+	}
+
+	var goodput []float64
+	var joinMS []float64
+	for _, cl := range city.Clients() {
+		goodput = append(goodput, cl.Rec.ThroughputKBps(dur))
+		for _, j := range cl.Joins {
+			if j.Success {
+				joinMS = append(joinMS, float64(j.Elapsed)/float64(time.Millisecond))
+			}
+		}
+	}
+
+	fig := Figure{
+		ID:     "city",
+		Title:  fmt.Sprintf("city-scale fleet, %s", city.Layout),
+		XLabel: "percentile across clients (machinery series: metric index)",
+		YLabel: "per-series units (KBps / ms / count)",
+		Series: []Series{
+			quantileSeries("goodput_KBps", goodput),
+			quantileSeries("join_latency_ms", joinMS),
+			{Name: "shard_machinery", Points: []Point{
+				{X: 0, Y: float64(city.Layout.NTiles)},
+				{X: 1, Y: float64(city.Migrations)},
+				{X: 2, Y: float64(haloInjected(city))},
+				{X: 3, Y: float64(city.TotalInjected())},
+				{X: 4, Y: float64(city.InvariantsTotal())},
+			}},
+		},
+	}
+	return fig, nil
+}
+
+// quantileSeries renders a value set as percentile points (5% steps).
+func quantileSeries(name string, vals []float64) Series {
+	s := Series{Name: name}
+	cdf := metrics.NewCDF(vals)
+	if cdf.N() == 0 {
+		return s
+	}
+	for p := 0; p <= 100; p += 5 {
+		s.Points = append(s.Points, Point{X: float64(p), Y: cdf.Quantile(float64(p) / 100)})
+	}
+	return s
+}
+
+func haloInjected(c *shard.City) uint64 {
+	var t uint64
+	for _, tile := range c.Tiles {
+		t += tile.World.Medium.Stats().HaloInjected
+	}
+	return t
+}

@@ -46,6 +46,11 @@ type Options struct {
 	// tracing concurrent sub-runs into one timeline is only meaningful
 	// with Workers=1, which the CLI enforces for -trace-out.
 	Obs *obs.Obs
+	// Shards bounds how many city tiles advance concurrently in the
+	// sharded city experiment (0/1 = sequential). Like Workers it never
+	// affects results — the tile layout is fixed by the scenario — only
+	// wall-clock time. Other experiments ignore it.
+	Shards int
 }
 
 // DefaultOptions is the paper-like scale.

@@ -62,6 +62,13 @@ type Injector struct {
 	medium *radio.Medium
 	driver *core.Driver
 
+	// apStream/linkStream map local attachment order to the stream index
+	// used for RNG derivation. They coincide for whole-world injectors;
+	// sharded runs attach with explicit global indices so a target's fault
+	// timeline does not depend on which tile it landed in.
+	apStream   []int
+	linkStream []int
+
 	// dhcpRNG holds the lazily created per-AP chaos streams (shared by
 	// the profile chaos and timeline overrides of one server).
 	dhcpRNG map[int]*rand.Rand
@@ -84,10 +91,19 @@ type Injector struct {
 // NewInjector creates an injector for the kernel's run. Nothing fires
 // until components are attached.
 func NewInjector(k *sim.Kernel, cfg Config) *Injector {
+	return NewInjectorSeeded(k, cfg, k.Seed())
+}
+
+// NewInjectorSeeded is NewInjector with an explicit stream seed. Sharded
+// runs derive each tile's kernel seed from the world seed, but faults
+// must draw from the *world's* streams — every tile passes the world
+// seed here (with global target indices at attach time) so a target
+// sees the same fault schedule in any tile layout.
+func NewInjectorSeeded(k *sim.Kernel, cfg Config, seed int64) *Injector {
 	in := &Injector{
 		kernel:      k,
 		cfg:         cfg,
-		seed:        k.Seed(),
+		seed:        seed,
 		dhcpRNG:     make(map[int]*rand.Rand),
 		classes:     make(map[string]*ClassStat, len(Classes)),
 		outstanding: make(map[string][]time.Duration),
@@ -199,15 +215,22 @@ func (in *Injector) scheduleEpisodes(class string, rng *rand.Rand, mtbf time.Dur
 // cycles, beacon silences, and DHCP server misbehavior per the config.
 // Target index is assignment order (the scenario's AP order).
 func (in *Injector) AttachAP(ap *mac.AP) {
+	in.AttachAPIndexed(ap, len(in.aps))
+}
+
+// AttachAPIndexed is AttachAP with an explicit stream index (sharded
+// runs pass the AP's global plan index).
+func (in *Injector) AttachAPIndexed(ap *mac.AP, streamIdx int) {
 	idx := len(in.aps)
 	in.aps = append(in.aps, ap)
+	in.apStream = append(in.apStream, streamIdx)
 	if in.cfg.APCrashMTBF > 0 {
-		rng := in.stream(ClassAPCrash, idx)
+		rng := in.stream(ClassAPCrash, streamIdx)
 		in.scheduleEpisodes(ClassAPCrash, rng, in.cfg.APCrashMTBF, in.cfg.APDowntime,
 			ap.Crash, ap.Restart)
 	}
 	if in.cfg.BeaconSilenceMTBF > 0 {
-		rng := in.stream(ClassBeaconSilence, idx)
+		rng := in.stream(ClassBeaconSilence, streamIdx)
 		in.scheduleEpisodes(ClassBeaconSilence, rng, in.cfg.BeaconSilenceMTBF, in.cfg.BeaconSilenceDur,
 			func() { ap.SetBeaconMute(true) }, func() { ap.SetBeaconMute(false) })
 	}
@@ -230,10 +253,11 @@ func (in *Injector) setServerChaos(idx int, c dhcp.Chaos) {
 	if idx < 0 || idx >= len(in.aps) {
 		return
 	}
-	rng := in.dhcpRNG[idx]
+	streamIdx := in.apStream[idx]
+	rng := in.dhcpRNG[streamIdx]
 	if rng == nil {
-		rng = in.stream("dhcp", idx)
-		in.dhcpRNG[idx] = rng
+		rng = in.stream("dhcp", streamIdx)
+		in.dhcpRNG[streamIdx] = rng
 	}
 	in.aps[idx].DHCPServer().SetChaos(rng, c, func(kind string) {
 		in.recordFault("dhcp-" + kind)
@@ -243,15 +267,21 @@ func (in *Injector) setServerChaos(idx int, c dhcp.Chaos) {
 // AttachLink registers a backhaul link as fault target: blackhole
 // outages and latency spikes. Target index is assignment order.
 func (in *Injector) AttachLink(l *backhaul.Link) {
-	idx := len(in.links)
+	in.AttachLinkIndexed(l, len(in.links))
+}
+
+// AttachLinkIndexed is AttachLink with an explicit stream index (sharded
+// runs pass the owning AP's global plan index).
+func (in *Injector) AttachLinkIndexed(l *backhaul.Link, streamIdx int) {
 	in.links = append(in.links, l)
+	in.linkStream = append(in.linkStream, streamIdx)
 	if in.cfg.BlackholeMTBF > 0 {
-		rng := in.stream(ClassBlackhole, idx)
+		rng := in.stream(ClassBlackhole, streamIdx)
 		in.scheduleEpisodes(ClassBlackhole, rng, in.cfg.BlackholeMTBF, in.cfg.BlackholeDur,
 			func() { l.SetBlackhole(true) }, func() { l.SetBlackhole(false) })
 	}
 	if in.cfg.LatencySpikeMTBF > 0 {
-		rng := in.stream(ClassLatencySpike, idx)
+		rng := in.stream(ClassLatencySpike, streamIdx)
 		extraDist := in.cfg.LatencySpikeExtra
 		in.scheduleEpisodes(ClassLatencySpike, rng, in.cfg.LatencySpikeMTBF, in.cfg.LatencySpikeDur,
 			func() {

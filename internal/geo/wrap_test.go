@@ -1,0 +1,62 @@
+package geo
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+// Regression tests for the PR 2 floor-based loop wrap: the shard layer
+// derives a client's tile from its coordinates, so a wrap that ever
+// produced a coordinate outside [0, world) — a negative distance from a
+// negative offset, or d == length from floating-point cancellation —
+// would assign the client to a tile that does not exist.
+
+func TestRouteMobilityWrapStaysInWorld(t *testing.T) {
+	const world = 1000.0
+	road := StraightRoad(world)
+	cases := []struct {
+		speed  float64
+		offset float64
+	}{
+		{13.4, 0},
+		{0.3, -2500},        // negative offset: first wrap is downward
+		{29.9999, world},    // offset exactly one lap
+		{1.0 / 3.0, 999.75}, // irrational speed near the wrap point
+		{1e4, 1},            // thousands of laps over the horizon
+	}
+	for _, c := range cases {
+		m := &RouteMobility{Route: road, SpeedMS: c.speed, Loop: true, Offset: c.offset}
+		for i := 0; i <= 100_000; i++ {
+			at := time.Duration(i) * 7 * time.Millisecond
+			p := m.PositionAt(at)
+			if math.IsNaN(p.X) || p.X < 0 || p.X >= world {
+				t.Fatalf("speed=%v offset=%v t=%v: X=%v outside [0, %v)",
+					c.speed, c.offset, at, p.X, world)
+			}
+			if p.Y != 0 {
+				t.Fatalf("straight road left the axis: %v", p)
+			}
+		}
+	}
+}
+
+// TestRouteMobilityWrapInstant hits the exact wrap instants, where
+// d/length is an integer and floor cancellation is most delicate.
+func TestRouteMobilityWrapInstant(t *testing.T) {
+	const world = 400.0
+	m := &RouteMobility{Route: RectLoop(world, world), SpeedMS: 16, Loop: true}
+	lap := time.Duration(m.Route.Length() / m.SpeedMS * float64(time.Second))
+	for k := 0; k < 50; k++ {
+		for _, dt := range []time.Duration{-time.Nanosecond, 0, time.Nanosecond} {
+			at := time.Duration(k)*lap + dt
+			if at < 0 {
+				continue
+			}
+			p := m.PositionAt(at)
+			if p.X < 0 || p.X > world || p.Y < 0 || p.Y > world {
+				t.Fatalf("lap %d dt=%v: %v outside the loop's [0, %v] bounds", k, dt, p, world)
+			}
+		}
+	}
+}

@@ -22,14 +22,20 @@ func WriteMetricsFile(path string, s Snapshot) error {
 // WriteTraceFile writes the tracer's retained events to path: JSONL
 // when the path ends in .jsonl, Chrome trace_event JSON otherwise.
 func WriteTraceFile(path string, tr *Tracer) error {
+	return WriteTraceEventsFile(path, tr.Events())
+}
+
+// WriteTraceEventsFile is WriteTraceFile over an explicit event set
+// (e.g. a multi-shard timeline assembled by MergeEvents).
+func WriteTraceEventsFile(path string, events []TraceEvent) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
 	if strings.HasSuffix(path, ".jsonl") {
-		err = tr.WriteJSONL(f)
+		err = WriteEventsJSONL(f, events)
 	} else {
-		err = tr.WriteChromeTrace(f)
+		err = WriteEventsChromeTrace(f, events)
 	}
 	if cerr := f.Close(); err == nil {
 		err = cerr

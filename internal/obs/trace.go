@@ -30,12 +30,13 @@ const (
 
 // TraceEvent is one recorded event on the tracer's timeline.
 type TraceEvent struct {
-	Ts   time.Duration // event time on the tracer's (concatenated) clock
-	Dur  time.Duration // span length for PhaseComplete events
-	Ph   byte
-	Cat  string
-	Name string
-	Args []Arg
+	Ts    time.Duration // event time on the tracer's (concatenated) clock
+	Dur   time.Duration // span length for PhaseComplete events
+	Ph    byte
+	Shard int // owning shard for sharded runs (0 otherwise)
+	Cat   string
+	Name  string
+	Args  []Arg
 }
 
 // defaultTraceCap bounds the ring when NewTracer gets 0: enough for a
@@ -61,6 +62,7 @@ type Tracer struct {
 	total   uint64
 	filter  []string
 	dropped uint64
+	shard   int
 }
 
 // NewTracer creates a tracer with the given ring capacity (0 = default).
@@ -83,6 +85,18 @@ func (t *Tracer) AttachClock(now func() time.Duration) {
 	defer t.mu.Unlock()
 	t.base = t.high
 	t.now = now
+}
+
+// SetShard tags every subsequently recorded event with the owning
+// shard. Sharded runs give each tile its own tracer so recording stays
+// contention-free; MergeEvents reassembles the global timeline.
+func (t *Tracer) SetShard(shard int) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.shard = shard
 }
 
 // SetFilter restricts recording to events whose category starts with
@@ -117,6 +131,7 @@ func (t *Tracer) record(ev TraceEvent) {
 	if !t.pass(ev.Cat) {
 		return
 	}
+	ev.Shard = t.shard
 	if ev.Ts > t.high {
 		t.high = ev.Ts
 	}
@@ -198,6 +213,28 @@ func (t *Tracer) Events() []TraceEvent {
 	return out
 }
 
+// MergeEvents interleaves per-shard event streams into one global
+// timeline, ordered by (Ts, Shard) with each shard's recording order
+// preserved within a timestamp. The order is a pure function of the
+// inputs, so a merged trace is as byte-stable as its per-shard parts.
+func MergeEvents(streams ...[]TraceEvent) []TraceEvent {
+	n := 0
+	for _, s := range streams {
+		n += len(s)
+	}
+	out := make([]TraceEvent, 0, n)
+	for _, s := range streams {
+		out = append(out, s...)
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Ts != out[j].Ts {
+			return out[i].Ts < out[j].Ts
+		}
+		return out[i].Shard < out[j].Shard
+	})
+	return out
+}
+
 func usec(d time.Duration) float64 { return float64(d) / float64(time.Microsecond) }
 
 func argMap(args []Arg) map[string]string {
@@ -216,6 +253,7 @@ type jsonlEvent struct {
 	TsUs  float64           `json:"ts_us"`
 	DurUs float64           `json:"dur_us,omitempty"`
 	Ph    string            `json:"ph"`
+	Shard int               `json:"shard,omitempty"`
 	Cat   string            `json:"cat"`
 	Name  string            `json:"name"`
 	Args  map[string]string `json:"args,omitempty"`
@@ -223,11 +261,17 @@ type jsonlEvent struct {
 
 // WriteJSONL writes one JSON object per retained event.
 func (t *Tracer) WriteJSONL(w io.Writer) error {
+	return WriteEventsJSONL(w, t.Events())
+}
+
+// WriteEventsJSONL writes one JSON object per event — the export shared
+// by single tracers and merged multi-shard timelines.
+func WriteEventsJSONL(w io.Writer, events []TraceEvent) error {
 	enc := json.NewEncoder(w)
-	for _, ev := range t.Events() {
+	for _, ev := range events {
 		je := jsonlEvent{
-			TsUs: usec(ev.Ts), Ph: string(ev.Ph), Cat: ev.Cat, Name: ev.Name,
-			Args: argMap(ev.Args),
+			TsUs: usec(ev.Ts), Ph: string(ev.Ph), Shard: ev.Shard,
+			Cat: ev.Cat, Name: ev.Name, Args: argMap(ev.Args),
 		}
 		if ev.Ph == PhaseComplete {
 			je.DurUs = usec(ev.Dur)
@@ -256,35 +300,54 @@ type chromeEvent struct {
 // JSON ({"traceEvents": [...]}), loadable in chrome://tracing and
 // Perfetto. Each event category renders as its own named track.
 func (t *Tracer) WriteChromeTrace(w io.Writer) error {
-	events := t.Events()
+	return WriteEventsChromeTrace(w, t.Events())
+}
+
+// WriteEventsChromeTrace is WriteChromeTrace over an explicit event set
+// (e.g. a MergeEvents timeline). Shards render as separate processes;
+// each category is a named track within its shard.
+func WriteEventsChromeTrace(w io.Writer, events []TraceEvent) error {
 	cats := make(map[string]int)
 	var catNames []string
+	shards := make(map[int]bool)
 	for _, ev := range events {
 		if _, ok := cats[ev.Cat]; !ok {
 			cats[ev.Cat] = 0
 			catNames = append(catNames, ev.Cat)
 		}
+		shards[ev.Shard] = true
 	}
 	sort.Strings(catNames)
 	for i, c := range catNames {
 		cats[c] = i + 1
 	}
+	var shardIDs []int
+	for s := range shards {
+		shardIDs = append(shardIDs, s)
+	}
+	sort.Ints(shardIDs)
 
-	out := make([]chromeEvent, 0, len(events)+len(catNames)+1)
-	out = append(out, chromeEvent{
-		Name: "process_name", Ph: "M", Pid: 1,
-		Args: map[string]string{"name": "spider"},
-	})
-	for _, c := range catNames {
+	out := make([]chromeEvent, 0, len(events)+len(shardIDs)*(len(catNames)+1))
+	for _, s := range shardIDs {
+		name := "spider"
+		if len(shardIDs) > 1 || s != 0 {
+			name = "spider shard " + strconv.Itoa(s)
+		}
 		out = append(out, chromeEvent{
-			Name: "thread_name", Ph: "M", Pid: 1, Tid: cats[c],
-			Args: map[string]string{"name": c},
+			Name: "process_name", Ph: "M", Pid: s + 1,
+			Args: map[string]string{"name": name},
 		})
+		for _, c := range catNames {
+			out = append(out, chromeEvent{
+				Name: "thread_name", Ph: "M", Pid: s + 1, Tid: cats[c],
+				Args: map[string]string{"name": c},
+			})
+		}
 	}
 	for _, ev := range events {
 		ce := chromeEvent{
 			Name: ev.Name, Cat: ev.Cat, Ph: string(ev.Ph),
-			Ts: usec(ev.Ts), Pid: 1, Tid: cats[ev.Cat], Args: argMap(ev.Args),
+			Ts: usec(ev.Ts), Pid: ev.Shard + 1, Tid: cats[ev.Cat], Args: argMap(ev.Args),
 		}
 		if ev.Ph == PhaseComplete {
 			d := usec(ev.Dur)

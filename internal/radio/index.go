@@ -121,20 +121,51 @@ func (ix *mediumIndex) queryBounds(p geo.Point, rad float64) (lo, hi cellKey) {
 	return lo, hi
 }
 
-// gather appends every channel-ch radio that could lie within rad of p —
-// static radios from the covering grid cells plus all mobiles on the
-// channel. With ordered set, the result is in registration order, which
-// is the iteration order of the linear scan and therefore the order the
-// medium's loss RNG must consume draws in; carrier sense passes false
-// (its busy-until update is a max, so order is invisible) and skips the
-// sort. The result is a superset of the radios within rad; callers
-// re-apply the exact distance predicate.
-func (ix *mediumIndex) gather(ch int, p geo.Point, rad float64, ordered bool, out []*Radio) []*Radio {
+// Query-bounds cache kinds: one slot per query radius a sender uses.
+const (
+	qbCS       = 0 // carrier-sense queries (radius CSRange)
+	qbDelivery = 1 // delivery queries (radius Range)
+)
+
+// boundsFor returns the cell rectangle for a radius-rad query around p,
+// serving it from r's cache when r last queried that kind from the same
+// position. The cell hash (four floor-divides) is thus paid once per
+// position, not once per frame: a station that transmits repeatedly from
+// one spot — every AP, and any mobile between movement samples — reuses
+// its bounds until it actually crosses into new coordinates. r may be
+// nil (ghost frames), which always computes.
+func (ix *mediumIndex) boundsFor(r *Radio, p geo.Point, rad float64, kind uint8) (lo, hi cellKey) {
+	if r == nil {
+		return ix.queryBounds(p, rad)
+	}
+	if r.qbPos == p {
+		if r.qbValid&(1<<kind) != 0 {
+			return r.qbLo[kind], r.qbHi[kind]
+		}
+	} else {
+		r.qbPos = p
+		r.qbValid = 0
+	}
+	lo, hi = ix.queryBounds(p, rad)
+	r.qbLo[kind], r.qbHi[kind] = lo, hi
+	r.qbValid |= 1 << kind
+	return lo, hi
+}
+
+// gather appends every channel-ch radio registered in the [lo, hi] cell
+// rectangle — static radios from the covering grid cells plus all
+// mobiles on the channel. With ordered set, the result is in
+// registration order, which is the iteration order of the linear scan
+// and therefore the order the medium's loss RNG must consume draws in;
+// carrier sense passes false (its busy-until update is a max, so order
+// is invisible) and skips the sort. The result is a superset of the
+// radios within the query radius; callers re-apply the exact distance
+// predicate.
+func (ix *mediumIndex) gather(ch int, lo, hi cellKey, ordered bool, out []*Radio) []*Radio {
 	ci := ix.chans[ch]
 	if ci == nil {
 		return out
 	}
-	lo, hi := ix.queryBounds(p, rad)
 	if !ordered {
 		for cy := lo.cy; cy <= hi.cy; cy++ {
 			for cx := lo.cx; cx <= hi.cx; cx++ {
@@ -169,11 +200,11 @@ func (ix *mediumIndex) gather(ch int, p geo.Point, rad float64, ordered bool, ou
 	return out
 }
 
-// covers reports whether a gather(ch, p, rad, …) call has returned r:
-// mobiles on the channel always, statics when their cell lies in the
-// query rectangle. Callers use it to union in a unicast's addressed
-// radio without duplicating it.
-func (ix *mediumIndex) covers(r *Radio, ch int, p geo.Point, rad float64) bool {
+// covers reports whether a gather over the [lo, hi] rectangle on ch has
+// returned r: mobiles on the channel always, statics when their cell
+// lies in the query rectangle. Callers use it to union in a unicast's
+// addressed radio without duplicating it.
+func (ix *mediumIndex) covers(r *Radio, ch int, lo, hi cellKey) bool {
 	if r.channel != ch {
 		return false
 	}
@@ -181,6 +212,5 @@ func (ix *mediumIndex) covers(r *Radio, ch int, p geo.Point, rad float64) bool {
 		return true
 	}
 	c := ix.cellOf(r.staticPos)
-	lo, hi := ix.queryBounds(p, rad)
 	return c.cx >= lo.cx && c.cx <= hi.cx && c.cy >= lo.cy && c.cy <= hi.cy
 }

@@ -128,6 +128,11 @@ type Medium struct {
 	// (independent of delivery outcome) — the capture hook.
 	tap func(f *wifi.Frame, ch int, at time.Duration)
 
+	// txObs, when set, observes every frame at end of transmission along
+	// with the sender's position at that instant. The shard runtime uses
+	// it to capture broadcasts that land inside a neighboring shard's halo.
+	txObs func(f *wifi.Frame, ch int, at time.Duration, txPos geo.Point)
+
 	// burst holds per-channel additive loss while a fault-injected
 	// interference episode is active (nil when no episode ever ran). The
 	// boost perturbs only the loss comparison, never the RNG draw — the
@@ -147,6 +152,26 @@ type Medium struct {
 // Passing nil removes the tap.
 func (m *Medium) SetTap(tap func(f *wifi.Frame, ch int, at time.Duration)) { m.tap = tap }
 
+// SetTxObserver installs an observer invoked once per transmission at the
+// instant the frame leaves the air, with the transmitter's position at
+// that instant (the position delivery is evaluated against). Passing nil
+// removes the observer.
+func (m *Medium) SetTxObserver(fn func(f *wifi.Frame, ch int, at time.Duration, txPos geo.Point)) {
+	m.txObs = fn
+}
+
+// InjectFrame delivers f to every eligible receiver as if a ghost
+// transmitter at txPos had just finished sending it on ch: channel,
+// range, and random-loss checks apply exactly as for a local frame, but
+// no airtime is consumed and no carrier sense is performed — the frame's
+// airtime was already paid on the medium it originated on. The shard
+// runtime uses it to mirror halo-crossing broadcasts from a neighboring
+// shard at an epoch boundary.
+func (m *Medium) InjectFrame(f *wifi.Frame, ch int, txPos geo.Point) {
+	m.stats.HaloInjected++
+	m.deliver(nil, txPos, f, ch, 0)
+}
+
 // Stats aggregates medium-level counters.
 type Stats struct {
 	Transmitted     uint64 // frames offered to the air
@@ -158,6 +183,7 @@ type Stats struct {
 	FlushedOnRetune uint64 // frames discarded from a MAC queue after a channel change
 	Collisions      uint64 // receptions corrupted by hidden terminals
 	CSDeferred      uint64 // transmissions delayed by a carrier-sense busy medium
+	HaloInjected    uint64 // ghost frames mirrored in from a neighboring shard
 }
 
 // NewMedium creates a medium bound to the kernel.
@@ -217,6 +243,16 @@ type Radio struct {
 	// staticPos; mobile radios live in the per-channel mobile lists.
 	static    bool
 	staticPos geo.Point
+
+	// Query-bounds cache: the grid-cell rectangle covering this radio's
+	// last carrier-sense (kind 0) and delivery (kind 1) query, valid while
+	// the sampled position still equals qbPos. A station transmitting
+	// several frames from one spot — every AP, and any mobile between
+	// moves — rehashes its cell once instead of once per frame.
+	qbPos   geo.Point
+	qbValid uint8 // bit set per kind when qbLo/qbHi[kind] match qbPos
+	qbLo    [2]cellKey
+	qbHi    [2]cellKey
 
 	channel     int
 	promiscuous bool
@@ -418,7 +454,7 @@ func (r *Radio) kick() {
 	// exact predicate below is identical either way, and the busy-until
 	// update is a max, so candidate order does not matter.
 	txPos := r.pos()
-	for _, x := range m.csCandidates(job.ch, txPos) {
+	for _, x := range m.csCandidates(r, job.ch, txPos) {
 		if x.channel != job.ch {
 			continue
 		}
@@ -437,10 +473,14 @@ func (r *Radio) kick() {
 	ch := job.ch
 	m.kernel.At(start+dur, func() {
 		r.txBusy = false
+		endPos := r.pos()
 		if m.tap != nil {
 			m.tap(f, ch, m.kernel.Now())
 		}
-		delivered := m.deliver(r, f, ch, dur)
+		if m.txObs != nil {
+			m.txObs(f, ch, m.kernel.Now(), endPos)
+		}
+		delivered := m.deliver(r, endPos, f, ch, dur)
 		if !delivered && r.canRetry(f, r.txQueue[0].attempt) && r.channel == ch {
 			m.stats.Retries++
 			r.txQueue[0].attempt++
@@ -479,13 +519,15 @@ func (r *Radio) canRetry(f *wifi.Frame, attempt int) bool {
 func (r *Radio) AirtimeStats() Airtime { return r.air }
 
 // csCandidates returns the radios the carrier-sense loop must visit for
-// a transmission on ch at txPos: all radios under the linear scan, or the
-// same-channel CSRange neighborhood (grid cells + mobiles) when indexed.
-func (m *Medium) csCandidates(ch int, txPos geo.Point) []*Radio {
+// a transmission by tx on ch at txPos: all radios under the linear scan,
+// or the same-channel CSRange neighborhood (grid cells + mobiles) when
+// indexed. tx (nil for ghost frames) carries the query-bounds cache.
+func (m *Medium) csCandidates(tx *Radio, ch int, txPos geo.Point) []*Radio {
 	if m.idx == nil {
 		return m.radios
 	}
-	m.csScratch = m.idx.gather(ch, txPos, m.cfg.CSRange, false, m.csScratch[:0])
+	lo, hi := m.idx.boundsFor(tx, txPos, m.cfg.CSRange, qbCS)
+	m.csScratch = m.idx.gather(ch, lo, hi, false, m.csScratch[:0])
 	return m.csScratch
 }
 
@@ -494,13 +536,14 @@ func (m *Medium) csCandidates(ch int, txPos geo.Point) []*Radio {
 // same-channel radios near txPos plus — for unicast — the addressed radio
 // wherever (and however tuned) it is, so the missed-away and out-of-range
 // stats count exactly as the linear scan does.
-func (m *Medium) deliveryCandidates(da wifi.Addr, ch int, txPos geo.Point) []*Radio {
+func (m *Medium) deliveryCandidates(tx *Radio, da wifi.Addr, ch int, txPos geo.Point) []*Radio {
 	if m.idx == nil {
 		return m.radios
 	}
-	out := m.idx.gather(ch, txPos, m.cfg.Range, true, m.dlScratch[:0])
+	lo, hi := m.idx.boundsFor(tx, txPos, m.cfg.Range, qbDelivery)
+	out := m.idx.gather(ch, lo, hi, true, m.dlScratch[:0])
 	if !da.IsBroadcast() {
-		if tgt := m.byAddr[da]; tgt != nil && !m.idx.covers(tgt, ch, txPos, m.cfg.Range) {
+		if tgt := m.byAddr[da]; tgt != nil && !m.idx.covers(tgt, ch, lo, hi) {
 			// Appending out of registration order is safe: an uncovered
 			// target is off-channel or beyond the query rectangle, so the
 			// delivery loop's only action on it is bumping MissedAway or
@@ -514,12 +557,13 @@ func (m *Medium) deliveryCandidates(da wifi.Addr, ch int, txPos geo.Point) []*Ra
 }
 
 // deliver hands f to every eligible receiver; reports whether the
-// addressed station (if unicast) got it.
-func (m *Medium) deliver(tx *Radio, f *wifi.Frame, ch int, dur time.Duration) bool {
+// addressed station (if unicast) got it. tx is nil for ghost frames
+// injected from a neighboring shard; txPos is the transmitter's position
+// at the instant the frame ends.
+func (m *Medium) deliver(tx *Radio, txPos geo.Point, f *wifi.Frame, ch int, dur time.Duration) bool {
 	now := m.kernel.Now()
-	txPos := tx.pos()
 	hitTarget := f.DA.IsBroadcast() // broadcast "succeeds" unconditionally
-	for _, rcv := range m.deliveryCandidates(f.DA, ch, txPos) {
+	for _, rcv := range m.deliveryCandidates(tx, f.DA, ch, txPos) {
 		if rcv == tx {
 			continue
 		}
@@ -553,7 +597,7 @@ func (m *Medium) deliver(tx *Radio, f *wifi.Frame, ch int, dur time.Duration) bo
 			}
 			continue
 		}
-		if m.cfg.HiddenCollisions && m.collidedAt(tx, rcv, ch, now, dur) {
+		if m.cfg.HiddenCollisions && m.collidedAt(tx, txPos, rcv, ch, now, dur) {
 			m.stats.Collisions++
 			continue
 		}
@@ -583,13 +627,12 @@ func (m *Medium) recordActive(t activeTx) {
 // collidedAt reports whether the reception of tx's frame at rcv (which
 // occupied [now-dur, now]) overlapped another same-channel transmission
 // whose sender was hidden from tx (outside carrier sense) but audible at
-// rcv — the hidden-terminal corruption case.
-func (m *Medium) collidedAt(tx, rcv *Radio, ch int, now, dur time.Duration) bool {
+// rcv — the hidden-terminal corruption case. tx is nil for ghost frames.
+func (m *Medium) collidedAt(tx *Radio, txPos geo.Point, rcv *Radio, ch int, now, dur time.Duration) bool {
 	start := now - dur
-	txPos := tx.pos()
 	rcvPos := rcv.pos()
 	for _, a := range m.active {
-		if a.from == tx || a.ch != ch {
+		if (tx != nil && a.from == tx) || a.ch != ch {
 			continue
 		}
 		if a.end <= start || a.start >= now {

@@ -1,10 +1,14 @@
 package scenario
 
 import (
+	"math"
 	"math/rand"
+	"time"
 
 	"spider/internal/geo"
 	"spider/internal/radio"
+	"spider/internal/sim"
+	"spider/internal/wifi"
 )
 
 // CityGridSpec parameterizes a city-scale world: hundreds-to-thousands
@@ -82,22 +86,129 @@ func (s CityGridSpec) Build() (*World, []geo.Mobility) {
 	}
 	mobs := make([]geo.Mobility, 0, s.NumClients)
 	for i := 0; i < s.NumClients; i++ {
-		bw := s.BlockMinM + rng.Float64()*(s.BlockMaxM-s.BlockMinM)
-		bh := s.BlockMinM + rng.Float64()*(s.BlockMaxM-s.BlockMinM)
-		ox := rng.Float64() * (s.AreaW - bw)
-		oy := rng.Float64() * (s.AreaH - bh)
-		route := geo.NewRoute(
-			geo.Point{X: ox, Y: oy},
-			geo.Point{X: ox + bw, Y: oy},
-			geo.Point{X: ox + bw, Y: oy + bh},
-			geo.Point{X: ox, Y: oy + bh},
-			geo.Point{X: ox, Y: oy},
-		)
-		speed := s.SpeedMS * (0.7 + 0.6*rng.Float64())
-		mobs = append(mobs, &geo.RouteMobility{
-			Route: route, SpeedMS: speed, Loop: true,
-			Offset: rng.Float64() * route.Length(),
-		})
+		mobs = append(mobs, s.clientMobility(rng))
 	}
 	return w, mobs
+}
+
+// clientMobility draws one vehicle's rectangular loop from the stream —
+// the single definition shared by Build and Plan so both describe the
+// same population.
+func (s CityGridSpec) clientMobility(rng *rand.Rand) *geo.RouteMobility {
+	bw := s.BlockMinM + rng.Float64()*(s.BlockMaxM-s.BlockMinM)
+	bh := s.BlockMinM + rng.Float64()*(s.BlockMaxM-s.BlockMinM)
+	ox := rng.Float64() * (s.AreaW - bw)
+	oy := rng.Float64() * (s.AreaH - bh)
+	route := geo.NewRoute(
+		geo.Point{X: ox, Y: oy},
+		geo.Point{X: ox + bw, Y: oy},
+		geo.Point{X: ox + bw, Y: oy + bh},
+		geo.Point{X: ox, Y: oy + bh},
+		geo.Point{X: ox, Y: oy},
+	)
+	speed := s.SpeedMS * (0.7 + 0.6*rng.Float64())
+	return &geo.RouteMobility{
+		Route: route, SpeedMS: speed, Loop: true,
+		Offset: rng.Float64() * route.Length(),
+	}
+}
+
+// APPlan is one planned access point: identity and personality fixed
+// before any world exists, so a sharded build can place the same AP —
+// same MAC, same DHCP subnet, same latency personality — in whichever
+// tile owns its position.
+type APPlan struct {
+	ID           uint32
+	Pos          geo.Point
+	Channel      int
+	BackhaulKbps int
+	OfferLatency sim.Dist
+	AckLatency   sim.Dist
+}
+
+// Spec converts the plan entry into the APSpec AddAP consumes. The
+// explicit latencies keep AddAP off the kernel's personality stream, so
+// placement order across tiles cannot perturb AP behavior.
+func (a APPlan) Spec() APSpec {
+	return APSpec{ID: a.ID, Pos: a.Pos, Channel: a.Channel,
+		BackhaulKbps: a.BackhaulKbps,
+		OfferLatency: a.OfferLatency, AckLatency: a.AckLatency}
+}
+
+// ClientPlan is one planned vehicle: a stable MAC id plus its route.
+// The mobility is pure (position is a function of time), so any tile can
+// evaluate it without owning the client.
+type ClientPlan struct {
+	ID  uint32
+	Mob *geo.RouteMobility
+}
+
+// Addr returns the client's planned MAC address.
+func (c ClientPlan) Addr() wifi.Addr { return wifi.NewAddr(0xC0, c.ID) }
+
+// CityPlan is the world-independent description of a city: everything
+// Build randomizes, drawn up front from a standalone stream.
+type CityPlan struct {
+	Spec    CityGridSpec
+	APs     []APPlan
+	Clients []ClientPlan
+}
+
+// Channels returns the distinct planned AP channels in first-seen plan
+// order — the canonical global indexing for per-channel fault streams,
+// independent of how the plan is split into tiles.
+func (p CityPlan) Channels() []int {
+	seen := make(map[int]bool)
+	var out []int
+	for _, ap := range p.APs {
+		if !seen[ap.Channel] {
+			seen[ap.Channel] = true
+			out = append(out, ap.Channel)
+		}
+	}
+	return out
+}
+
+// Plan lays out the city without building a world: AP positions,
+// channels, backhaul rates and DHCP personalities, and client routes are
+// all drawn from a private generator seeded by Spec.Seed. The sharded
+// runtime builds one world per tile from the subset of the plan that
+// falls inside it; because every random draw happens here, the layout is
+// identical for every tile count.
+//
+// Plan's stream is deliberately separate from Build's kernel streams:
+// planned worlds match each other exactly (any tile count, including
+// one), but are a different sample of the same distributions than the
+// monolithic Build path.
+func (s CityGridSpec) Plan() CityPlan {
+	mix := s.Mix
+	if mix == nil {
+		mix = geo.AmherstMix()
+	}
+	bk := s.BackhaulKbps
+	if bk == nil {
+		bk = defaultBackhaulKbps
+	}
+	rng := rand.New(rand.NewSource(s.Seed ^ 0x63697479706c616e)) // "cityplan"
+	plan := CityPlan{Spec: s}
+	for i, d := range geo.DeployUniform(rng, s.AreaW, s.AreaH, s.NumAPs, mix) {
+		ap := APPlan{ID: uint32(i + 1), Pos: d.Pos, Channel: d.Channel, BackhaulKbps: bk(rng)}
+		// Same personality split as AddAP's default branch, pre-drawn so
+		// the spec reaching AddAP is fully explicit.
+		if rng.Float64() < 0.25 {
+			ap.OfferLatency = sim.LogNormal{Mu: math.Log(1.2), Sigma: 0.4, Cap: 10 * time.Second}
+			ap.AckLatency = sim.LogNormal{Mu: math.Log(0.4), Sigma: 0.4, Cap: 5 * time.Second}
+		} else {
+			ap.OfferLatency = sim.LogNormal{Mu: math.Log(0.04), Sigma: 0.8, Cap: 5 * time.Second}
+			ap.AckLatency = sim.LogNormal{Mu: math.Log(0.02), Sigma: 0.8, Cap: 5 * time.Second}
+		}
+		plan.APs = append(plan.APs, ap)
+	}
+	for i := 0; i < s.NumClients; i++ {
+		plan.Clients = append(plan.Clients, ClientPlan{
+			ID:  uint32(i + 1),
+			Mob: s.clientMobility(rng),
+		})
+	}
+	return plan
 }

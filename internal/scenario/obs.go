@@ -38,11 +38,15 @@ func (w *World) AttachObs(o *obs.Obs) {
 			return float64(t)
 		}
 	}
+	// Driver sums go through the client-lifetime accessor, not the live
+	// driver: a migrated client carries its pre-migration counters with
+	// it, so per-shard registries always sum to the same global totals no
+	// matter how clients moved between shards.
 	sumDriver := func(pick func(core.Stats) uint64) func() float64 {
 		return func() float64 {
 			var t uint64
 			for _, c := range w.Clients {
-				t += pick(c.Driver.Stats())
+				t += pick(c.Stats())
 			}
 			return float64(t)
 		}
@@ -93,6 +97,9 @@ func (w *World) AttachObs(o *obs.Obs) {
 	reg.CounterFunc("radio_cs_deferrals_total",
 		"Transmissions delayed by a carrier-sense busy medium.",
 		func() float64 { return float64(w.Medium.Stats().CSDeferred) })
+	reg.CounterFunc("radio_halo_injected_total",
+		"Ghost frames mirrored in from neighboring shards.",
+		func() float64 { return float64(w.Medium.Stats().HaloInjected) })
 
 	// Access points.
 	reg.CounterFunc("mac_assoc_grants_total",
@@ -200,7 +207,7 @@ func (w *World) AttachObs(o *obs.Obs) {
 		func() float64 {
 			var t uint64
 			for _, c := range w.Clients {
-				t += c.Driver.Invariants().Total()
+				t += c.InvariantsTotal()
 			}
 			return float64(t)
 		})

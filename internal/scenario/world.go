@@ -24,6 +24,11 @@ import (
 
 // APSpec describes one access point to place in a world.
 type APSpec struct {
+	// ID fixes the AP's global identity (MAC address, DHCP subnet).
+	// Zero auto-assigns the next world-local id; sharded builds pass the
+	// planned global id so an AP's addresses do not depend on which tile
+	// it landed in.
+	ID           uint32
 	Pos          geo.Point
 	Channel      int
 	SSID         string
@@ -75,8 +80,11 @@ func NewWorld(seed int64, radioCfg radio.Config) *World {
 
 // AddAP places an access point and wires its backhaul and uplink path.
 func (w *World) AddAP(spec APSpec) *APNode {
-	w.nextAP++
-	id := w.nextAP
+	id := spec.ID
+	if id == 0 {
+		w.nextAP++
+		id = w.nextAP
+	}
 	if spec.SSID == "" {
 		spec.SSID = "open"
 	}
@@ -177,6 +185,7 @@ type Client struct {
 	Driver *core.Driver
 	Rec    *metrics.Recorder
 
+	addr     wifi.Addr
 	conns    map[wifi.Addr]*conn
 	nextFlow uint32
 	workload Workload
@@ -194,7 +203,24 @@ type Client struct {
 	// tcpClosed accumulates sender counters from flows already replaced
 	// or torn down, so TCPStats covers the client's whole history.
 	tcpClosed TCPStats
+	// statsClosed / invClosed carry the counters of drivers this client
+	// has already retired (one per shard migration), so Stats and
+	// InvariantsTotal cover the whole life regardless of which world the
+	// client currently resides in.
+	statsClosed core.Stats
+	invClosed   uint64
 }
+
+// Addr returns the client's MAC address, stable across migrations.
+func (c *Client) Addr() wifi.Addr { return c.addr }
+
+// Stats returns the client's lifetime driver counters: every retired
+// driver plus the live one.
+func (c *Client) Stats() core.Stats { return c.statsClosed.Add(c.Driver.Stats()) }
+
+// InvariantsTotal returns the client's lifetime invariant-violation
+// count across every driver it has run on.
+func (c *Client) InvariantsTotal() uint64 { return c.invClosed + c.Driver.Invariants().Total() }
 
 // TCPStats aggregates one client's TCP sender counters across every
 // flow it has ever run — live senders plus those already closed.
@@ -229,12 +255,27 @@ func (c *Client) TCPStats() TCPStats {
 
 // AddClient creates a client with the given driver config and mobility.
 func (w *World) AddClient(cfg core.Config, mob geo.Mobility) *Client {
+	return w.AddClientAddr(wifi.NewAddr(0xC0, uint32(len(w.Clients)+1)), cfg, mob)
+}
+
+// AddClientAddr is AddClient with an explicit MAC address. Sharded
+// builds pass the planned global address so a client's identity does
+// not depend on which tile it starts in.
+func (w *World) AddClientAddr(addr wifi.Addr, cfg core.Config, mob geo.Mobility) *Client {
 	c := &Client{
 		World: w,
 		Rec:   metrics.NewRecorder(time.Second),
+		addr:  addr,
 		conns: make(map[wifi.Addr]*conn),
 	}
-	idx := uint32(len(w.Clients) + 1)
+	c.attachDriver(w, cfg, mob)
+	return c
+}
+
+// attachDriver builds a fresh driver for c in world w and registers c
+// there — the shared tail of AddClientAddr and AdoptClient.
+func (c *Client) attachDriver(w *World, cfg core.Config, mob geo.Mobility) {
+	c.World = w
 	events := core.Events{
 		OnConnected:    c.openFlow,
 		OnDisconnected: c.closeFlow,
@@ -245,14 +286,47 @@ func (w *World) AddClient(cfg core.Config, mob geo.Mobility) *Client {
 			c.Joins = append(c.Joins, JoinEvent{BSSID: bssid, Success: ok, Elapsed: elapsed, At: w.Kernel.Now()})
 		},
 	}
-	c.Driver = core.NewDriver(w.Medium, cfg, wifi.NewAddr(0xC0, idx), mob, events)
+	c.Driver = core.NewDriver(w.Medium, cfg, c.addr, mob, events)
 	c.Driver.SetDataSink(c.downlink)
 	if w.obs != nil {
 		c.Driver.AttachObs(w.obs)
 	}
 	w.Clients = append(w.Clients, c)
-	w.byMAC[c.Driver.Addr()] = c
-	return c
+	w.byMAC[c.addr] = c
+}
+
+// RemoveClient detaches c from this world: the driver is shut down
+// (tearing down associations and deauthing its APs), its counters are
+// folded into the client's lifetime totals, and the scan table is
+// returned for handoff. The client object itself — logs, metrics, TCP
+// totals — stays alive for AdoptClient in the destination world.
+func (w *World) RemoveClient(c *Client) []core.APRecord {
+	recs := c.Driver.ExportAPRecords()
+	c.Driver.Shutdown()
+	c.statsClosed = c.statsClosed.Add(c.Driver.Stats())
+	c.invClosed += c.Driver.Invariants().Total()
+	delete(w.byMAC, c.addr)
+	for i, x := range w.Clients {
+		if x == c {
+			w.Clients = append(w.Clients[:i], w.Clients[i+1:]...)
+			break
+		}
+	}
+	return recs
+}
+
+// AdoptClient attaches a client removed from another world: a fresh
+// driver on this world's medium under the same MAC address, with the
+// handed-off scan table imported — records whose AP exists here are
+// joinable immediately (warm rejoin via the cached lease), the rest are
+// kept as halo history.
+func (w *World) AdoptClient(c *Client, cfg core.Config, mob geo.Mobility, recs []core.APRecord) {
+	c.conns = make(map[wifi.Addr]*conn)
+	c.attachDriver(w, cfg, mob)
+	for _, rec := range recs {
+		_, local := w.byBSS[rec.BSSID]
+		c.Driver.ImportAPRecord(rec, !local)
+	}
 }
 
 func segBody(seg *tcpsim.Segment) *wifi.DataBody {

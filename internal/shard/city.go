@@ -1,0 +1,303 @@
+package shard
+
+import (
+	"context"
+	"sort"
+	"time"
+
+	"spider/internal/core"
+	"spider/internal/fault"
+	"spider/internal/geo"
+	"spider/internal/obs"
+	"spider/internal/radio"
+	"spider/internal/scenario"
+	"spider/internal/sweep"
+	"spider/internal/wifi"
+)
+
+// haloFrame is one boundary transmission captured for mirroring.
+type haloFrame struct {
+	dst   int
+	frame wifi.Frame
+	ch    int
+	pos   geo.Point
+}
+
+// Tile is one stripe of the city: a complete self-contained simulation
+// owning the APs placed inside its bounds and the clients currently
+// resident there.
+type Tile struct {
+	Index  int
+	World  *scenario.World
+	Lo, Hi float64
+
+	// outbox collects boundary transmissions during an epoch (appended
+	// only by this tile's own single-threaded simulation); inbox holds
+	// the frames routed to this tile at the last barrier, injected when
+	// its next epoch starts.
+	outbox []haloFrame
+	inbox  []haloFrame
+}
+
+// City is a sharded city-scale run: the planned world split into tiles
+// advancing in lockstep epochs.
+//
+// Build order mirrors the single-world convention: NewCity, then
+// EnableObs (optional), then ApplyChaos (optional), then Run.
+type City struct {
+	Spec   scenario.CityGridSpec
+	Plan   scenario.CityPlan
+	Layout Layout
+	Tiles  []*Tile
+
+	// Workers bounds how many tiles advance concurrently (0 = all
+	// cores). It is the ONLY thing "-shards" controls; the tile layout —
+	// and therefore every simulated byte — is identical at any value.
+	Workers int
+
+	// Migrations counts clients handed between tiles at barriers.
+	Migrations uint64
+
+	// Injectors holds the per-tile fault injectors after ApplyChaos
+	// (index-aligned with Tiles).
+	Injectors []*fault.Injector
+
+	cfg  core.Config
+	mobs map[wifi.Addr]geo.Mobility
+	now  time.Duration
+	obs  []*obs.Obs
+}
+
+// NewCity plans the city and builds its tiles. Every AP and client is
+// placed by the plan's global identity — MAC addresses, DHCP subnets
+// and fault streams are position-derived, not tile-derived — so the
+// same spec yields the same city under any layout.
+func NewCity(spec scenario.CityGridSpec, cfg core.Config, workers int) *City {
+	plan := spec.Plan()
+	lay := DeriveLayout(spec)
+	c := &City{
+		Spec: spec, Plan: plan, Layout: lay, Workers: workers,
+		cfg:  cfg,
+		mobs: make(map[wifi.Addr]geo.Mobility, len(plan.Clients)),
+	}
+	rcfg := spec.Radio
+	if rcfg.Range == 0 {
+		rcfg = radio.Defaults()
+	}
+	for i := 0; i < lay.NTiles; i++ {
+		c.Tiles = append(c.Tiles, &Tile{
+			Index: i,
+			World: scenario.NewWorld(sweep.TaskSeed(spec.Seed, "shard.tile", i), rcfg),
+			Lo:    float64(i) * lay.TileW,
+			Hi:    float64(i+1) * lay.TileW,
+		})
+	}
+	for _, ap := range plan.APs {
+		c.Tiles[lay.TileOf(ap.Pos.X)].World.AddAP(ap.Spec())
+	}
+	for _, cp := range plan.Clients {
+		c.mobs[cp.Addr()] = cp.Mob
+		tile := c.Tiles[lay.TileOf(cp.Mob.PositionAt(0).X)]
+		tile.World.AddClientAddr(cp.Addr(), cfg, cp.Mob)
+	}
+	if lay.NTiles > 1 {
+		for _, t := range c.Tiles {
+			t := t
+			t.World.Medium.SetTxObserver(func(f *wifi.Frame, ch int, _ time.Duration, txPos geo.Point) {
+				c.captureHalo(t, f, ch, txPos)
+			})
+		}
+	}
+	return c
+}
+
+// captureHalo mirrors boundary beacons into the outbox. Only broadcast
+// beacons cross: they are what populates scan tables, they carry no
+// per-client state, and their sources (APs) are static inside their
+// stripe — so a captured frame only ever concerns the adjacent tile.
+// Halo-injected frames are never re-captured (injection bypasses the
+// transmit path), so mirrors cannot cascade across the city.
+func (c *City) captureHalo(t *Tile, f *wifi.Frame, ch int, pos geo.Point) {
+	if f.Type != wifi.TypeBeacon || !f.DA.IsBroadcast() || f.Halo {
+		return
+	}
+	if t.Index > 0 && pos.X < t.Lo+c.Layout.Halo {
+		g := *f
+		g.Halo = true
+		t.outbox = append(t.outbox, haloFrame{dst: t.Index - 1, frame: g, ch: ch, pos: pos})
+	}
+	if t.Index < c.Layout.NTiles-1 && pos.X >= t.Hi-c.Layout.Halo {
+		g := *f
+		g.Halo = true
+		t.outbox = append(t.outbox, haloFrame{dst: t.Index + 1, frame: g, ch: ch, pos: pos})
+	}
+}
+
+// Run advances the whole city to the given virtual time in lockstep
+// epochs. Within an epoch each tile advances independently (fanned out
+// over the worker pool); at the barrier the exchange runs
+// single-threaded in tile order. Each tile epoch is a pure function of
+// the tile's prior state plus its inbox, and inboxes are assembled in
+// deterministic order, so the result is invariant in Workers.
+func (c *City) Run(until time.Duration) error {
+	ctx := context.Background()
+	for c.now < until {
+		t1 := c.now + c.Layout.Epoch
+		if t1 > until {
+			t1 = until
+		}
+		_, err := sweep.RunN(ctx, c.Workers, len(c.Tiles), func(_ context.Context, i int) (struct{}, error) {
+			t := c.Tiles[i]
+			// Inject the frames routed here at the last barrier: ghost
+			// beacons land at epoch start, at most one epoch stale.
+			for j := range t.inbox {
+				h := &t.inbox[j]
+				t.World.Medium.InjectFrame(&h.frame, h.ch, h.pos)
+			}
+			t.inbox = t.inbox[:0]
+			t.World.Run(t1)
+			return struct{}{}, nil
+		})
+		if err != nil {
+			return err
+		}
+		c.exchange(t1)
+		c.now = t1
+	}
+	return nil
+}
+
+// exchange is the barrier phase: route halo outboxes and migrate
+// clients whose position crossed a stripe boundary. Strictly
+// single-threaded, iterating tiles (and each tile's residents) in index
+// order — the orderings are properties of the simulation state, never
+// of scheduling.
+func (c *City) exchange(t1 time.Duration) {
+	for _, t := range c.Tiles {
+		for _, h := range t.outbox {
+			c.Tiles[h.dst].inbox = append(c.Tiles[h.dst].inbox, h)
+		}
+		t.outbox = t.outbox[:0]
+	}
+
+	type move struct {
+		cl       *scenario.Client
+		from, to int
+	}
+	var moves []move
+	for _, t := range c.Tiles {
+		for _, cl := range t.World.Clients {
+			dst := c.Layout.TileOf(c.mobs[cl.Addr()].PositionAt(t1).X)
+			if dst != t.Index {
+				moves = append(moves, move{cl, t.Index, dst})
+			}
+		}
+	}
+	for _, mv := range moves {
+		recs := c.Tiles[mv.from].World.RemoveClient(mv.cl)
+		c.Tiles[mv.to].World.AdoptClient(mv.cl, c.cfg, c.mobs[mv.cl.Addr()], recs)
+		c.Migrations++
+	}
+}
+
+// Now returns the city's lockstep virtual time.
+func (c *City) Now() time.Duration { return c.now }
+
+// EnableObs attaches one observation bundle per tile (shard-tagged
+// tracers, per-tile registries). Call before ApplyChaos and Run.
+func (c *City) EnableObs(traceCap int, filter ...string) {
+	for _, t := range c.Tiles {
+		o := obs.New(traceCap)
+		o.Tracer.SetShard(t.Index)
+		o.Tracer.SetFilter(filter...)
+		t.World.AttachObs(o)
+		c.obs = append(c.obs, o)
+	}
+}
+
+// MergedSnapshot folds the per-tile registries in tile order. Because a
+// client always resides in exactly one tile and reports lifetime
+// totals, the merged counters equal a single-world run's — the sum is
+// invariant under any migration history.
+func (c *City) MergedSnapshot() obs.Snapshot {
+	snaps := make([]obs.Snapshot, len(c.obs))
+	for i, o := range c.obs {
+		snaps[i] = o.Reg.Snapshot()
+	}
+	return obs.MergeSnapshots(snaps...)
+}
+
+// TraceEvents returns the global timeline: per-tile traces merged by
+// (timestamp, shard).
+func (c *City) TraceEvents() []obs.TraceEvent {
+	streams := make([][]obs.TraceEvent, len(c.obs))
+	for i, o := range c.obs {
+		streams[i] = o.Tracer.Events()
+	}
+	return obs.MergeEvents(streams...)
+}
+
+// ApplyChaos arms a fault profile on every tile. All streams derive
+// from the *world* seed with global target indices (the AP's plan
+// identity, the plan's channel order), so a given AP misbehaves
+// identically under any tile layout.
+//
+// Unlike the single-world ApplyChaos, no driver is attached: clients
+// migrate between tiles and a shut-down driver would read as deadlocked
+// to the liveness checker. Recovery/TTR accounting therefore stays
+// zero in sharded runs; injected-fault counts are exact.
+func (c *City) ApplyChaos(cfg fault.Config) {
+	channels := c.Plan.Channels()
+	for ti, t := range c.Tiles {
+		inj := fault.NewInjectorSeeded(t.World.Kernel, cfg, c.Spec.Seed)
+		for _, n := range t.World.APs {
+			gi := int(n.Spec.ID) - 1
+			inj.AttachAPIndexed(n.AP, gi)
+			inj.AttachLinkIndexed(n.Link, gi)
+		}
+		inj.AttachMedium(t.World.Medium, channels)
+		if c.obs != nil {
+			inj.AttachObs(c.obs[ti])
+		}
+		c.Injectors = append(c.Injectors, inj)
+	}
+}
+
+// TotalInjected sums injected faults across every tile's injector.
+func (c *City) TotalInjected() uint64 {
+	var t uint64
+	for _, inj := range c.Injectors {
+		t += inj.TotalInjected()
+	}
+	return t
+}
+
+// Clients returns every client in the city ordered by MAC address — an
+// order derived from planned identity, independent of which tile each
+// client currently resides in.
+func (c *City) Clients() []*scenario.Client {
+	var out []*scenario.Client
+	for _, t := range c.Tiles {
+		out = append(out, t.World.Clients...)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].Addr(), out[j].Addr()
+		for k := range a {
+			if a[k] != b[k] {
+				return a[k] < b[k]
+			}
+		}
+		return false
+	})
+	return out
+}
+
+// InvariantsTotal sums lifetime invariant violations across all
+// clients.
+func (c *City) InvariantsTotal() uint64 {
+	var t uint64
+	for _, cl := range c.Clients() {
+		t += cl.InvariantsTotal()
+	}
+	return t
+}

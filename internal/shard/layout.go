@@ -1,0 +1,129 @@
+// Package shard runs one city-scale simulation across CPU cores while
+// keeping the deterministic-replay guarantee the whole repo is built
+// on: an N-worker run is byte-identical to a 1-worker run for every N
+// and every GOMAXPROCS.
+//
+// The world is partitioned into vertical stripes ("tiles"), each owning
+// its own sim kernel, radio medium, APs and resident clients — a full
+// independent simulation. Tiles advance in fixed lockstep epochs under
+// a conservative barrier; everything that crosses a stripe boundary
+// (beacon halos, client migration) is exchanged single-threaded at the
+// barrier in tile-index order.
+//
+// The load-bearing design decision: the tile layout is a pure function
+// of the scenario geometry and the radio lookahead — NEVER of the
+// worker count. A "-shards 8" run advances the same tiles as a
+// "-shards 1" run, just more of them concurrently, so each tile's
+// event stream (and therefore every metric, trace and CSV the run
+// exports) cannot depend on scheduling. Determinism is structural, not
+// tested-into-existence — though the tests enforce it anyway.
+package shard
+
+import (
+	"fmt"
+	"time"
+
+	"spider/internal/radio"
+	"spider/internal/scenario"
+)
+
+// Epoch bounds. The lower bound keeps the barrier overhead (halo
+// routing, migration scans) off the hot path; the upper bound keeps
+// halo beacons from arriving absurdly stale (they are mirrored into the
+// neighbor at the next barrier, so the epoch is the staleness bound).
+const (
+	minEpoch = 100 * time.Millisecond
+	maxEpoch = time.Second
+)
+
+// speedSpread mirrors CityGridSpec's per-vehicle speed draw: individual
+// speeds vary ±30% around the nominal, so the fastest client moves at
+// 1.3× SpeedMS.
+const speedSpread = 1.3
+
+// Layout is the derived spatial decomposition of a city.
+type Layout struct {
+	// WorldW is the stripe axis extent in meters (the city's width).
+	WorldW float64
+	// Halo is the mirror depth in meters: transmissions within Halo of a
+	// stripe edge are ghosted into the adjacent tile at the next epoch
+	// boundary. Halo ≥ radio range + the farthest a client can stray
+	// past its stripe within one epoch, so an edge client never misses a
+	// beacon it could physically hear.
+	Halo float64
+	// Epoch is the lockstep advance quantum.
+	Epoch time.Duration
+	// NTiles is the stripe count; TileW = WorldW / NTiles ≥ 2×Halo so a
+	// halo only ever reaches the immediately adjacent tile.
+	NTiles int
+	TileW  float64
+}
+
+// DeriveLayout computes the tile decomposition for a city spec. The
+// result depends only on the scenario geometry, the radio config and
+// the mobility envelope — not on worker count, GOMAXPROCS, or any
+// runtime state — which is what makes sharded runs reproducible across
+// machines.
+func DeriveLayout(spec scenario.CityGridSpec) Layout {
+	rc := spec.Radio
+	if rc.Range == 0 {
+		rc = radio.Defaults()
+	}
+	rng := rc.Range
+	cs := rc.CSRange
+	if cs <= 0 {
+		cs = 2 * rng
+	}
+	// The halo starts at carrier-sense range: that is the farthest any
+	// transmission has an effect, so a mirror that deep captures
+	// everything a tile-edge station could perceive.
+	h := cs
+	if h < rng {
+		h = rng
+	}
+	vmax := speedSpread * spec.SpeedMS
+	var epoch time.Duration
+	if vmax <= 0 {
+		epoch = maxEpoch
+	} else {
+		// Largest epoch such that a client straying past its stripe still
+		// sits within (halo − range) of it — i.e. still hears every
+		// mirrored beacon — clamped to the practical window.
+		epoch = time.Duration((h - rng) / vmax * float64(time.Second))
+		if epoch > maxEpoch {
+			epoch = maxEpoch
+		}
+		if epoch < minEpoch {
+			epoch = minEpoch
+			// The clamp can let a very fast client outrun the halo; grow
+			// the halo to keep the coverage invariant.
+			if need := rng + vmax*epoch.Seconds(); need > h {
+				h = need
+			}
+		}
+	}
+	n := int(spec.AreaW / (2 * h))
+	if n < 1 {
+		n = 1
+	}
+	return Layout{WorldW: spec.AreaW, Halo: h, Epoch: epoch, NTiles: n, TileW: spec.AreaW / float64(n)}
+}
+
+// TileOf maps an x coordinate to its owning tile, clamping positions
+// that strayed outside the world (mobility keeps clients inside, but
+// the clamp makes the mapping total).
+func (l Layout) TileOf(x float64) int {
+	i := int(x / l.TileW)
+	if i < 0 {
+		i = 0
+	}
+	if i >= l.NTiles {
+		i = l.NTiles - 1
+	}
+	return i
+}
+
+func (l Layout) String() string {
+	return fmt.Sprintf("%d tile(s) × %.0f m, halo %.0f m, epoch %v",
+		l.NTiles, l.TileW, l.Halo, l.Epoch)
+}

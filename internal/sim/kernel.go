@@ -160,6 +160,16 @@ func (k *Kernel) After(d time.Duration, fn func()) Event {
 // Stop makes Run return after the currently executing event completes.
 func (k *Kernel) Stop() { k.stopped = true }
 
+// NextAt reports the virtual time of the earliest queued event. ok is
+// false when the queue is empty. Epoch runners use it as the kernel's
+// contribution to a lookahead bound without disturbing the queue.
+func (k *Kernel) NextAt() (at time.Duration, ok bool) {
+	if len(k.heap) == 0 {
+		return 0, false
+	}
+	return k.slots[k.heap[0]].at, true
+}
+
 // Len reports the number of queued events.
 func (k *Kernel) Len() int { return len(k.heap) }
 

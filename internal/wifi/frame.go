@@ -117,6 +117,12 @@ type Frame struct {
 	PowerMgmt bool
 	Retry     bool
 	Body      Body
+	// Halo marks a frame mirrored in from a neighboring spatial shard's
+	// medium. It is simulation metadata, not an 802.11 field: it never
+	// goes on the wire (Encode drops it, Decode leaves it false), and
+	// receivers use it to tag scan results whose AP lives outside their
+	// shard.
+	Halo bool
 }
 
 // headerSize is the encoded fixed header: type(1) flags(1) seq(2)
