@@ -1,0 +1,125 @@
+// Command spider-diff compares two run archives.
+//
+// Usage:
+//
+//	spider-diff a.json b.json
+//	spider-diff -stat [-tol 0.25] [-field-tol client.total_bytes=0.05] a.json b.json
+//
+// The default byte-level mode is the determinism gate: archives written
+// from the same seed and config must be byte-identical regardless of
+// -workers/-shards, and any divergence is reported against the
+// sub-measurement ID that changed. The -stat mode compares archives
+// from different seeds: numeric observations are grouped by field and
+// the means compared under per-field relative tolerances, so ordinary
+// seed noise passes while a shifted distribution is flagged.
+//
+// Exit codes (for CI gating):
+//
+//	0  identical (byte mode) / all fields within tolerance (stat mode)
+//	1  differences found / a field shifted beyond tolerance
+//	2  usage or I/O error
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"spider/internal/archive"
+)
+
+func main() {
+	var (
+		stat     = flag.Bool("stat", false, "statistical mode: compare field means under tolerances instead of bytes")
+		tol      = flag.Float64("tol", 0.25, "default relative tolerance in -stat mode")
+		fieldTol = flag.String("field-tol", "", "comma-separated per-field tolerances, e.g. client.total_bytes=0.05,result.drive.connectivity=0.1")
+		quiet    = flag.Bool("q", false, "suppress per-field ok lines in -stat mode")
+	)
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "spider-diff: need exactly two archive files")
+		flag.Usage()
+		os.Exit(2)
+	}
+	abytes, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "spider-diff:", err)
+		os.Exit(2)
+	}
+	bbytes, err := os.ReadFile(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "spider-diff:", err)
+		os.Exit(2)
+	}
+
+	if *stat {
+		os.Exit(runStat(abytes, bbytes, *tol, *fieldTol, *quiet))
+	}
+	os.Exit(runBytes(abytes, bbytes))
+}
+
+func runBytes(abytes, bbytes []byte) int {
+	rep, err := archive.DiffBytes(abytes, bbytes)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "spider-diff:", err)
+		return 2
+	}
+	if rep.Identical {
+		fmt.Println("identical")
+		return 0
+	}
+	for _, d := range rep.Diffs {
+		fmt.Println(d)
+	}
+	if rep.Truncated {
+		fmt.Println("... further differences truncated")
+	}
+	fmt.Printf("spider-diff: %d differences\n", len(rep.Diffs))
+	return 1
+}
+
+func runStat(abytes, bbytes []byte, tol float64, fieldTol string, quiet bool) int {
+	a, err := archive.Decode(abytes)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "spider-diff: archive A:", err)
+		return 2
+	}
+	b, err := archive.Decode(bbytes)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "spider-diff: archive B:", err)
+		return 2
+	}
+	opt := archive.StatOptions{DefaultTol: tol, Tol: map[string]float64{}}
+	if fieldTol != "" {
+		for _, kv := range strings.Split(fieldTol, ",") {
+			k, v, ok := strings.Cut(kv, "=")
+			if !ok {
+				fmt.Fprintf(os.Stderr, "spider-diff: bad -field-tol entry %q (want field=tol)\n", kv)
+				return 2
+			}
+			t, err := strconv.ParseFloat(v, 64)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "spider-diff: bad tolerance in %q: %v\n", kv, err)
+				return 2
+			}
+			opt.Tol[strings.TrimSpace(k)] = t
+		}
+	}
+	flagged := 0
+	for _, f := range archive.DiffStat(a, b, opt) {
+		if f.Flagged {
+			flagged++
+		}
+		if f.Flagged || !quiet {
+			fmt.Println(f)
+		}
+	}
+	if flagged > 0 {
+		fmt.Printf("spider-diff: %d fields shifted beyond tolerance\n", flagged)
+		return 1
+	}
+	fmt.Println("within tolerance")
+	return 0
+}

@@ -21,6 +21,7 @@ import (
 	"strings"
 	"time"
 
+	"spider/internal/archive"
 	"spider/internal/expt"
 	"spider/internal/obs"
 	"spider/internal/prof"
@@ -44,6 +45,7 @@ func main() {
 		metricsO = flag.String("metrics-out", "", "write Prometheus-format metrics (accumulated across all runs) to this file")
 		traceO   = flag.String("trace-out", "", "write the event trace to this file: .jsonl for JSONL, else Chrome trace JSON (forces -workers 1)")
 		traceF   = flag.String("trace-filter", "", "comma-separated category prefixes to trace (empty = all)")
+		archO    = flag.String("archive-out", "", "write a run archive to this file (experiments run sequentially in id order; byte-identical at any -workers/-shards)")
 	)
 	flag.Parse()
 	stopProf, err := prof.Start(*cpuProf, *memProf)
@@ -95,13 +97,29 @@ func main() {
 		elapsed time.Duration
 	}
 	perExpt := opts
+	exptWorkers := *workers
 	if len(ids) > 1 {
 		perExpt.Workers = 1
 	}
-	outs, err := sweep.Map(context.Background(), *workers, ids,
+	var arch *archive.Archive
+	if *archO != "" {
+		// The archive is one document in id order, so the fan-out across
+		// experiments goes sequential and each experiment gets the full
+		// worker budget back — results are worker-invariant either way.
+		arch = expt.NewArchive(opts)
+		exptWorkers = 1
+		perExpt.Workers = *workers
+	}
+	outs, err := sweep.Map(context.Background(), exptWorkers, ids,
 		func(_ context.Context, _ int, e string) (outcome, error) {
 			start := time.Now()
-			res, err := expt.Run(e, perExpt)
+			var res fmt.Stringer
+			var err error
+			if arch != nil {
+				res, err = expt.RunArchived(arch, e, perExpt)
+			} else {
+				res, err = expt.Run(e, perExpt)
+			}
 			return outcome{res: res, elapsed: time.Since(start)}, err
 		})
 	if err != nil {
@@ -129,6 +147,13 @@ func main() {
 		}
 		fmt.Printf("   [%s regenerated in %v at scale %.2f, seed %d]\n\n",
 			e, o.elapsed.Round(time.Millisecond), *scale, *seed)
+	}
+	if arch != nil {
+		if err := os.WriteFile(*archO, arch.Encode(), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "spider-exp:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("   wrote %s (run %s, %d experiments)\n", *archO, arch.RunID, len(arch.Experiments))
 	}
 	if *metricsO != "" {
 		if err := obs.WriteMetricsFile(*metricsO, o.Reg.Snapshot()); err != nil {

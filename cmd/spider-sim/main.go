@@ -32,6 +32,7 @@ import (
 	"strings"
 	"time"
 
+	"spider/internal/archive"
 	"spider/internal/core"
 	"spider/internal/fault"
 	"spider/internal/metrics"
@@ -75,6 +76,12 @@ type driveResult struct {
 	stats          core.Stats
 	faultReport    string // per-class ledger when -chaos is active
 	checkerErr     error  // invariant/deadlock/timer-leak verdict
+
+	// client is the drive's single client, kept for the archive writer
+	// (its recorder and join log are the per-client ledger); faultStats
+	// is the raw per-class ledger behind faultReport.
+	client     *scenario.Client
+	faultStats []fault.ClassStat
 
 	// Observability exports (nil/empty when -metrics-out/-trace-out are
 	// unset). Each replication snapshots its own registry; the reps path
@@ -165,9 +172,11 @@ func runDrive(cfg core.Config, city string, seed int64, speed float64, numAPs in
 		gaps:           client.Rec.Disruptions(dur),
 		instKBps:       client.Rec.InstantaneousKBps(dur),
 		stats:          client.Driver.Stats(),
+		client:         client,
 	}
 	if chaos != nil {
 		res.faultReport = chaos.Injector.Report()
+		res.faultStats = chaos.Injector.Snapshot()
 		res.checkerErr = chaos.Checker.Verify()
 	}
 	if o != nil {
@@ -227,9 +236,44 @@ func writeObs(metricsOut, traceOut string, snap obs.Snapshot, tr *obs.Tracer) er
 	return nil
 }
 
+// writeDriveArchive archives one or more drive replications as one
+// document: rep i becomes experiment "drive[i]" holding the client's
+// ledger, the fault ledger, the metrics snapshot, trace-span summary
+// and headline results. Replications come back index-ordered from the
+// sweep, so the document is byte-identical at any -workers value.
+func writeDriveArchive(path string, seed int64, configFP, chaosSpec string, results []driveResult) error {
+	a := archive.New(seed, configFP)
+	for i, r := range results {
+		expID := archive.SubID(a.RunID, fmt.Sprintf("experiment/drive[%d]", i), 0)
+		exp := archive.Experiment{ID: expID, Name: fmt.Sprintf("drive[%d]", i), Chaos: chaosSpec}
+		exp.Clients = append(exp.Clients, archive.ClientLedgerFrom(expID, 0, r.client))
+		exp.Faults = archive.FaultsFrom(expID, r.faultStats)
+		exp.Metrics = archive.MetricsFrom(expID, r.snap)
+		if r.tracer != nil {
+			exp.Spans = archive.SpansFrom(expID, r.tracer.Events())
+		}
+		addNum := func(key string, v float64) {
+			exp.Results = append(exp.Results, archive.Result{
+				ID:   archive.SubID(expID, "result", len(exp.Results)),
+				Name: "drive", Key: key, Num: &v,
+			})
+		}
+		addNum("throughput_KBps", r.throughputKBps)
+		addNum("connectivity", r.connectivity)
+		addNum("connections", float64(len(r.conns)))
+		addNum("disruptions", float64(len(r.gaps)))
+		a.Experiments = append(a.Experiments, exp)
+	}
+	if err := os.WriteFile(path, a.Encode(), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (run %s, %d experiments)\n", path, a.RunID, len(a.Experiments))
+	return nil
+}
+
 // runCityGrid builds and runs the sharded city-scale scenario and
 // reports fleet-wide aggregates.
-func runCityGrid(cfg core.Config, seed int64, numAPs, clients, shards int, dur time.Duration, chaosSpec string, ospec obsSpec, metricsOut, traceOut string) error {
+func runCityGrid(cfg core.Config, seed int64, numAPs, clients, shards int, dur time.Duration, chaosSpec string, ospec obsSpec, metricsOut, traceOut, archiveOut, configFP string) error {
 	if numAPs <= 0 {
 		numAPs = 600
 	}
@@ -240,7 +284,7 @@ func runCityGrid(cfg core.Config, seed int64, numAPs, clients, shards int, dur t
 
 	start := time.Now()
 	c := shard.NewCity(spec, cfg, shards)
-	if ospec.enabled() {
+	if ospec.enabled() || archiveOut != "" {
 		c.EnableObs(0, ospec.filter...)
 	}
 	if chaosSpec != "" {
@@ -295,6 +339,15 @@ func runCityGrid(cfg core.Config, seed int64, numAPs, clients, shards int, dur t
 			return err
 		}
 	}
+	if archiveOut != "" {
+		a := archive.New(seed, configFP)
+		expID := archive.SubID(a.RunID, "experiment/citygrid", 0)
+		a.Experiments = append(a.Experiments, archive.CityExperiment(expID, "citygrid", chaosSpec, c, dur))
+		if err := os.WriteFile(archiveOut, a.Encode(), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s (run %s)\n", archiveOut, a.RunID)
+	}
 	return nil
 }
 
@@ -317,6 +370,7 @@ func main() {
 		metricsO = flag.String("metrics-out", "", "write Prometheus-format metrics to this file (reps merge in index order)")
 		traceO   = flag.String("trace-out", "", "write the event trace to this file: .jsonl for JSONL, else Chrome trace JSON (single rep only)")
 		traceF   = flag.String("trace-filter", "", "comma-separated category prefixes to trace (empty = all)")
+		archO    = flag.String("archive-out", "", "write a run archive to this file (byte-identical at any -workers/-shards)")
 	)
 	flag.Parse()
 	stopProf, err := prof.Start(*cpuProf, *memProf)
@@ -335,6 +389,19 @@ func main() {
 		fmt.Fprintln(os.Stderr, "spider-sim:", err)
 		os.Exit(2)
 	}
+	// The config fingerprint covers every flag that changes results and
+	// none that may not: -workers and -shards are deliberately outside
+	// it, since archives must compare byte-identical across them.
+	configFP := archive.FP(
+		"config="+*config,
+		"city="+*city,
+		fmt.Sprintf("clients=%d", *clients),
+		fmt.Sprintf("minutes=%d", *minutes),
+		fmt.Sprintf("speed=%g", *speed),
+		fmt.Sprintf("aps=%d", *numAPs),
+		fmt.Sprintf("reps=%d", *reps),
+		"chaos="+*chaos,
+	)
 	if *city == "citygrid" {
 		if *reps > 1 {
 			fmt.Fprintln(os.Stderr, "spider-sim: -city citygrid requires -reps 1 (use -shards for parallelism)")
@@ -345,7 +412,7 @@ func main() {
 			ospec.filter = strings.Split(*traceF, ",")
 		}
 		err := runCityGrid(cfg, *seed, *numAPs, *clients, *shards,
-			time.Duration(*minutes)*time.Minute, *chaos, ospec, *metricsO, *traceO)
+			time.Duration(*minutes)*time.Minute, *chaos, ospec, *metricsO, *traceO, *archO, configFP)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "spider-sim:", err)
 			os.Exit(1)
@@ -364,7 +431,9 @@ func main() {
 		fmt.Fprintln(os.Stderr, "spider-sim: -trace-out requires -reps 1")
 		os.Exit(2)
 	}
-	ospec := obsSpec{metrics: *metricsO != "", trace: *traceO != ""}
+	// Archiving wants the metrics snapshot even without -metrics-out;
+	// attaching obs never perturbs results (the registry is passive).
+	ospec := obsSpec{metrics: *metricsO != "" || *archO != "", trace: *traceO != ""}
 	if *traceF != "" {
 		ospec.filter = strings.Split(*traceF, ",")
 	}
@@ -384,6 +453,12 @@ func main() {
 		if err := writeObs(*metricsO, *traceO, r.snap, r.tracer); err != nil {
 			fmt.Fprintln(os.Stderr, "spider-sim:", err)
 			os.Exit(1)
+		}
+		if *archO != "" {
+			if err := writeDriveArchive(*archO, *seed, configFP, *chaos, []driveResult{r}); err != nil {
+				fmt.Fprintln(os.Stderr, "spider-sim:", err)
+				os.Exit(1)
+			}
 		}
 		if r.checkerErr != nil {
 			os.Exit(1)
@@ -417,6 +492,12 @@ func main() {
 	results := acc.results
 	if *metricsO != "" {
 		if err := obs.WriteMetricsFile(*metricsO, obs.MergeSnapshots(acc.snaps...)); err != nil {
+			fmt.Fprintln(os.Stderr, "spider-sim:", err)
+			os.Exit(1)
+		}
+	}
+	if *archO != "" {
+		if err := writeDriveArchive(*archO, *seed, configFP, *chaos, results); err != nil {
 			fmt.Fprintln(os.Stderr, "spider-sim:", err)
 			os.Exit(1)
 		}

@@ -1,0 +1,188 @@
+package archive
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"spider/internal/fault"
+	"spider/internal/obs"
+	"spider/internal/scenario"
+	"spider/internal/shard"
+)
+
+// New creates an empty archive document for the given plan identity.
+// configFP must cover everything that may change results (scale, chaos,
+// driver config) and nothing that may not (worker/shard counts).
+func New(seed int64, configFP string) *Archive {
+	return &Archive{
+		Format:   Format,
+		Version:  Version,
+		RunID:    RunID(seed, configFP),
+		Seed:     seed,
+		ConfigFP: configFP,
+	}
+}
+
+// ClientLedgerFrom flattens one client's lifetime record into a ledger.
+// idx is the client's plan index (its position in the MAC-sorted client
+// list), which both orders the section and derives the ledger's ID.
+func ClientLedgerFrom(expID string, idx int, c *scenario.Client) ClientLedger {
+	l := ClientLedger{
+		ID:         SubID(expID, "client", idx),
+		MAC:        c.Addr().String(),
+		TotalBytes: c.Rec.TotalBytes(),
+		Invariants: c.InvariantsTotal(),
+	}
+	for _, b := range c.Rec.Bins() {
+		l.Bins = append(l.Bins, Bin{Index: b.Index, Bytes: b.Bytes})
+	}
+	for _, j := range c.Joins {
+		l.Joins = append(l.Joins, Join{
+			BSSID:     j.BSSID.String(),
+			OK:        j.Success,
+			ElapsedUS: j.Elapsed.Microseconds(),
+			AtUS:      j.At.Microseconds(),
+		})
+	}
+	st := c.Stats()
+	l.Switches = st.Switches
+	l.AssocAttempts = st.AssocAttempts
+	l.AssocSuccesses = st.AssocSuccesses
+	l.JoinSuccesses = st.JoinSuccesses
+	l.DHCPFailures = st.DHCPFailures
+	l.SoftHandoffs = st.SoftHandoffs
+	l.Blacklisted = st.Blacklisted
+	tcp := c.TCPStats()
+	l.SegmentsSent = tcp.SegmentsSent
+	l.RetxSegments = tcp.RetxSegments
+	l.BytesAcked = tcp.BytesAcked
+	return l
+}
+
+// FaultsFrom flattens a per-class fault ledger (already in canonical
+// class order) into the archive's fault section.
+func FaultsFrom(expID string, stats []fault.ClassStat) []FaultClass {
+	var out []FaultClass
+	for i, cs := range stats {
+		if cs.Injected == 0 && cs.Skipped == 0 && cs.Recovered == 0 {
+			continue
+		}
+		out = append(out, FaultClass{
+			ID:         SubID(expID, "fault", i),
+			Class:      cs.Class,
+			Injected:   cs.Injected,
+			Skipped:    cs.Skipped,
+			Recovered:  cs.Recovered,
+			TTRTotalUS: cs.TTRTotal.Microseconds(),
+			TTRMaxUS:   cs.TTRMax.Microseconds(),
+		})
+	}
+	return out
+}
+
+// MetricsFrom flattens a metrics snapshot (name-sorted by construction)
+// into the archive's metric section.
+func MetricsFrom(expID string, s obs.Snapshot) []Metric {
+	var out []Metric
+	for i, p := range s {
+		m := Metric{
+			ID:    SubID(expID, "metric", i),
+			Name:  p.Name,
+			Kind:  p.Kind.String(),
+			Value: p.Value,
+		}
+		if p.Kind == obs.KindHistogram {
+			m.Sum = p.Sum
+			m.Count = p.Count
+			m.Bounds = p.Bounds
+			m.Buckets = p.Counts
+		}
+		out = append(out, m)
+	}
+	return out
+}
+
+// SpansFrom aggregates complete trace spans per (category, name),
+// sorted by that key — counts and total durations only, so the summary
+// is invariant under ring-buffer capacity as long as no events dropped.
+func SpansFrom(expID string, events []obs.TraceEvent) []SpanSummary {
+	type key struct{ cat, name string }
+	agg := make(map[key]*SpanSummary)
+	var keys []key
+	for _, ev := range events {
+		if ev.Ph != obs.PhaseComplete {
+			continue
+		}
+		k := key{ev.Cat, ev.Name}
+		s := agg[k]
+		if s == nil {
+			s = &SpanSummary{Cat: ev.Cat, Name: ev.Name}
+			agg[k] = s
+			keys = append(keys, k)
+		}
+		s.Count++
+		s.TotalDurUS += ev.Dur.Microseconds()
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].cat != keys[j].cat {
+			return keys[i].cat < keys[j].cat
+		}
+		return keys[i].name < keys[j].name
+	})
+	out := make([]SpanSummary, 0, len(keys))
+	for i, k := range keys {
+		s := *agg[k]
+		s.ID = SubID(expID, "span", i)
+		out = append(out, s)
+	}
+	return out
+}
+
+// PlanFP fingerprints a city plan's entity identities: every planned
+// AP's placement and personality inputs plus every planned client's
+// route. Two specs with the same fingerprint describe the same city.
+func PlanFP(p scenario.CityPlan) string {
+	parts := make([]string, 0, len(p.APs)+len(p.Clients)+1)
+	parts = append(parts, fmt.Sprintf("spec/%dx%.0fx%.0f/aps=%d/clients=%d",
+		p.Spec.Seed, p.Spec.AreaW, p.Spec.AreaH, p.Spec.NumAPs, p.Spec.NumClients))
+	for _, ap := range p.APs {
+		parts = append(parts, fmt.Sprintf("ap/%d/%.6f/%.6f/ch%d/bk%d",
+			ap.ID, ap.Pos.X, ap.Pos.Y, ap.Channel, ap.BackhaulKbps))
+	}
+	for _, cl := range p.Clients {
+		p0 := cl.Mob.PositionAt(0)
+		p1 := cl.Mob.PositionAt(10 * time.Second)
+		parts = append(parts, fmt.Sprintf("client/%d/%.6f/%.6f/%.6f/%.6f/v%.6f/o%.6f",
+			cl.ID, p0.X, p0.Y, p1.X, p1.Y, cl.Mob.SpeedMS, cl.Mob.Offset))
+	}
+	return FP(parts...)
+}
+
+// CityExperiment captures a completed sharded city run as one
+// experiment document: scenario plan identity, every client's ledger
+// (merged across tiles in MAC order), the merged fault ledger, the
+// merged metrics snapshot, and the merged trace-span summary.
+func CityExperiment(expID, name, chaos string, c *shard.City, dur time.Duration) Experiment {
+	exp := Experiment{
+		ID:    expID,
+		Name:  name,
+		Chaos: chaos,
+		Scenario: &Scenario{
+			AreaWM:     c.Spec.AreaW,
+			AreaHM:     c.Spec.AreaH,
+			NumAPs:     c.Spec.NumAPs,
+			NumClients: c.Spec.NumClients,
+			Layout:     c.Layout.String(),
+			PlanFP:     PlanFP(c.Plan),
+			DurationUS: dur.Microseconds(),
+		},
+	}
+	for i, cl := range c.Clients() {
+		exp.Clients = append(exp.Clients, ClientLedgerFrom(expID, i, cl))
+	}
+	exp.Faults = FaultsFrom(expID, c.FaultStats())
+	exp.Metrics = MetricsFrom(expID, c.MergedSnapshot())
+	exp.Spans = SpansFrom(expID, c.TraceEvents())
+	return exp
+}

@@ -1,0 +1,138 @@
+package archive
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDiffBytesIdentical(t *testing.T) {
+	a := synthetic()
+	rep, err := DiffBytes(a.Encode(), a.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Identical || len(rep.Diffs) != 0 {
+		t.Fatalf("identical encodes reported %+v", rep)
+	}
+}
+
+// Perturbing one ledger field must produce a report that names the
+// offending sub-measurement's ID and the field — the contract CI
+// failure messages rely on.
+func TestDiffBytesPerturbedLedgerField(t *testing.T) {
+	a := synthetic()
+	b := synthetic()
+	b.Experiments[0].Clients[1].TotalBytes += 17
+	rep, err := DiffBytes(a.Encode(), b.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Identical {
+		t.Fatal("perturbed archive reported identical")
+	}
+	if len(rep.Diffs) != 1 {
+		t.Fatalf("want exactly one diff, got %+v", rep.Diffs)
+	}
+	d := rep.Diffs[0]
+	wantID := a.Experiments[0].Clients[1].ID
+	if d.ID != wantID {
+		t.Fatalf("diff names ID %s, want the perturbed ledger's %s", d.ID, wantID)
+	}
+	if !strings.Contains(d.Where, "total_bytes") {
+		t.Fatalf("diff Where = %q, want the perturbed field named", d.Where)
+	}
+	if !strings.Contains(d.String(), wantID) {
+		t.Fatalf("rendered diff %q omits the sub-measurement ID", d)
+	}
+}
+
+func TestDiffBytesHeaderAndMissing(t *testing.T) {
+	a := synthetic()
+	b := synthetic()
+	b.Seed = 8
+	b.RunID = RunID(8, b.ConfigFP)
+	b.Experiments = nil
+	rep, err := DiffBytes(a.Encode(), b.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sawSeed, sawMissing bool
+	for _, d := range rep.Diffs {
+		if d.Where == "seed" {
+			sawSeed = true
+		}
+		if d.Where == "experiment.test" && d.B == "∅" && d.ID == a.Experiments[0].ID {
+			sawMissing = true
+		}
+	}
+	if !sawSeed || !sawMissing {
+		t.Fatalf("diffs %+v: sawSeed=%v sawMissing=%v", rep.Diffs, sawSeed, sawMissing)
+	}
+}
+
+func TestDiffBytesRejectsCorruptInput(t *testing.T) {
+	a := synthetic().Encode()
+	if _, err := DiffBytes(a, []byte("garbage")); err == nil || !strings.Contains(err.Error(), "archive B") {
+		t.Fatalf("corrupt B side: err = %v, want attributed decode error", err)
+	}
+}
+
+// statArchive builds an archive whose client ledgers carry the given
+// total_bytes values — enough structure for field-mean comparison.
+func statArchive(seed int64, totals ...int64) *Archive {
+	a := New(seed, FP("stat"))
+	expID := SubID(a.RunID, "experiment/stat", 0)
+	exp := Experiment{ID: expID, Name: "stat"}
+	for i, tb := range totals {
+		exp.Clients = append(exp.Clients, ClientLedger{
+			ID: SubID(expID, "client", i), MAC: "02:00:00:00:00:01", TotalBytes: tb,
+		})
+	}
+	a.Experiments = append(a.Experiments, exp)
+	return a
+}
+
+// Cross-seed mode: ordinary noise passes under the tolerance, a shifted
+// mean is flagged, and one-sided fields are always flagged.
+func TestDiffStat(t *testing.T) {
+	a := statArchive(1, 1000, 1100, 900)  // mean 1000
+	b := statArchive(2, 1050, 950, 1000)  // mean 1000, within any tol
+	c := statArchive(3, 2000, 2200, 1800) // mean 2000, 2× shift
+
+	find := func(fs []StatField, field string) StatField {
+		for _, f := range fs {
+			if f.Field == field {
+				return f
+			}
+		}
+		t.Fatalf("field %q missing from %+v", field, fs)
+		return StatField{}
+	}
+
+	opt := StatOptions{DefaultTol: 0.25}
+	if f := find(DiffStat(a, b, opt), "client.total_bytes"); f.Flagged {
+		t.Fatalf("seed noise flagged: %+v", f)
+	}
+	f := find(DiffStat(a, c, opt), "client.total_bytes")
+	if !f.Flagged {
+		t.Fatalf("2x mean shift not flagged: %+v", f)
+	}
+	if !strings.Contains(f.String(), "SHIFTED") {
+		t.Fatalf("rendered stat %q lacks the SHIFTED verdict", f)
+	}
+
+	// Per-field tolerance overrides the default.
+	loose := StatOptions{DefaultTol: 0.25, Tol: map[string]float64{"client.total_bytes": 2.0}}
+	if f := find(DiffStat(a, c, loose), "client.total_bytes"); f.Flagged {
+		t.Fatalf("per-field tolerance ignored: %+v", f)
+	}
+
+	// A field family present on only one side is a regression, not noise.
+	d := statArchive(4, 500)
+	d.Experiments[0].Faults = []FaultClass{{
+		ID: SubID(d.Experiments[0].ID, "fault", 0), Class: "ap_freeze", Injected: 2,
+	}}
+	if f := find(DiffStat(d, statArchive(5, 500), opt), "fault.ap_freeze.injected"); !f.Flagged {
+		t.Fatalf("one-sided field not flagged: %+v", f)
+	}
+}

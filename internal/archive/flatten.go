@@ -1,0 +1,78 @@
+package archive
+
+import "fmt"
+
+// Observation is one flat tabular row unpacked from an archive: the
+// sub-measurement it came from, the field within it, and the value.
+// This is the representation analysis and statistical diffing work on —
+// any archive reduces to a plain table of (id, field, value) rows.
+type Observation struct {
+	ID    string // owning sub-measurement ID
+	Field string // e.g. "client.total_bytes", "result.table2.row=…/col=…"
+	Num   float64
+	Str   string
+	IsNum bool
+}
+
+func num(id, field string, v float64) Observation {
+	return Observation{ID: id, Field: field, Num: v, IsNum: true}
+}
+
+// Flatten unpacks the archive into tabular observations, in document
+// order. Per-bin ledger entries stay inside the ledger (they are fields
+// of one sub-measurement, summarized here as counts); every scalar that
+// regression analysis compares becomes its own row.
+func (a *Archive) Flatten() []Observation {
+	var out []Observation
+	for _, e := range a.Experiments {
+		prefix := "experiment." + e.Name
+		out = append(out, num(e.ID, prefix+".clients", float64(len(e.Clients))))
+		for _, c := range e.Clients {
+			out = append(out,
+				num(c.ID, "client.total_bytes", float64(c.TotalBytes)),
+				num(c.ID, "client.bins_nonzero", float64(len(c.Bins))),
+				num(c.ID, "client.joins", float64(len(c.Joins))),
+				num(c.ID, "client.join_successes", float64(c.JoinSuccesses)),
+				num(c.ID, "client.dhcp_failures", float64(c.DHCPFailures)),
+				num(c.ID, "client.switches", float64(c.Switches)),
+				num(c.ID, "client.assoc_attempts", float64(c.AssocAttempts)),
+				num(c.ID, "client.soft_handoffs", float64(c.SoftHandoffs)),
+				num(c.ID, "client.blacklisted", float64(c.Blacklisted)),
+				num(c.ID, "client.segments_sent", float64(c.SegmentsSent)),
+				num(c.ID, "client.retx_segments", float64(c.RetxSegments)),
+				num(c.ID, "client.bytes_acked", float64(c.BytesAcked)),
+				num(c.ID, "client.invariants", float64(c.Invariants)),
+			)
+		}
+		for _, f := range e.Faults {
+			out = append(out,
+				num(f.ID, "fault."+f.Class+".injected", float64(f.Injected)),
+				num(f.ID, "fault."+f.Class+".recovered", float64(f.Recovered)),
+				num(f.ID, "fault."+f.Class+".ttr_total_us", float64(f.TTRTotalUS)),
+			)
+		}
+		for _, m := range e.Metrics {
+			if m.Kind == "histogram" {
+				out = append(out,
+					num(m.ID, "metric."+m.Name+".sum", m.Sum),
+					num(m.ID, "metric."+m.Name+".count", float64(m.Count)))
+				continue
+			}
+			out = append(out, num(m.ID, "metric."+m.Name, m.Value))
+		}
+		for _, s := range e.Spans {
+			out = append(out,
+				num(s.ID, fmt.Sprintf("span.%s.%s.count", s.Cat, s.Name), float64(s.Count)),
+				num(s.ID, fmt.Sprintf("span.%s.%s.total_us", s.Cat, s.Name), float64(s.TotalDurUS)))
+		}
+		for _, r := range e.Results {
+			field := "result." + r.Name + "." + r.Key
+			if r.Num != nil {
+				out = append(out, num(r.ID, field, *r.Num))
+			} else {
+				out = append(out, Observation{ID: r.ID, Field: field, Str: r.Str})
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,43 @@
+package archive
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecodeArchive is the codec's robustness contract: Decode never
+// panics on arbitrary bytes, and whenever it accepts a document, the
+// canonical re-encoding is a fixed point — encode(decode(x)) decodes to
+// the same document and re-encodes byte-identically. Without that,
+// spider-diff's byte mode could report a diff between two encodings of
+// the same measurements.
+func FuzzDecodeArchive(f *testing.F) {
+	f.Add(synthetic().Encode())
+	empty := New(1, FP("x"))
+	f.Add(empty.Encode())
+	// Seed the interesting rejection paths so mutations explore them.
+	f.Add([]byte(`{"format":"spider-archive","version":1,"run_id":"x","seed":1,"config_fp":"y","experiments":null}`))
+	f.Add([]byte(`{"format":"spider-archive","version":2}`))
+	f.Add([]byte(`{"format":"other","version":1}`))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`[]`))
+	f.Add([]byte(`not json at all`))
+	f.Add(append(empty.Encode(), []byte("{}")...))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		a, err := Decode(data)
+		if err != nil {
+			return // rejected input: the only requirement is no panic
+		}
+		enc := a.Encode()
+		b, err := Decode(enc)
+		if err != nil {
+			t.Fatalf("re-decode of canonical encoding failed: %v\n%s", err, enc)
+		}
+		if re := b.Encode(); !bytes.Equal(enc, re) {
+			t.Fatalf("canonical encoding is not a fixed point:\n%s\nvs\n%s", enc, re)
+		}
+		// Flatten must also never panic on anything the decoder accepts.
+		_ = a.Flatten()
+	})
+}

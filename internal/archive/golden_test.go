@@ -1,0 +1,122 @@
+// Golden-archive tests: fixture archives for a drive-table experiment
+// and the sharded city, clean and under chaos, pinned byte-for-byte in
+// testdata/. Any change to simulation behavior, the archive format, or
+// the ID scheme shows up as a byte diff against the fixtures; any
+// scheduling leak shows up as a byte diff between worker/shard counts.
+//
+// Regenerate fixtures after an intentional change with:
+//
+//	go test ./internal/archive -run TestGoldenArchives -update
+package archive_test
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"spider/internal/archive"
+	"spider/internal/expt"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden archive fixtures")
+
+type fixture struct {
+	name  string // fixture file stem under testdata/
+	id    string // experiment id
+	chaos string // fault profile ("" = clean)
+}
+
+var fixtures = []fixture{
+	{"spider-clean", "table2", ""},
+	{"spider-chaos", "chaos", "mild"},
+	{"city-clean", "city", ""},
+	{"city-chaos", "city", "mild"},
+}
+
+// buildArchive runs one fixture's experiment at the given parallelism
+// and returns the encoded archive. Seed and scale are fixed: fixtures
+// are tiny, deliberately — they pin bytes, not statistics.
+func buildArchive(t *testing.T, fx fixture, workers, shards int) []byte {
+	t.Helper()
+	o := expt.Options{Seed: 7, Scale: 0.02, Workers: workers, Shards: shards, Chaos: fx.chaos}
+	a := expt.NewArchive(o)
+	if _, err := expt.RunArchived(a, fx.id, o); err != nil {
+		t.Fatalf("%s: %v", fx.id, err)
+	}
+	return a.Encode()
+}
+
+func goldenPath(fx fixture) string {
+	return filepath.Join("testdata", fx.name+".golden.json")
+}
+
+func TestGoldenArchives(t *testing.T) {
+	for _, fx := range fixtures {
+		fx := fx
+		t.Run(fx.name, func(t *testing.T) {
+			got := buildArchive(t, fx, 1, 1)
+			path := goldenPath(fx)
+			if *update {
+				if err := os.WriteFile(path, got, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				t.Logf("wrote %s (%d bytes)", path, len(got))
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("%v (regenerate with -update)", err)
+			}
+			if !bytes.Equal(got, want) {
+				rep, derr := archive.DiffBytes(want, got)
+				if derr != nil {
+					t.Fatalf("archive differs from fixture and won't decode: %v", derr)
+				}
+				for _, d := range rep.Diffs {
+					t.Error(d)
+				}
+				t.Fatalf("archive differs from %s in %d places (intentional change? rerun with -update)",
+					path, len(rep.Diffs))
+			}
+			// The fixture itself must satisfy the differ's identity check.
+			rep, err := archive.DiffBytes(want, got)
+			if err != nil || !rep.Identical {
+				t.Fatalf("DiffBytes on equal archives: rep=%+v err=%v", rep, err)
+			}
+		})
+	}
+}
+
+// The archive's reason to exist: the same plan must produce the same
+// bytes at any worker count (spider experiments fan sub-runs across
+// workers) and any shard count (the city's tiles advance concurrently).
+func TestArchiveByteIdentityAcrossParallelism(t *testing.T) {
+	for _, fx := range fixtures {
+		fx := fx
+		t.Run(fx.name, func(t *testing.T) {
+			base := buildArchive(t, fx, 1, 1)
+			variants := map[string][]byte{
+				"workers=2": buildArchive(t, fx, 2, 1),
+				"workers=8": buildArchive(t, fx, 8, 1),
+			}
+			if fx.id == "city" {
+				variants["shards=4"] = buildArchive(t, fx, 1, 4)
+			}
+			for name, got := range variants {
+				if bytes.Equal(base, got) {
+					continue
+				}
+				rep, err := archive.DiffBytes(base, got)
+				if err != nil {
+					t.Fatalf("%s: %v", name, err)
+				}
+				for _, d := range rep.Diffs {
+					t.Errorf("%s: %v", name, d)
+				}
+				t.Fatalf("%s: archive differs from workers=1/shards=1 baseline", name)
+			}
+		})
+	}
+}

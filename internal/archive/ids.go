@@ -1,0 +1,65 @@
+package archive
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// splitmix64 is the SplitMix64 finalizer — the same bijective avalanche
+// mix sweep.TaskSeed uses, so archive IDs live in the same
+// well-separated space as task seeds without sharing any stream.
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+func fnv64a(h uint64, s string) uint64 {
+	const fnvPrime = 1099511628211
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= fnvPrime
+	}
+	return h
+}
+
+const fnvOffset = 14695981039346656037
+
+// Fingerprint hashes an ordered list of identity strings into a
+// 64-bit fingerprint. Parts are length-prefixed so ("ab","c") and
+// ("a","bc") cannot collide by concatenation.
+func Fingerprint(parts ...string) uint64 {
+	h := uint64(fnvOffset)
+	for _, p := range parts {
+		h = fnv64a(h, strconv.Itoa(len(p)))
+		h = fnv64a(h, "|")
+		h = fnv64a(h, p)
+	}
+	return splitmix64(h)
+}
+
+// FP renders a fingerprint as the 16-hex-digit form used throughout the
+// archive.
+func FP(parts ...string) string { return fmt.Sprintf("%016x", Fingerprint(parts...)) }
+
+// RunID derives the document ID from the run's plan identity: format,
+// version, seed, and config fingerprint. No wall-clock, no randomness —
+// the same plan always yields the same RunID.
+func RunID(seed int64, configFP string) string {
+	return fmt.Sprintf("%016x", Fingerprint(Format, strconv.Itoa(Version),
+		strconv.FormatInt(seed, 10), configFP))
+}
+
+// SubID derives a sub-measurement ID from its parent's ID, the section
+// it lives in ("client", "fault", "metric", "span", "result",
+// "experiment"), and its index there. The derivation mirrors
+// sweep.TaskSeed's mix(mix(parent) ^ fnv(section)) ^ index chain, so
+// adjacent indices land far apart and IDs are unique within a document
+// by construction.
+func SubID(parentID, section string, index int) string {
+	x := splitmix64(fnv64a(fnvOffset, parentID))
+	x = splitmix64(x ^ fnv64a(fnvOffset, section))
+	x = splitmix64(x ^ uint64(index))
+	return fmt.Sprintf("%016x", x)
+}

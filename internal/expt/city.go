@@ -26,6 +26,24 @@ func init() {
 // *concurrent* drivers contending for airtime and DHCP servers, which
 // is the regime the paper's per-client analysis abstracts away.
 func CityScale(o Options) (Figure, error) {
+	city, dur, err := cityRun(o, false)
+	if err != nil {
+		return Figure{}, err
+	}
+	return cityFigure(city, dur), nil
+}
+
+// cityTraceCap bounds each tile's trace ring when the archive path
+// enables observability. Generous enough that city-scale runs at test
+// scales never drop spans (a dropped span would make the archived span
+// summary capacity-dependent).
+const cityTraceCap = 1 << 15
+
+// cityRun builds and advances the sharded city for the given options.
+// withObs attaches per-tile observation bundles (the archive path needs
+// the merged registries and trace-span summaries; the plain figure path
+// does not pay for them).
+func cityRun(o Options, withObs bool) (*shard.City, time.Duration, error) {
 	o = o.withDefaults()
 	spec := scenario.CityGrid(o.Seed, o.scaleN(1000, 60), o.scaleN(100, 10))
 	spec.Radio = radio.Defaults()
@@ -39,17 +57,24 @@ func CityScale(o Options) (Figure, error) {
 		workers = 1
 	}
 	city := shard.NewCity(spec, cfg, workers)
+	if withObs {
+		city.EnableObs(cityTraceCap)
+	}
 	if o.Chaos != "" {
 		fcfg, ok := fault.Profile(o.Chaos)
 		if !ok {
-			return Figure{}, fmt.Errorf("city: unknown chaos profile %q", o.Chaos)
+			return nil, 0, fmt.Errorf("city: unknown chaos profile %q", o.Chaos)
 		}
 		city.ApplyChaos(fcfg)
 	}
 	if err := city.Run(dur); err != nil {
-		return Figure{}, err
+		return nil, 0, err
 	}
+	return city, dur, nil
+}
 
+// cityFigure renders a completed city run as the experiment's figure.
+func cityFigure(city *shard.City, dur time.Duration) Figure {
 	var goodput []float64
 	var joinMS []float64
 	for _, cl := range city.Clients() {
@@ -61,7 +86,7 @@ func CityScale(o Options) (Figure, error) {
 		}
 	}
 
-	fig := Figure{
+	return Figure{
 		ID:     "city",
 		Title:  fmt.Sprintf("city-scale fleet, %s", city.Layout),
 		XLabel: "percentile across clients (machinery series: metric index)",
@@ -78,7 +103,6 @@ func CityScale(o Options) (Figure, error) {
 			}},
 		},
 	}
-	return fig, nil
 }
 
 // quantileSeries renders a value set as percentile points (5% steps).

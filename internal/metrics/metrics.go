@@ -48,6 +48,24 @@ func (r *Recorder) Add(t time.Duration, bytes int) {
 // TotalBytes returns all bytes recorded.
 func (r *Recorder) TotalBytes() int64 { return r.total }
 
+// BinCount is one non-empty bin of a recorder's ledger.
+type BinCount struct {
+	Index int64 // bin number (time / bin width)
+	Bytes int64
+}
+
+// Bins returns the non-empty bins sorted by index — the recorder's full
+// ledger in a deterministic order, independent of insertion order. The
+// archive layer serializes this as the client's throughput history.
+func (r *Recorder) Bins() []BinCount {
+	out := make([]BinCount, 0, len(r.bins))
+	for i, b := range r.bins {
+		out = append(out, BinCount{Index: i, Bytes: b})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Index < out[j].Index })
+	return out
+}
+
 // Window returns the recorded data extent rounded up to a whole bin —
 // the smallest window that covers every byte this recorder has seen.
 // Callers that measured "until the run ended" can pass it to the

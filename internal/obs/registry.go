@@ -312,6 +312,14 @@ func (r *Registry) Snapshot() Snapshot {
 // first occurrence's buckets but still sums Sum/Count. Feeding it the
 // index-ordered output of a sweep makes the merged export independent
 // of worker count.
+//
+// Equal names tie-break on the FIRST occurrence: its Kind, Help and
+// bucket layout win, and every later point with that name folds in
+// under the first occurrence's kind regardless of its own. Folding by
+// the incoming point's kind would let a kind-conflicting registration
+// flip an accumulator between sum and last-write semantics depending on
+// which snapshot it arrived in — exactly the input-order sensitivity
+// the archive byte-gate exists to rule out.
 func MergeSnapshots(snaps ...Snapshot) Snapshot {
 	byName := make(map[string]*MetricPoint)
 	var order []string
@@ -327,7 +335,7 @@ func MergeSnapshots(snaps ...Snapshot) Snapshot {
 				order = append(order, p.Name)
 				continue
 			}
-			switch p.Kind {
+			switch acc.Kind {
 			case KindCounter:
 				acc.Value += p.Value
 			case KindGauge:

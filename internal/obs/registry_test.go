@@ -179,6 +179,43 @@ func TestMergeSnapshots(t *testing.T) {
 	}
 }
 
+// Two registries registering the same NAME as different kinds must
+// merge under the first occurrence's kind — the explicit tie-break on
+// equal keys. Folding by the incoming point's kind would make the
+// accumulator's semantics (sum vs last-write) depend on which snapshot
+// a point arrived in, so the merged value — and any archive built from
+// it — would no longer be a pure function of the index-ordered inputs.
+func TestMergeSnapshotsEqualNameKindTieBreak(t *testing.T) {
+	counterSnap := func(v uint64) Snapshot {
+		r := NewRegistry()
+		r.Counter("clash", "").Add(v)
+		return r.Snapshot()
+	}
+	gaugeSnap := func(v float64) Snapshot {
+		r := NewRegistry()
+		r.Gauge("clash", "").Set(v)
+		return r.Snapshot()
+	}
+
+	// First occurrence is a counter: later gauge points fold as sums.
+	m := MergeSnapshots(counterSnap(3), gaugeSnap(10), counterSnap(4))
+	if len(m) != 1 || m[0].Kind != KindCounter {
+		t.Fatalf("merge = %+v, want one counter point", m)
+	}
+	if m[0].Value != 17 {
+		t.Fatalf("counter-first merge = %g, want 3+10+4 = 17 (first kind wins)", m[0].Value)
+	}
+
+	// First occurrence is a gauge: later counter points fold last-wins.
+	m = MergeSnapshots(gaugeSnap(10), counterSnap(3), counterSnap(4))
+	if len(m) != 1 || m[0].Kind != KindGauge {
+		t.Fatalf("merge = %+v, want one gauge point", m)
+	}
+	if m[0].Value != 4 {
+		t.Fatalf("gauge-first merge = %g, want last-wins 4", m[0].Value)
+	}
+}
+
 func TestWritePrometheus(t *testing.T) {
 	r := NewRegistry()
 	r.Counter("spider_switches_total", "Channel switches.").Add(2)

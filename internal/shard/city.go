@@ -263,6 +263,32 @@ func (c *City) ApplyChaos(cfg fault.Config) {
 	}
 }
 
+// FaultStats merges the per-tile fault ledgers into one per-class
+// ledger in canonical class order. Tiles attach disjoint target sets,
+// so the per-class sums equal a single-world injector's and are
+// independent of the tile layout.
+func (c *City) FaultStats() []fault.ClassStat {
+	if len(c.Injectors) == 0 {
+		return nil
+	}
+	merged := make([]fault.ClassStat, 0, len(fault.Classes))
+	for ci, class := range fault.Classes {
+		cs := fault.ClassStat{Class: class}
+		for _, inj := range c.Injectors {
+			s := inj.Snapshot()[ci]
+			cs.Injected += s.Injected
+			cs.Skipped += s.Skipped
+			cs.Recovered += s.Recovered
+			cs.TTRTotal += s.TTRTotal
+			if s.TTRMax > cs.TTRMax {
+				cs.TTRMax = s.TTRMax
+			}
+		}
+		merged = append(merged, cs)
+	}
+	return merged
+}
+
 // TotalInjected sums injected faults across every tile's injector.
 func (c *City) TotalInjected() uint64 {
 	var t uint64

@@ -34,6 +34,45 @@ func TestReduceDeterministicAcrossWorkerCounts(t *testing.T) {
 	}
 }
 
+// When several tasks produce the SAME key, the fold's tie-break must be
+// index order, not completion order: under a last-write-wins map fold
+// the highest index wins at any worker count. A scheduler-ordered fold
+// would let workers=8 disagree with workers=1 here, which would surface
+// as archive byte-diffs between otherwise identical runs.
+func TestReduceEqualKeysTieBreakByIndex(t *testing.T) {
+	run := func(workers int) map[string]int {
+		out, err := Reduce(context.Background(), workers, 12,
+			func(_ context.Context, i int) (int, error) {
+				// Reverse-stagger so later indices finish first.
+				time.Sleep(time.Duration(12-i) * time.Millisecond)
+				return i, nil
+			},
+			map[string]int{}, func(acc map[string]int, i int) map[string]int {
+				// Three tasks share each key; last write (by index) wins.
+				acc[fmt.Sprintf("k%d", i%4)] = i
+				return acc
+			})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	want := run(1)
+	for k, v := range map[string]int{"k0": 8, "k1": 9, "k2": 10, "k3": 11} {
+		if want[k] != v {
+			t.Fatalf("workers=1: %s = %d, want %d (highest index for the key)", k, want[k], v)
+		}
+	}
+	for _, w := range []int{2, 8} {
+		got := run(w)
+		for k, v := range want {
+			if got[k] != v {
+				t.Fatalf("workers=%d: %s = %d, want %d", w, k, got[k], v)
+			}
+		}
+	}
+}
+
 func TestReducePropagatesTaskError(t *testing.T) {
 	boom := errors.New("boom")
 	acc, err := Reduce(context.Background(), 4, 8,

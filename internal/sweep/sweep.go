@@ -201,6 +201,13 @@ func Map[In, Out any](ctx context.Context, workers int, in []In, f func(ctx cont
 // sweep, on the index-ordered slice, the accumulated value is identical
 // at any worker count even when fold is not commutative — this is how
 // per-task metric snapshots and result logs aggregate deterministically.
+//
+// The index order is also the explicit tie-break for folds that key
+// results (maps, named metric merges): when two tasks produce the same
+// key, the HIGHER index wins under last-write-wins folds and the LOWER
+// index's entry is the "first occurrence" under first-wins folds —
+// never whichever task finished last on the clock. Archive equality
+// across worker counts depends on this.
 func Reduce[T, A any](ctx context.Context, workers, n int,
 	task func(ctx context.Context, i int) (T, error),
 	acc A, fold func(A, T) A) (A, error) {
