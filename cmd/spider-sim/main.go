@@ -273,11 +273,17 @@ func writeDriveArchive(path string, seed int64, configFP, chaosSpec string, resu
 
 // runCityGrid builds and runs the sharded city-scale scenario and
 // reports fleet-wide aggregates.
-func runCityGrid(cfg core.Config, seed int64, numAPs, clients, shards int, dur time.Duration, chaosSpec string, ospec obsSpec, metricsOut, traceOut, archiveOut, configFP string) error {
+func runCityGrid(cfg core.Config, seed int64, numAPs, clients, shards int, areaW, areaH float64, dur time.Duration, chaosSpec string, ospec obsSpec, metricsOut, traceOut, archiveOut, configFP string) error {
 	if numAPs <= 0 {
 		numAPs = 600
 	}
 	spec := scenario.CityGrid(seed, numAPs, clients)
+	if areaW > 0 {
+		spec.AreaW = areaW
+	}
+	if areaH > 0 {
+		spec.AreaH = areaH
+	}
 	rc := radio.Defaults()
 	rc.DataRateKbps = 24_000
 	spec.Radio = rc
@@ -313,8 +319,8 @@ func runCityGrid(cfg core.Config, seed int64, numAPs, clients, shards int, dur t
 	}
 	for _, t := range c.Tiles {
 		haloRecs += t.World.Medium.Stats().HaloInjected
-		fmt.Printf("  tile %d [%5.0f, %5.0f): %3d APs, %3d clients\n",
-			t.Index, t.Lo, t.Hi, len(t.World.APs), len(t.World.Clients))
+		fmt.Printf("  tile %d [%5.0f, %5.0f)×[%5.0f, %5.0f): %3d APs, %3d clients\n",
+			t.Index, t.X0, t.X1, t.Y0, t.Y1, len(t.World.APs), len(t.World.Clients))
 	}
 	cdf := metrics.NewCDF(tputs)
 	fmt.Printf("\n  fleet goodput:    mean %s, p50 %s, p90 %s\n",
@@ -361,6 +367,8 @@ func main() {
 		seed     = flag.Int64("seed", 1, "simulation seed")
 		speed    = flag.Float64("speed", 0, "override vehicle speed (m/s)")
 		numAPs   = flag.Int("aps", 0, "override deployed AP count")
+		areaW    = flag.Float64("area-w", 0, "override city width in meters (citygrid only)")
+		areaH    = flag.Float64("area-h", 0, "override city height in meters (citygrid only)")
 		reps     = flag.Int("reps", 1, "independent drive replications")
 		workers  = flag.Int("workers", runtime.NumCPU(), "worker goroutines when -reps > 1")
 		pcapOut  = flag.String("pcap", "", "write an over-the-air capture to this file (single rep only)")
@@ -399,6 +407,7 @@ func main() {
 		fmt.Sprintf("minutes=%d", *minutes),
 		fmt.Sprintf("speed=%g", *speed),
 		fmt.Sprintf("aps=%d", *numAPs),
+		fmt.Sprintf("area=%gx%g", *areaW, *areaH),
 		fmt.Sprintf("reps=%d", *reps),
 		"chaos="+*chaos,
 	)
@@ -411,7 +420,7 @@ func main() {
 		if *traceF != "" {
 			ospec.filter = strings.Split(*traceF, ",")
 		}
-		err := runCityGrid(cfg, *seed, *numAPs, *clients, *shards,
+		err := runCityGrid(cfg, *seed, *numAPs, *clients, *shards, *areaW, *areaH,
 			time.Duration(*minutes)*time.Minute, *chaos, ospec, *metricsO, *traceO, *archO, configFP)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "spider-sim:", err)

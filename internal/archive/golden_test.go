@@ -23,16 +23,23 @@ import (
 var update = flag.Bool("update", false, "rewrite the golden archive fixtures")
 
 type fixture struct {
-	name  string // fixture file stem under testdata/
-	id    string // experiment id
-	chaos string // fault profile ("" = clean)
+	name  string  // fixture file stem under testdata/
+	id    string  // experiment id
+	chaos string  // fault profile ("" = clean)
+	scale float64 // experiment scale (0 = the default 0.02)
 }
 
 var fixtures = []fixture{
-	{"spider-clean", "table2", ""},
-	{"spider-chaos", "chaos", "mild"},
-	{"city-clean", "city", ""},
-	{"city-chaos", "city", "mild"},
+	{"spider-clean", "table2", "", 0},
+	{"spider-chaos", "chaos", "mild", 0},
+	{"city-clean", "city", "", 0},
+	{"city-chaos", "city", "mild", 0},
+	// The metro experiment's bases are true metro scale (50k APs, 100k
+	// clients, 30×30 km), so its fixtures pick a scale small enough to
+	// bottom out at the experiment's floors: 80 APs, 24 clients,
+	// 2400×1600 m — a 2-D tile grid small enough to pin bytes.
+	{"metro-clean", "metro", "", 0.0002},
+	{"metro-chaos", "metro", "mild", 0.0002},
 }
 
 // buildArchive runs one fixture's experiment at the given parallelism
@@ -40,7 +47,11 @@ var fixtures = []fixture{
 // are tiny, deliberately — they pin bytes, not statistics.
 func buildArchive(t *testing.T, fx fixture, workers, shards int) []byte {
 	t.Helper()
-	o := expt.Options{Seed: 7, Scale: 0.02, Workers: workers, Shards: shards, Chaos: fx.chaos}
+	scale := fx.scale
+	if scale == 0 {
+		scale = 0.02
+	}
+	o := expt.Options{Seed: 7, Scale: scale, Workers: workers, Shards: shards, Chaos: fx.chaos}
 	a := expt.NewArchive(o)
 	if _, err := expt.RunArchived(a, fx.id, o); err != nil {
 		t.Fatalf("%s: %v", fx.id, err)
@@ -101,7 +112,9 @@ func TestArchiveByteIdentityAcrossParallelism(t *testing.T) {
 				"workers=2": buildArchive(t, fx, 2, 1),
 				"workers=8": buildArchive(t, fx, 8, 1),
 			}
-			if fx.id == "city" {
+			if fx.id == "city" || fx.id == "metro" {
+				// shards=4 is the satellite's "2×2" point: four tile
+				// workers advancing a 2-D grid concurrently.
 				variants["shards=4"] = buildArchive(t, fx, 1, 4)
 			}
 			for name, got := range variants {

@@ -9,14 +9,17 @@ import "spider/internal/wifi"
 // — serializing service across same-channel APs exactly the way Spider's
 // channel-centric design avoids.
 func (d *Driver) startAPSlicer() {
-	d.kernel.After(d.cfg.APSliceDwell, d.apSliceTick)
+	if d.apSliceFn == nil {
+		d.apSliceFn = d.apSliceTick
+	}
+	d.kernel.After(d.cfg.APSliceDwell, d.apSliceFn)
 }
 
 func (d *Driver) apSliceTick() {
 	if d.stopped {
 		return
 	}
-	defer d.kernel.After(d.cfg.APSliceDwell, d.apSliceTick)
+	defer d.kernel.After(d.cfg.APSliceDwell, d.apSliceFn)
 	d.apSliceRebalance()
 }
 
@@ -31,12 +34,13 @@ func (d *Driver) apSliceRebalance() {
 	if ch == 0 {
 		return
 	}
-	var connected []*Iface
-	for _, ifc := range d.Interfaces() {
+	connected := d.connScratch[:0]
+	for _, ifc := range d.liveIfaces() {
 		if ifc.Channel() == ch && ifc.Connected() {
 			connected = append(connected, ifc)
 		}
 	}
+	d.connScratch = connected
 	if len(connected) < 2 {
 		// Nothing to serialize: make sure a lone AP is awake.
 		if len(connected) == 1 && connected[0].psmOn {
@@ -57,8 +61,12 @@ func (d *Driver) setPSM(ifc *Iface, on bool) {
 		return
 	}
 	ifc.psmOn = on
-	d.radio.Send(&wifi.Frame{Type: wifi.TypeNull, SA: d.Addr(), DA: ifc.BSSID(),
-		BSSID: ifc.BSSID(), PowerMgmt: on, Seq: d.nextSeq()})
+	f := d.pool.Frame()
+	f.Type = wifi.TypeNull
+	f.SA, f.DA, f.BSSID = d.Addr(), ifc.BSSID(), ifc.BSSID()
+	f.PowerMgmt = on
+	f.Seq = d.nextSeq()
+	d.radio.Send(f)
 }
 
 // apSliceActive reports, for tests, which BSSID is currently served

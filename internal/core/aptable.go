@@ -88,6 +88,39 @@ type apTable struct {
 	// evictions counts blacklist expirations (lazily detected in
 	// candidates); Driver.Stats surfaces it.
 	evictions uint64
+	// sorter holds the candidates scratch: the slice and ranking mode
+	// live on the table so the periodic selection path allocates nothing
+	// (sorting a pointer receiver boxes no value). Callers must not
+	// retain the returned slice across calls.
+	sorter apCandSorter
+}
+
+// apCandSorter ranks candidate records best-first without the per-call
+// closure sort.Slice would allocate.
+type apCandSorter struct {
+	recs       []*APRecord
+	useHistory bool
+}
+
+func (s *apCandSorter) Len() int      { return len(s.recs) }
+func (s *apCandSorter) Swap(i, j int) { s.recs[i], s.recs[j] = s.recs[j], s.recs[i] }
+func (s *apCandSorter) Less(i, j int) bool {
+	a, b := s.recs[i], s.recs[j]
+	if s.useHistory {
+		sa, sb := a.Score(), b.Score()
+		if sa != sb {
+			return sa > sb
+		}
+	} else if a.LastSeen != b.LastSeen {
+		return a.LastSeen > b.LastSeen
+	}
+	// Deterministic tie-break.
+	for i := range a.BSSID {
+		if a.BSSID[i] != b.BSSID[i] {
+			return a.BSSID[i] < b.BSSID[i]
+		}
+	}
+	return false
 }
 
 func newAPTable() *apTable {
@@ -123,7 +156,7 @@ func (t *apTable) get(bssid wifi.Addr) *APRecord { return t.byBSSID[bssid] }
 // hold-down, ranked best-first. With history disabled, ranking is by
 // recency alone (stock behaviour).
 func (t *apTable) candidates(channel int, now, staleAfter time.Duration, useHistory bool) []*APRecord {
-	var out []*APRecord
+	out := t.sorter.recs[:0]
 	for _, r := range t.byBSSID {
 		if r.BlacklistUntil > 0 && now >= r.BlacklistUntil {
 			// Quarantine served: the AP is eligible again.
@@ -144,25 +177,13 @@ func (t *apTable) candidates(channel int, now, staleAfter time.Duration, useHist
 		}
 		out = append(out, r)
 	}
-	sort.Slice(out, func(i, j int) bool {
-		a, b := out[i], out[j]
-		if useHistory {
-			sa, sb := a.Score(), b.Score()
-			if sa != sb {
-				return sa > sb
-			}
-		} else if a.LastSeen != b.LastSeen {
-			return a.LastSeen > b.LastSeen
-		}
-		// Deterministic tie-break.
-		for i := range a.BSSID {
-			if a.BSSID[i] != b.BSSID[i] {
-				return a.BSSID[i] < b.BSSID[i]
-			}
-		}
-		return false
-	})
-	return out
+	t.sorter.recs = out
+	t.sorter.useHistory = useHistory
+	// Map iteration above is order-randomized, but the sort's total
+	// order (score/recency with a full BSSID tie-break) makes the result
+	// independent of it.
+	sort.Sort(&t.sorter)
+	return t.sorter.recs
 }
 
 // all returns every record (tests and metrics).

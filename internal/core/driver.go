@@ -138,6 +138,40 @@ type Driver struct {
 	scanEv  sim.Event
 	sliceEv sim.Event
 
+	// pool is the medium's frame pool (nil under NoPool); every frame the
+	// driver originates comes from it and is recycled by the medium at
+	// transmit completion.
+	pool *wifi.Pool
+	// Cached callbacks for the self-rescheduling ticks — re-arming with a
+	// fresh method value would allocate one closure per tick per client.
+	scanTickFn, nextSliceFn, inactivityFn, bgScanFn, bgReturnFn, apSliceFn func()
+	bgHome                                                                 int
+	// In-flight channel-switch state. A switch that starts while another
+	// is still in flight supersedes it: the generation counter invalidates
+	// stale PSM completions and the pending linger/retune events are
+	// cancelled, so exactly one switch owns the radio at a time. Keeping
+	// the state in fields (instead of per-switch closures) makes the whole
+	// path allocation-free apart from one generation guard per PSM burst.
+	swGen         uint64
+	swCh          int
+	swReset       time.Duration
+	swPolls       []*Iface // scratch: connected ifaces to wake on arrival
+	swOutstanding int
+	swLingerEv    sim.Event
+	swRetuneEv    sim.Event
+	beginResetFn  func()
+	lingerFn      func()
+	arriveFn      func()
+	// ifScratch backs liveIfaces (connScratch the AP slicer's filtered
+	// view of it); ifaceFree recycles torn-down interfaces
+	// (with their joiner and DHCP state machines) for the next join.
+	ifScratch   []*Iface
+	connScratch []*Iface
+	ifaceFree   []*Iface
+	// dhcpMsg is the downlink DHCP decode scratch, handed synchronously
+	// to the interface's client.
+	dhcpMsg dhcp.Message
+
 	// backoffRNG jitters escalated hold-downs and quarantines. Its own
 	// named stream: drawing it must not perturb any protocol stream.
 	backoffRNG *rand.Rand
@@ -182,14 +216,35 @@ func NewDriver(m *radio.Medium, cfg Config, addr wifi.Addr, mob geo.Mobility, ev
 		inv:        metrics.NewInvariantSet(),
 	}
 	d.radio = m.NewRadio(addr, func() geo.Point { return mob.PositionAt(k.Now()) }, radio.ReceiverFunc(d.receive))
-	d.radio.SetChannel(d.cfg.Schedule[0].Channel)
-	d.kernel.After(0, d.scanTick)
-	if len(d.cfg.Schedule) > 1 {
-		d.sliceEv = d.kernel.After(d.cfg.Schedule[0].Dwell, d.nextSlice)
+	d.pool = m.Pool()
+	d.scanTickFn = d.scanTick
+	d.nextSliceFn = d.nextSlice
+	d.inactivityFn = d.inactivityTick
+	d.bgScanFn = d.backgroundScanTick
+	d.bgReturnFn = func() {
+		if d.dwelling && !d.stopped { // still associated: come home
+			d.switchTo(d.bgHome)
+		}
 	}
-	d.kernel.After(time.Second, d.inactivityTick)
+	d.beginResetFn = func() {
+		d.swLingerEv = d.kernel.After(psmLinger, d.lingerFn)
+	}
+	d.lingerFn = func() {
+		d.swLingerEv = sim.Event{}
+		if d.stopped {
+			return
+		}
+		d.swRetuneEv = d.radio.Retune(d.swCh, d.swReset, d.arriveFn)
+	}
+	d.arriveFn = d.arrive
+	d.radio.SetChannel(d.cfg.Schedule[0].Channel)
+	d.kernel.After(0, d.scanTickFn)
+	if len(d.cfg.Schedule) > 1 {
+		d.sliceEv = d.kernel.After(d.cfg.Schedule[0].Dwell, d.nextSliceFn)
+	}
+	d.kernel.After(time.Second, d.inactivityFn)
 	if d.cfg.BackgroundScanEvery > 0 && len(d.cfg.Schedule) > 1 {
-		d.kernel.After(d.cfg.BackgroundScanEvery, d.backgroundScanTick)
+		d.kernel.After(d.cfg.BackgroundScanEvery, d.bgScanFn)
 	}
 	if d.cfg.APCentric {
 		d.startAPSlicer()
@@ -259,7 +314,7 @@ func (d *Driver) backgroundScanTick() {
 	if d.stopped {
 		return
 	}
-	defer d.kernel.After(d.cfg.BackgroundScanEvery, d.backgroundScanTick)
+	defer d.kernel.After(d.cfg.BackgroundScanEvery, d.bgScanFn)
 	if !d.dwelling || d.switching {
 		return
 	}
@@ -280,12 +335,9 @@ func (d *Driver) backgroundScanTick() {
 	if target == 0 {
 		return
 	}
+	d.bgHome = home
 	d.switchTo(target)
-	d.kernel.After(d.cfg.BackgroundScanDwell, func() {
-		if d.dwelling && !d.stopped { // still associated: come home
-			d.switchTo(home)
-		}
-	})
+	d.kernel.After(d.cfg.BackgroundScanDwell, d.bgReturnFn)
 }
 
 // Addr returns the client MAC address.
@@ -371,21 +423,48 @@ func (d *Driver) CurrentChannel() int { return d.radio.Channel() }
 // Interfaces returns the live virtual interfaces, ordered by BSSID.
 // Deterministic order is load-bearing: map-order iteration would make
 // frame emission order (and therefore whole runs) irreproducible.
+// Callers own the returned slice; hot internal paths use liveIfaces.
 func (d *Driver) Interfaces() []*Iface {
 	out := make([]*Iface, 0, len(d.ifaces))
 	for _, ifc := range d.ifaces {
 		out = append(out, ifc)
 	}
-	sort.Slice(out, func(i, j int) bool {
-		a, b := out[i].BSSID(), out[j].BSSID()
-		for k := range a {
-			if a[k] != b[k] {
-				return a[k] < b[k]
-			}
-		}
-		return false
-	})
+	sortIfaces(out)
 	return out
+}
+
+// liveIfaces is Interfaces into a reused scratch slice: same determinism,
+// no allocation. The result is valid until the next liveIfaces call —
+// callers must not start joins or re-enter the switch path mid-iteration
+// (teardown is fine: it mutates the map, not the scratch).
+func (d *Driver) liveIfaces() []*Iface {
+	s := d.ifScratch[:0]
+	for _, ifc := range d.ifaces {
+		s = append(s, ifc)
+	}
+	sortIfaces(s)
+	d.ifScratch = s
+	return s
+}
+
+// sortIfaces orders interfaces by BSSID with an insertion sort: interface
+// counts are tiny (MaxInterfaces-bounded) and sort.Slice's reflection
+// closure would allocate on every call.
+func sortIfaces(s []*Iface) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && lessAddr(s[j].BSSID(), s[j-1].BSSID()); j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+func lessAddr(a, b wifi.Addr) bool {
+	for k := range a {
+		if a[k] != b[k] {
+			return a[k] < b[k]
+		}
+	}
+	return false
 }
 
 // ConnectedCount returns how many interfaces hold leases.
@@ -438,7 +517,7 @@ func (d *Driver) nextSlice() {
 	prevCh := d.cfg.Schedule[d.schedIdx].Channel
 	d.schedIdx = (d.schedIdx + 1) % len(d.cfg.Schedule)
 	next := d.cfg.Schedule[d.schedIdx]
-	d.sliceEv = d.kernel.After(next.Dwell, d.nextSlice)
+	d.sliceEv = d.kernel.After(next.Dwell, d.nextSliceFn)
 	if d.tr != nil {
 		d.tr.Complete("core.dwell", "ch"+strconv.Itoa(prevCh), d.dwellStart)
 	}
@@ -446,50 +525,82 @@ func (d *Driver) nextSlice() {
 	d.switchTo(next.Channel)
 }
 
+// psmLinger is the pause after the PSM announcements are acknowledged:
+// the AP may have one frame already committed to its MAC, and resetting
+// under it would throw away a TCP segment every single departure.
+const psmLinger = 3 * time.Millisecond
+
+// Modeled airtime of the fixed-size null frames the switch latency
+// accounts for — computed once, not per frame.
+var (
+	nullUnicastTxTime   = wifi.TxTime(&wifi.Frame{Type: wifi.TypeNull})
+	nullBroadcastTxTime = wifi.TxTime(&wifi.Frame{Type: wifi.TypeNull, DA: wifi.Broadcast})
+)
+
 // switchTo performs Spider's channel switch: PSM-announce to every
 // connected AP on the old channel, hardware reset, then PS-poll the
 // connected APs on the new channel and drain its transmit queue.
+//
+// A switch that starts while another is in flight supersedes it: the
+// earlier switch's pending linger/retune is cancelled and its straggling
+// PSM completions are ignored (generation guard), so the radio ends up
+// wherever the newest switch points.
 func (d *Driver) switchTo(ch int) {
 	from := d.radio.Channel()
 	if from == ch && !d.switching {
 		return
 	}
+	d.swGen++
+	d.swLingerEv.Cancel()
+	d.swLingerEv = sim.Event{}
+	d.swRetuneEv.Cancel()
+	d.swRetuneEv = sim.Event{}
 	d.switching = true
+	d.swCh = ch
+	d.swOutstanding = 0
 	var latency time.Duration
 	connected := 0
+	ifaces := d.liveIfaces()
 	// Announce power-save to connected APs on the old channel so they
 	// buffer for us while we are away. The hardware reset waits for these
 	// frames to actually clear the air — resetting under them would flush
 	// the announcement and leave the AP transmitting to nobody.
-	outstanding := 0
-	var beginReset func()
-	for _, ifc := range d.Interfaces() {
+	var psmDone func(bool)
+	for _, ifc := range ifaces {
 		if ifc.Channel() == from && ifc.state >= IfaceDHCP {
 			connected++
-			outstanding++
-			psm := &wifi.Frame{Type: wifi.TypeNull, SA: d.Addr(), DA: ifc.BSSID(),
-				BSSID: ifc.BSSID(), PowerMgmt: true, Seq: d.nextSeq()}
-			ifc.psmOn = true
-			latency += wifi.TxTime(psm)
-			d.radio.SendNotify(psm, func(bool) {
-				outstanding--
-				if outstanding == 0 {
-					beginReset()
+			if psmDone == nil {
+				gen := d.swGen
+				psmDone = func(bool) {
+					if d.swGen != gen {
+						return // a later switch superseded this one
+					}
+					d.swOutstanding--
+					if d.swOutstanding == 0 {
+						d.beginResetFn()
+					}
 				}
-			})
+			}
+			d.swOutstanding++
+			psm := d.pool.Frame()
+			psm.Type = wifi.TypeNull
+			psm.SA, psm.DA, psm.BSSID = d.Addr(), ifc.BSSID(), ifc.BSSID()
+			psm.PowerMgmt = true
+			psm.Seq = d.nextSeq()
+			ifc.psmOn = true
+			latency += nullUnicastTxTime
+			d.radio.SendNotify(psm, psmDone)
 		}
 	}
 	latency += d.cfg.ResetBase
-	// Count polls we will owe on the new channel.
-	var polls []*Iface
-	for _, ifc := range d.Interfaces() {
+	// Collect the polls we will owe on the new channel.
+	d.swPolls = d.swPolls[:0]
+	for _, ifc := range ifaces {
 		if ifc.Channel() == ch && ifc.state >= IfaceDHCP {
-			polls = append(polls, ifc)
+			d.swPolls = append(d.swPolls, ifc)
 		}
 	}
-	for range polls {
-		latency += wifi.TxTime(&wifi.Frame{Type: wifi.TypeNull, SA: d.Addr(), DA: wifi.Broadcast})
-	}
+	latency += time.Duration(len(d.swPolls)) * nullBroadcastTxTime
 	d.stats.Switches++
 	d.SwitchLatency = append(d.SwitchLatency, latency)
 	d.hSwitch.Observe(latency.Seconds())
@@ -501,10 +612,6 @@ func (d *Driver) switchTo(ch int) {
 	if d.events.OnSwitch != nil {
 		d.events.OnSwitch(from, ch, latency, connected)
 	}
-	// Linger briefly after the PSM announcements are acknowledged: the AP
-	// may have one frame already committed to its MAC, and resetting
-	// under it would throw away a TCP segment every single departure.
-	const psmLinger = 3 * time.Millisecond
 	// A fault-injected flaky chipset can stretch this reset; the modeled
 	// latency above keeps the healthy figure — the stretch is the fault.
 	reset := d.cfg.ResetBase
@@ -514,40 +621,40 @@ func (d *Driver) switchTo(ch int) {
 			reset += stuck
 		}
 	}
-	beginReset = func() {
-		d.kernel.After(psmLinger, func() {
-			if d.stopped {
-				return
-			}
-			d.radio.Retune(ch, reset, d.arriveOn(ch, polls))
-		})
-	}
-	if outstanding == 0 {
-		beginReset()
+	d.swReset = reset
+	if d.swOutstanding == 0 {
+		d.beginResetFn()
 	}
 }
 
-// arriveOn completes a switch: wake the connected APs on the new channel,
-// drain its transmit queue, and probe.
-func (d *Driver) arriveOn(ch int, polls []*Iface) func() {
-	return func() {
-		d.switching = false
-		if d.stopped {
-			// Shut down while the retune was in flight: stay deaf.
-			d.radio.SetChannel(0)
-			return
-		}
-		// Wake the APs on this channel: PSM off flushes their buffers.
-		for _, ifc := range polls {
-			if ifc.psmOn && d.ifaces[ifc.BSSID()] == ifc {
-				d.radio.Send(&wifi.Frame{Type: wifi.TypeNull, SA: d.Addr(), DA: ifc.BSSID(),
-					BSSID: ifc.BSSID(), PowerMgmt: false, Seq: d.nextSeq()})
-				ifc.psmOn = false
-			}
-		}
-		d.drainTxQueue(ch)
-		d.probe()
+// arrive completes the in-flight switch: wake the connected APs on the
+// new channel, drain its transmit queue, and probe. Reads the sw* fields
+// rather than closure captures; superseded switches never get here (their
+// retune event was cancelled).
+func (d *Driver) arrive() {
+	d.swRetuneEv = sim.Event{}
+	d.switching = false
+	if d.stopped {
+		// Shut down while the retune was in flight: stay deaf.
+		d.radio.SetChannel(0)
+		return
 	}
+	// Wake the APs on this channel: PSM off flushes their buffers. The
+	// map check skips interfaces torn down (and possibly recycled toward
+	// a different AP — psmOn is cleared on reuse) while we were away.
+	for _, ifc := range d.swPolls {
+		if ifc.psmOn && d.ifaces[ifc.BSSID()] == ifc {
+			wake := d.pool.Frame()
+			wake.Type = wifi.TypeNull
+			wake.SA, wake.DA, wake.BSSID = d.Addr(), ifc.BSSID(), ifc.BSSID()
+			wake.Seq = d.nextSeq()
+			d.radio.Send(wake)
+			ifc.psmOn = false
+		}
+	}
+	d.swPolls = d.swPolls[:0]
+	d.drainTxQueue(d.swCh)
+	d.probe()
 }
 
 func (d *Driver) nextSeq() uint16 {
@@ -562,7 +669,7 @@ func (d *Driver) scanTick() {
 		return
 	}
 	d.probe()
-	d.kernel.After(d.cfg.ScanInterval, d.scanTick)
+	d.kernel.After(d.cfg.ScanInterval, d.scanTickFn)
 }
 
 // probe sends a wildcard probe request on the current channel
@@ -572,8 +679,12 @@ func (d *Driver) probe() {
 		return
 	}
 	d.stats.ProbesSent++
-	d.radio.Send(&wifi.Frame{Type: wifi.TypeProbeReq, SA: d.Addr(), DA: wifi.Broadcast,
-		BSSID: wifi.Broadcast, Seq: d.nextSeq(), Body: &wifi.ProbeReqBody{}})
+	f := d.pool.Frame()
+	f.Type = wifi.TypeProbeReq
+	f.SA, f.DA, f.BSSID = d.Addr(), wifi.Broadcast, wifi.Broadcast
+	f.Seq = d.nextSeq()
+	f.Body = d.pool.Probe()
+	d.radio.Send(f)
 }
 
 // ---- Join pipeline ----
@@ -609,18 +720,41 @@ func (d *Driver) maybeJoin() {
 }
 
 func (d *Driver) startJoin(rec *APRecord) {
-	ifc := &Iface{rec: rec, state: IfaceJoining, joinStart: d.kernel.Now(), lastHeard: d.kernel.Now()}
+	now := d.kernel.Now()
 	bssid := rec.BSSID
-	ifc.joiner = mac.NewJoiner(d.kernel, d.cfg.Join, d.Addr(), bssid, rec.SSID,
-		func(f *wifi.Frame) { d.transmit(rec.Channel, f) },
-		func(res mac.AssocResult) { d.onAssocResult(ifc, res) })
-	ifc.dhcpc = dhcp.NewClient(d.kernel, d.cfg.DHCP, d.Addr(),
-		func(m *dhcp.Message) { d.transmit(rec.Channel, m.Frame(d.Addr(), bssid, bssid)) },
-		func(res dhcp.Result) { d.onDHCPResult(ifc, res) })
-	ifc.joiner.SetInvariants(d.inv)
-	ifc.dhcpc.SetInvariants(d.inv)
-	ifc.joiner.SetTracer(d.tr)
-	ifc.dhcpc.SetTracer(d.tr)
+	var ifc *Iface
+	if n := len(d.ifaceFree); n > 0 {
+		// Recycle a torn-down interface: same joiner and DHCP client
+		// objects, reset to the state fresh ones would have. Their RNG
+		// streams are named and persistent in the kernel, so reuse draws
+		// exactly what fresh construction would.
+		ifc = d.ifaceFree[n-1]
+		d.ifaceFree = d.ifaceFree[:n-1]
+		ifc.rec = rec
+		ifc.state = IfaceJoining
+		ifc.joinStart, ifc.lastHeard = now, now
+		ifc.ip = 0
+		ifc.psmOn, ifc.renewing = false, false
+		ifc.renewEv = sim.Event{}
+		ifc.joiner.ResetTarget(bssid, rec.SSID)
+		ifc.dhcpc.Reset()
+		ifc.joiner.SetTracer(d.tr)
+		ifc.dhcpc.SetTracer(d.tr)
+	} else {
+		ifc = &Iface{rec: rec, state: IfaceJoining, joinStart: now, lastHeard: now}
+		// The callbacks read ifc.rec at call time, not capture time, so
+		// they stay correct across recycles.
+		ifc.joiner = mac.NewJoiner(d.kernel, d.cfg.Join, d.Addr(), bssid, rec.SSID,
+			func(f *wifi.Frame) { d.transmit(ifc.rec.Channel, f) },
+			func(res mac.AssocResult) { d.onAssocResult(ifc, res) })
+		ifc.dhcpc = dhcp.NewClient(d.kernel, d.cfg.DHCP, d.Addr(),
+			func(m *dhcp.Message) { d.sendDHCP(ifc, m) },
+			func(res dhcp.Result) { d.onDHCPResult(ifc, res) })
+		ifc.joiner.SetInvariants(d.inv)
+		ifc.dhcpc.SetInvariants(d.inv)
+		ifc.joiner.SetTracer(d.tr)
+		ifc.dhcpc.SetTracer(d.tr)
+	}
 	d.ifaces[bssid] = ifc
 	rec.Attempts++
 	d.stats.AssocAttempts++
@@ -631,6 +765,22 @@ func (d *Driver) startJoin(rec *APRecord) {
 		d.dwelling = true
 	}
 	ifc.joiner.Start()
+}
+
+// sendDHCP wraps a DHCP client message in a pooled data frame toward the
+// interface's AP. The message is the client's send scratch — encoded
+// here, never retained.
+func (d *Driver) sendDHCP(ifc *Iface, m *dhcp.Message) {
+	bssid := ifc.rec.BSSID
+	db := d.pool.Data()
+	db.Proto = wifi.ProtoDHCP
+	db.Header = m.AppendEncode(db.Header[:0])
+	db.VirtualLen = dhcp.WireOverhead
+	f := d.pool.Frame()
+	f.Type = wifi.TypeData
+	f.SA, f.DA, f.BSSID = d.Addr(), bssid, bssid
+	f.Body = db
+	d.transmit(ifc.rec.Channel, f)
 }
 
 func (d *Driver) onAssocResult(ifc *Iface, res mac.AssocResult) {
@@ -839,8 +989,12 @@ func (d *Driver) teardown(ifc *Iface) {
 			d.tr.Instant("core.join", "disconnect", obs.S("bssid", bssid.String()))
 		}
 		// Best-effort deauth so the AP frees state.
-		d.transmit(ifc.Channel(), &wifi.Frame{Type: wifi.TypeDeauth, SA: d.Addr(), DA: bssid,
-			BSSID: bssid, Seq: d.nextSeq(), Body: &wifi.DeauthBody{Reason: 3}})
+		df := d.pool.Frame()
+		df.Type = wifi.TypeDeauth
+		df.SA, df.DA, df.BSSID = d.Addr(), bssid, bssid
+		df.Seq = d.nextSeq()
+		df.Body = &wifi.DeauthBody{Reason: 3}
+		d.transmit(ifc.Channel(), df)
 		if d.events.OnDisconnected != nil {
 			d.events.OnDisconnected(ifc)
 		}
@@ -849,7 +1003,7 @@ func (d *Driver) teardown(ifc *Iface) {
 	if d.dwelling && len(d.ifaces) == 0 && d.ConnectedCount() == 0 {
 		d.dwelling = false
 		if len(d.cfg.Schedule) > 1 && !d.sliceEv.Pending() {
-			d.sliceEv = d.kernel.After(0, d.nextSlice)
+			d.sliceEv = d.kernel.After(0, d.nextSliceFn)
 		}
 	}
 	// FatVAP-style slicing: hand the dead vAP's slice to the survivors
@@ -860,6 +1014,11 @@ func (d *Driver) teardown(ifc *Iface) {
 	for _, fn := range d.teardownHooks {
 		fn(ifc, leaked)
 	}
+	// Recycle the interface (and its joiner/DHCP machines) for the next
+	// join. Safe because nothing retains *Iface past teardown: the hooks
+	// above run synchronously, and the switch path's stale references
+	// guard on psmOn (cleared on reuse) plus the interface map.
+	d.ifaceFree = append(d.ifaceFree, ifc)
 }
 
 // inactivityTick drops interfaces whose AP has gone silent (range exit).
@@ -868,7 +1027,7 @@ func (d *Driver) inactivityTick() {
 		return
 	}
 	now := d.kernel.Now()
-	for _, ifc := range d.Interfaces() {
+	for _, ifc := range d.liveIfaces() {
 		if now-ifc.lastHeard > d.cfg.InactivityTimeout {
 			if ifc.Connected() {
 				d.teardown(ifc)
@@ -877,7 +1036,7 @@ func (d *Driver) inactivityTick() {
 			}
 		}
 	}
-	d.kernel.After(time.Second, d.inactivityTick)
+	d.kernel.After(time.Second, d.inactivityFn)
 }
 
 // ---- Data plane ----
@@ -916,8 +1075,12 @@ func (d *Driver) Uplink(bssid wifi.Addr, db *wifi.DataBody) bool {
 		return false
 	}
 	d.stats.UplinkFrames++
-	d.transmit(ifc.Channel(), &wifi.Frame{Type: wifi.TypeData, SA: d.Addr(), DA: bssid,
-		BSSID: bssid, Seq: d.nextSeq(), Body: db})
+	f := d.pool.Frame()
+	f.Type = wifi.TypeData
+	f.SA, f.DA, f.BSSID = d.Addr(), bssid, bssid
+	f.Seq = d.nextSeq()
+	f.Body = db
+	d.transmit(ifc.Channel(), f)
 	return true
 }
 
@@ -958,8 +1121,8 @@ func (d *Driver) receive(f *wifi.Frame) {
 		}
 		if db.Proto == wifi.ProtoDHCP {
 			if known {
-				if m := dhcp.FromFrame(f); m != nil {
-					ifc.dhcpc.HandleMessage(m)
+				if dhcp.DecodeMessageInto(&d.dhcpMsg, db.Header) {
+					ifc.dhcpc.HandleMessage(&d.dhcpMsg)
 				}
 			}
 			return

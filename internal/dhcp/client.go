@@ -112,6 +112,12 @@ type Client struct {
 
 	retxTimer sim.Event
 	deadline  sim.Event
+	// retxFn/failFn cache the timer callbacks so each send does not
+	// allocate a fresh closure; msg is the send scratch — the transport
+	// encodes it synchronously and never retains the pointer.
+	retxFn func()
+	failFn func()
+	msg    Message
 
 	// inv counts impossible-state transitions (nil-safe; see SetInvariants).
 	inv *metrics.InvariantSet
@@ -128,11 +134,30 @@ func NewClient(k *sim.Kernel, cfg ClientConfig, mac wifi.Addr, send func(m *Mess
 	if send == nil || onResult == nil {
 		panic("dhcp: client needs send and onResult")
 	}
-	return &Client{
+	c := &Client{
 		kernel: k, cfg: cfg.withDefaults(), mac: mac,
 		send: send, onResult: onResult, nextXID: 1,
 		rng: k.RNG("dhcp.client." + mac.String()),
 	}
+	c.retxFn = c.onRetx
+	c.failFn = c.fail
+	return c
+}
+
+// Reset returns a recycled client to the state a fresh NewClient would
+// have: idle, transaction ids restarted, per-association counters
+// cleared. The driver calls it when it re-targets a pooled interface at
+// a new AP; the RNG stream is per-MAC and persistent, so a reused client
+// draws exactly what a fresh one would.
+func (c *Client) Reset() {
+	c.stopTimers()
+	c.state = stateIdle
+	c.xid = 0
+	c.nextXID = 1
+	c.offered, c.cached = 0, 0
+	c.retxN = 0
+	c.fastPath = false
+	c.Attempts, c.Successes, c.Failures = 0, 0, 0
 }
 
 // Config returns the effective configuration.
@@ -165,7 +190,7 @@ func (c *Client) Start(cachedIP IP) {
 	c.cached = cachedIP
 	c.xid = c.nextXID
 	c.nextXID++
-	c.deadline = c.kernel.After(c.cfg.AttemptWindow, c.fail)
+	c.deadline = c.kernel.After(c.cfg.AttemptWindow, c.failFn)
 	if cachedIP != 0 {
 		c.state = stateRequesting
 		c.offered = cachedIP
@@ -193,19 +218,18 @@ func (c *Client) stopTimers() {
 }
 
 func (c *Client) sendCurrent() {
-	var m *Message
 	switch c.state {
 	case stateDiscovering:
-		m = &Message{Op: Discover, XID: c.xid, ClientMAC: c.mac}
+		c.msg = Message{Op: Discover, XID: c.xid, ClientMAC: c.mac}
 	case stateRequesting:
-		m = &Message{Op: Request, XID: c.xid, ClientMAC: c.mac, YourIP: c.offered}
+		c.msg = Message{Op: Request, XID: c.xid, ClientMAC: c.mac, YourIP: c.offered}
 	default:
 		// A send can only be driven by Start or a live timer; reaching it
 		// idle/bound means a stale timer outlived its state machine.
 		c.inv.Violate("dhcp.client.send-while-idle")
 		return
 	}
-	c.send(m)
+	c.send(&c.msg)
 	// RFC 2131 §4.1: retransmission timers double on each retry (up to a
 	// cap) and carry randomized jitter. The jitter, beyond congestion
 	// etiquette, breaks phase locks between the timer and a virtualized
@@ -215,17 +239,19 @@ func (c *Client) sendCurrent() {
 		timeout = c.cfg.RetxBackoffCap
 	}
 	jitter := time.Duration((c.rng.Float64()*0.4 - 0.2) * float64(timeout))
-	c.retxTimer = c.kernel.After(timeout+jitter, func() {
-		// Like real clients, a timed-out exchange restarts under a fresh
-		// transaction id; a response to the abandoned request that
-		// arrives later is discarded as stale. This is why reducing the
-		// timer below the server's think-time raises the failure rate.
-		c.retxTimer = sim.Event{}
-		c.retxN++
-		c.xid = c.nextXID
-		c.nextXID++
-		c.sendCurrent()
-	})
+	c.retxTimer = c.kernel.After(timeout+jitter, c.retxFn)
+}
+
+// onRetx restarts a timed-out exchange under a fresh transaction id, like
+// real clients; a response to the abandoned request that arrives later is
+// discarded as stale. This is why reducing the timer below the server's
+// think-time raises the failure rate.
+func (c *Client) onRetx() {
+	c.retxTimer = sim.Event{}
+	c.retxN++
+	c.xid = c.nextXID
+	c.nextXID++
+	c.sendCurrent()
 }
 
 func (c *Client) fail() {

@@ -63,16 +63,23 @@ type Message struct {
 // encodedLen is the wire size of a Message.
 const encodedLen = 1 + 4 + 6 + 4 + 4 + 4
 
-// wireOverhead approximates UDP/IP/BOOTP framing not modeled explicitly,
+// WireOverhead approximates UDP/IP/BOOTP framing not modeled explicitly,
 // so DHCP frames occupy realistic airtime (~300 bytes on real networks).
-const wireOverhead = 270
+// Exported so frame builders that pool their DataBody (the driver, the
+// AP) can set VirtualLen without going through Frame.
+const WireOverhead = 270
 
 // ErrBadMessage reports an undecodable DHCP payload.
 var ErrBadMessage = errors.New("dhcp: malformed message")
 
 // Encode serializes the message.
 func (m *Message) Encode() []byte {
-	b := make([]byte, 0, encodedLen)
+	return m.AppendEncode(make([]byte, 0, encodedLen))
+}
+
+// AppendEncode serializes the message into b — Encode without the
+// allocation when the caller owns a reusable buffer.
+func (m *Message) AppendEncode(b []byte) []byte {
 	b = append(b, byte(m.Op))
 	b = binary.BigEndian.AppendUint32(b, m.XID)
 	b = append(b, m.ClientMAC[:]...)
@@ -84,26 +91,39 @@ func (m *Message) Encode() []byte {
 
 // DecodeMessage parses a wire-format message.
 func DecodeMessage(b []byte) (*Message, error) {
+	m := &Message{}
+	if !DecodeMessageInto(m, b) {
+		return nil, ErrBadMessage
+	}
+	return m, nil
+}
+
+// DecodeMessageInto parses a wire-format message into a caller-owned
+// value, reporting success — DecodeMessage without the allocation.
+// Receivers that keep anything must copy; both state machines read the
+// message synchronously.
+func DecodeMessageInto(m *Message, b []byte) bool {
 	if len(b) < encodedLen {
-		return nil, ErrBadMessage
+		return false
 	}
-	m := &Message{Op: Op(b[0])}
-	if _, ok := opNames[m.Op]; !ok {
-		return nil, ErrBadMessage
+	op := Op(b[0])
+	if _, ok := opNames[op]; !ok {
+		return false
 	}
+	m.Op = op
 	m.XID = binary.BigEndian.Uint32(b[1:5])
 	copy(m.ClientMAC[:], b[5:11])
 	m.YourIP = IP(binary.BigEndian.Uint32(b[11:15]))
 	m.ServerID = binary.BigEndian.Uint32(b[15:19])
 	m.LeaseSecs = binary.BigEndian.Uint32(b[19:23])
-	return m, nil
+	return true
 }
 
 // Frame wraps the message in a wifi data frame from sa to da.
 func (m *Message) Frame(sa, da, bssid wifi.Addr) *wifi.Frame {
 	return &wifi.Frame{
 		Type: wifi.TypeData, SA: sa, DA: da, BSSID: bssid,
-		Body: &wifi.DataBody{Proto: wifi.ProtoDHCP, Header: m.Encode(), VirtualLen: wireOverhead},
+		Body: &wifi.DataBody{Proto: wifi.ProtoDHCP, Header: m.Encode(), VirtualLen: WireOverhead},
 	}
 }
 

@@ -41,6 +41,13 @@ type ServerConfig struct {
 	ServerID uint32
 }
 
+// The default latency dists live in package vars so the interface
+// boxing happens once, not once per AP — a metro builds 50k servers.
+var (
+	defaultOfferLatency sim.Dist = sim.LogNormal{Mu: -2.3, Sigma: 1.4, Cap: 15 * time.Second}
+	defaultAckLatency   sim.Dist = sim.LogNormal{Mu: -3.0, Sigma: 1.2, Cap: 8 * time.Second}
+)
+
 // DefaultServerConfig returns the latency spread of organic urban DHCP
 // servers: usually tens of milliseconds, with a heavy tail into seconds
 // (overloaded CPE, upstream relays). The β the client experiences is
@@ -48,8 +55,8 @@ type ServerConfig struct {
 // what the client cannot control (§2).
 func DefaultServerConfig(serverID uint32) ServerConfig {
 	return ServerConfig{
-		OfferLatency: sim.LogNormal{Mu: -2.3, Sigma: 1.4, Cap: 15 * time.Second},
-		AckLatency:   sim.LogNormal{Mu: -3.0, Sigma: 1.2, Cap: 8 * time.Second},
+		OfferLatency: defaultOfferLatency,
+		AckLatency:   defaultAckLatency,
 		LeaseDur:     time.Hour,
 		PoolStart:    IP(0x0A000064), // 10.0.0.100
 		PoolSize:     100,
@@ -173,9 +180,12 @@ func (s *Server) chaosIntercept(m *Message) (proceed bool, extra time.Duration) 
 		if m.Op == Request {
 			s.ChaosNaks++
 			s.notifyFault("nak")
+			// Copy out of m before the latency elapses: the message may be
+			// a transport's decode scratch, dead after HandleMessage returns.
+			resp := &Message{Op: Nak, XID: m.XID, ClientMAC: m.ClientMAC, ServerID: s.cfg.ServerID}
 			s.kernel.After(s.cfg.AckLatency.Sample(s.rng), func() {
 				s.Naks++
-				s.send(m.ClientMAC, &Message{Op: Nak, XID: m.XID, ClientMAC: m.ClientMAC, ServerID: s.cfg.ServerID})
+				s.send(resp.ClientMAC, resp)
 			})
 			return false, 0
 		}
@@ -219,7 +229,7 @@ func (s *Server) HandleMessage(m *Message) {
 			YourIP: ip, ServerID: s.cfg.ServerID, LeaseSecs: uint32(s.cfg.LeaseDur.Seconds())}
 		s.kernel.After(s.cfg.OfferLatency.Sample(s.rng)+extra, func() {
 			s.Offers++
-			s.send(m.ClientMAC, resp)
+			s.send(resp.ClientMAC, resp)
 		})
 	case Request:
 		s.Requests++
@@ -230,9 +240,10 @@ func (s *Server) HandleMessage(m *Message) {
 		}
 		if ok && m.YourIP != 0 && m.YourIP != b.ip {
 			// Client asked for a stale cached address someone else holds.
+			resp := &Message{Op: Nak, XID: m.XID, ClientMAC: m.ClientMAC, ServerID: s.cfg.ServerID}
 			s.kernel.After(s.cfg.AckLatency.Sample(s.rng)+extra, func() {
 				s.Naks++
-				s.send(m.ClientMAC, &Message{Op: Nak, XID: m.XID, ClientMAC: m.ClientMAC, ServerID: s.cfg.ServerID})
+				s.send(resp.ClientMAC, resp)
 			})
 			return
 		}
@@ -244,9 +255,10 @@ func (s *Server) HandleMessage(m *Message) {
 				s.bindings[m.ClientMAC] = b
 				ok = true
 			} else {
+				resp := &Message{Op: Nak, XID: m.XID, ClientMAC: m.ClientMAC, ServerID: s.cfg.ServerID}
 				s.kernel.After(s.cfg.AckLatency.Sample(s.rng)+extra, func() {
 					s.Naks++
-					s.send(m.ClientMAC, &Message{Op: Nak, XID: m.XID, ClientMAC: m.ClientMAC, ServerID: s.cfg.ServerID})
+					s.send(resp.ClientMAC, resp)
 				})
 				return
 			}
@@ -257,7 +269,7 @@ func (s *Server) HandleMessage(m *Message) {
 			YourIP: b.ip, ServerID: s.cfg.ServerID, LeaseSecs: uint32(s.cfg.LeaseDur.Seconds())}
 		s.kernel.After(s.cfg.AckLatency.Sample(s.rng)+extra, func() {
 			s.Acks++
-			s.send(m.ClientMAC, resp)
+			s.send(resp.ClientMAC, resp)
 		})
 	default:
 		// A server receiving a server-side op (Offer/Ack/Nak) means some

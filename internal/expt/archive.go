@@ -30,7 +30,7 @@ func NewArchive(o Options) *archive.Archive {
 // RunArchived executes one experiment and appends its document to the
 // archive.
 //
-// The city experiment is archived in full — per-client ledgers, the
+// The city and metro experiments are archived in full — per-client ledgers, the
 // merged fault ledger, merged metric snapshot and trace-span summary —
 // because its observability is per-tile and therefore deterministic at
 // any worker count. Every other experiment archives its rendered result
@@ -45,12 +45,16 @@ func RunArchived(a *archive.Archive, id string, o Options) (fmt.Stringer, error)
 	// different experiment subsets still agree on shared IDs.
 	expID := archive.SubID(a.RunID, "experiment/"+id, 0)
 
-	if id == "city" {
-		city, dur, err := cityRun(o, true)
+	if id == "city" || id == "metro" {
+		run := cityRun
+		if id == "metro" {
+			run = metroRun
+		}
+		city, dur, err := run(o, true)
 		if err != nil {
 			return nil, err
 		}
-		fig := cityFigure(city, dur)
+		fig := cityFigure(id, city, dur)
 		exp := archive.CityExperiment(expID, id, o.Chaos, city, dur)
 		rb := resultBuilder{expID: expID}
 		rb.figure(fig)

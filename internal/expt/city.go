@@ -30,7 +30,7 @@ func CityScale(o Options) (Figure, error) {
 	if err != nil {
 		return Figure{}, err
 	}
-	return cityFigure(city, dur), nil
+	return cityFigure("city", city, dur), nil
 }
 
 // cityTraceCap bounds each tile's trace ring when the archive path
@@ -46,9 +46,17 @@ const cityTraceCap = 1 << 15
 func cityRun(o Options, withObs bool) (*shard.City, time.Duration, error) {
 	o = o.withDefaults()
 	spec := scenario.CityGrid(o.Seed, o.scaleN(1000, 60), o.scaleN(100, 10))
+	dur := o.scaleDur(2*time.Minute, 15*time.Second)
+	return specRun("city", spec, dur, o, withObs)
+}
+
+// specRun finishes a city-style spec — radio profile, driver config,
+// shard workers, observability, chaos — and advances it. Shared by the
+// city and metro experiments so both archive through the exact same
+// engine path.
+func specRun(id string, spec scenario.CityGridSpec, dur time.Duration, o Options, withObs bool) (*shard.City, time.Duration, error) {
 	spec.Radio = radio.Defaults()
 	spec.Radio.DataRateKbps = 24_000
-	dur := o.scaleDur(2*time.Minute, 15*time.Second)
 	cfg := core.SpiderDefaults(core.MultiChannelMultiAP,
 		core.EqualSchedule(200*time.Millisecond, 1, 6, 11))
 
@@ -63,7 +71,7 @@ func cityRun(o Options, withObs bool) (*shard.City, time.Duration, error) {
 	if o.Chaos != "" {
 		fcfg, ok := fault.Profile(o.Chaos)
 		if !ok {
-			return nil, 0, fmt.Errorf("city: unknown chaos profile %q", o.Chaos)
+			return nil, 0, fmt.Errorf("%s: unknown chaos profile %q", id, o.Chaos)
 		}
 		city.ApplyChaos(fcfg)
 	}
@@ -73,8 +81,9 @@ func cityRun(o Options, withObs bool) (*shard.City, time.Duration, error) {
 	return city, dur, nil
 }
 
-// cityFigure renders a completed city run as the experiment's figure.
-func cityFigure(city *shard.City, dur time.Duration) Figure {
+// cityFigure renders a completed city-style run as the experiment's
+// figure (the metro experiment reuses it under its own id).
+func cityFigure(id string, city *shard.City, dur time.Duration) Figure {
 	var goodput []float64
 	var joinMS []float64
 	for _, cl := range city.Clients() {
@@ -87,8 +96,8 @@ func cityFigure(city *shard.City, dur time.Duration) Figure {
 	}
 
 	return Figure{
-		ID:     "city",
-		Title:  fmt.Sprintf("city-scale fleet, %s", city.Layout),
+		ID:     id,
+		Title:  fmt.Sprintf("%s-scale fleet, %s", id, city.Layout),
 		XLabel: "percentile across clients (machinery series: metric index)",
 		YLabel: "per-series units (KBps / ms / count)",
 		Series: []Series{

@@ -55,6 +55,9 @@ type apClient struct {
 	pending    []*wifi.Frame // awaiting the radio, one in flight at a time
 	txBusy     bool
 	draining   bool // PS-poll drain in progress: transmit despite PSM
+	// doneFn is the pump's MAC-completion callback, built once per
+	// client instead of once per frame.
+	doneFn func(bool)
 }
 
 // AP is one access point: radio, MAC state machines, and DHCP server.
@@ -65,10 +68,23 @@ type AP struct {
 	cfg    APConfig
 	radio  *radio.Radio
 	dhcpd  *dhcp.Server
+	pool   *wifi.Pool // the medium's frame pool (nil under NoPool)
 	seq    uint16
+
+	// beaconFn caches the beacon method value so each re-arm does not
+	// allocate a fresh closure (ten per second per AP adds up at metro
+	// scale).
+	beaconFn func()
+	// respFree recycles the delayed-response carriers; each holds a
+	// cached fire callback so scheduling a management response allocates
+	// nothing in steady state.
+	respFree []*pendingResp
 
 	clients map[wifi.Addr]*apClient
 	uplink  func(from wifi.Addr, db *wifi.DataBody)
+	// dhcpMsg is the uplink DHCP decode scratch; the server copies what
+	// it keeps before any latency timer fires.
+	dhcpMsg dhcp.Message
 
 	// down marks a crashed (rebooting) AP: radio dark, state wiped.
 	down bool
@@ -112,10 +128,12 @@ func NewAPAt(m *radio.Medium, cfg APConfig, addr wifi.Addr, pos geo.Point, serve
 	}
 	ap.radio = m.NewStaticRadio(addr, pos, radio.ReceiverFunc(ap.receive))
 	ap.radio.SetChannel(cfg.Channel)
+	ap.pool = m.Pool()
 	ap.dhcpd = dhcp.NewServer(ap.kernel, cfg.DHCP, serverID, ap.sendDHCP)
 	ap.dhcpd.SetInvariants(ap.inv)
+	ap.beaconFn = ap.beacon
 	if cfg.BeaconInterval > 0 {
-		ap.kernel.After(cfg.BeaconInterval, ap.beacon)
+		ap.kernel.After(cfg.BeaconInterval, ap.beaconFn)
 	}
 	return ap
 }
@@ -201,22 +219,58 @@ func (ap *AP) beacon() {
 	// The schedule keeps ticking through crashes and silences so the
 	// beat resumes cleanly; only the transmission is suppressed.
 	if !ap.down && !ap.muted {
-		ap.radio.Send(&wifi.Frame{
-			Type: wifi.TypeBeacon, SA: ap.Addr(), DA: wifi.Broadcast, BSSID: ap.Addr(), Seq: ap.nextSeq(),
-			Body: &wifi.BeaconBody{SSID: ap.cfg.SSID, Channel: uint8(ap.cfg.Channel),
-				BackhaulKbps: uint32(ap.cfg.BackhaulKbps)},
-		})
+		ap.radio.Send(ap.beaconFrame(wifi.Broadcast, wifi.TypeBeacon))
 	} else {
 		ap.BeaconsMissed++
 	}
-	ap.kernel.After(ap.cfg.BeaconInterval, ap.beacon)
+	ap.kernel.After(ap.cfg.BeaconInterval, ap.beaconFn)
+}
+
+// beaconFrame builds a pooled beacon or probe-response frame — the two
+// frame kinds that advertise the AP, and by far the medium's highest
+// volume traffic. The medium recycles both at transmit completion.
+func (ap *AP) beaconFrame(da wifi.Addr, t wifi.FrameType) *wifi.Frame {
+	b := ap.pool.Beacon()
+	b.SSID = ap.cfg.SSID
+	b.Channel = uint8(ap.cfg.Channel)
+	b.BackhaulKbps = uint32(ap.cfg.BackhaulKbps)
+	f := ap.pool.Frame()
+	f.Type = t
+	f.SA, f.DA, f.BSSID = ap.Addr(), da, ap.Addr()
+	f.Seq = ap.nextSeq()
+	f.Body = b
+	return f
+}
+
+// pendingResp carries one delayed management response to its timer
+// firing. Responses fire in random-delay order, not FIFO, so a free
+// list (LIFO reuse) is safe: each carrier is parked from schedule to
+// fire and owns nothing afterwards.
+type pendingResp struct {
+	ap     *AP
+	f      *wifi.Frame
+	fireFn func()
+}
+
+func (pr *pendingResp) fire() {
+	f := pr.f
+	pr.f = nil
+	pr.ap.respFree = append(pr.ap.respFree, pr)
+	pr.ap.radio.Send(f)
 }
 
 // respondAfterDelay transmits f after the AP's processing delay.
 func (ap *AP) respondAfterDelay(f *wifi.Frame) {
-	ap.kernel.After(ap.cfg.RespDelay.Sample(ap.kernel.RNG("mac.ap.resp")), func() {
-		ap.radio.Send(f)
-	})
+	var pr *pendingResp
+	if n := len(ap.respFree); n > 0 {
+		pr = ap.respFree[n-1]
+		ap.respFree = ap.respFree[:n-1]
+	} else {
+		pr = &pendingResp{ap: ap}
+		pr.fireFn = pr.fire
+	}
+	pr.f = f
+	ap.kernel.After(ap.cfg.RespDelay.Sample(ap.kernel.RNG("mac.ap.resp")), pr.fireFn)
 }
 
 func (ap *AP) receive(f *wifi.Frame) {
@@ -232,16 +286,13 @@ func (ap *AP) receive(f *wifi.Frame) {
 		if body.SSID != "" && body.SSID != ap.cfg.SSID {
 			return
 		}
-		ap.respondAfterDelay(&wifi.Frame{
-			Type: wifi.TypeProbeResp, SA: ap.Addr(), DA: f.SA, BSSID: ap.Addr(), Seq: ap.nextSeq(),
-			Body: &wifi.BeaconBody{SSID: ap.cfg.SSID, Channel: uint8(ap.cfg.Channel),
-				BackhaulKbps: uint32(ap.cfg.BackhaulKbps)},
-		})
+		ap.respondAfterDelay(ap.beaconFrame(f.SA, wifi.TypeProbeResp))
 	case wifi.TypeAuthReq:
-		ap.respondAfterDelay(&wifi.Frame{
-			Type: wifi.TypeAuthResp, SA: ap.Addr(), DA: f.SA, BSSID: ap.Addr(), Seq: ap.nextSeq(),
-			Body: &wifi.AuthBody{Status: 0},
-		})
+		resp := ap.pool.Frame()
+		resp.Type, resp.SA, resp.DA, resp.BSSID = wifi.TypeAuthResp, ap.Addr(), f.SA, ap.Addr()
+		resp.Seq = ap.nextSeq()
+		resp.Body = &wifi.AuthBody{Status: 0}
+		ap.respondAfterDelay(resp)
 	case wifi.TypeAssocReq:
 		body, ok := f.Body.(*wifi.AssocReqBody)
 		if !ok || body.SSID != ap.cfg.SSID {
@@ -257,10 +308,11 @@ func (ap *AP) receive(f *wifi.Frame) {
 			c.associated = true
 			c.aid = uint16(len(ap.clients))
 		}
-		ap.respondAfterDelay(&wifi.Frame{
-			Type: wifi.TypeAssocResp, SA: ap.Addr(), DA: f.SA, BSSID: ap.Addr(), Seq: ap.nextSeq(),
-			Body: &wifi.AssocRespBody{Status: 0, AID: c.aid},
-		})
+		resp := ap.pool.Frame()
+		resp.Type, resp.SA, resp.DA, resp.BSSID = wifi.TypeAssocResp, ap.Addr(), f.SA, ap.Addr()
+		resp.Seq = ap.nextSeq()
+		resp.Body = &wifi.AssocRespBody{Status: 0, AID: c.aid}
+		ap.respondAfterDelay(resp)
 	case wifi.TypeDeauth:
 		delete(ap.clients, f.SA)
 	case wifi.TypeNull:
@@ -293,8 +345,8 @@ func (ap *AP) receive(f *wifi.Frame) {
 		// DHCP must work before association state is fully settled and is
 		// never PSM-deferred (§2: the join process cannot be buffered).
 		if db.Proto == wifi.ProtoDHCP {
-			if m := dhcp.FromFrame(f); m != nil {
-				ap.dhcpd.HandleMessage(m)
+			if dhcp.DecodeMessageInto(&ap.dhcpMsg, db.Header) {
+				ap.dhcpd.HandleMessage(&ap.dhcpMsg)
 			}
 			return
 		}
@@ -318,7 +370,10 @@ func (ap *AP) receive(f *wifi.Frame) {
 func (ap *AP) flush(client wifi.Addr, c *apClient) {
 	ap.PSMFlushed += uint64(len(c.buffer))
 	c.pending = append(c.pending, c.buffer...)
-	c.buffer = nil
+	for i := range c.buffer {
+		c.buffer[i] = nil
+	}
+	c.buffer = c.buffer[:0]
 	c.draining = true
 	ap.pump(client, c)
 }
@@ -334,7 +389,10 @@ func (ap *AP) pump(client wifi.Addr, c *apClient) {
 	if c.psm && !c.draining {
 		// Park anything still pending.
 		c.buffer = append(c.buffer, c.pending...)
-		c.pending = nil
+		for i := range c.pending {
+			c.pending[i] = nil
+		}
+		c.pending = c.pending[:0]
 		ap.trimBuffer(c)
 		return
 	}
@@ -342,14 +400,21 @@ func (ap *AP) pump(client wifi.Addr, c *apClient) {
 		c.draining = false
 		return
 	}
+	// Shift-down pop keeps the slice anchored to its backing array, so
+	// the steady-state pending queue never reallocates.
 	f := c.pending[0]
-	c.pending = c.pending[1:]
+	copy(c.pending, c.pending[1:])
+	c.pending[len(c.pending)-1] = nil
+	c.pending = c.pending[:len(c.pending)-1]
 	c.txBusy = true
 	ap.DownDelivered++
-	ap.radio.SendNotify(f, func(bool) {
-		c.txBusy = false
-		ap.pump(client, c)
-	})
+	if c.doneFn == nil {
+		c.doneFn = func(bool) {
+			c.txBusy = false
+			ap.pump(client, c)
+		}
+	}
+	ap.radio.SendNotify(f, c.doneFn)
 }
 
 func (ap *AP) trimBuffer(c *apClient) {
@@ -364,7 +429,15 @@ func (ap *AP) trimBuffer(c *apClient) {
 // cannot be deferred by the client's power-save claim — the paper's
 // central observation.
 func (ap *AP) sendDHCP(to wifi.Addr, m *dhcp.Message) {
-	ap.radio.Send(m.Frame(ap.Addr(), to, ap.Addr()))
+	db := ap.pool.Data()
+	db.Proto = wifi.ProtoDHCP
+	db.Header = m.AppendEncode(db.Header[:0])
+	db.VirtualLen = dhcp.WireOverhead
+	f := ap.pool.Frame()
+	f.Type = wifi.TypeData
+	f.SA, f.DA, f.BSSID = ap.Addr(), to, ap.Addr()
+	f.Body = db
+	ap.radio.Send(f)
 }
 
 // Deliver hands a wired-side downlink payload to the MAC for over-the-air
@@ -377,8 +450,11 @@ func (ap *AP) Deliver(to wifi.Addr, db *wifi.DataBody) bool {
 	if !ok || !c.associated {
 		return false
 	}
-	f := &wifi.Frame{Type: wifi.TypeData, SA: ap.Addr(), DA: to, BSSID: ap.Addr(),
-		Seq: ap.nextSeq(), Body: db}
+	f := ap.pool.Frame()
+	f.Type = wifi.TypeData
+	f.SA, f.DA, f.BSSID = ap.Addr(), to, ap.Addr()
+	f.Seq = ap.nextSeq()
+	f.Body = db
 	if c.psm {
 		if len(c.buffer) >= ap.cfg.PSMBufferFrames {
 			ap.PSMDrops++

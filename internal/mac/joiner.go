@@ -104,6 +104,9 @@ type Joiner struct {
 	timer   sim.Event
 	seq     uint16
 	rng     *rand.Rand
+	// timeoutFn caches the retransmission callback so each send does not
+	// allocate a fresh method value.
+	timeoutFn func()
 
 	// inv counts impossible-state transitions (nil-safe; see SetInvariants).
 	inv *metrics.InvariantSet
@@ -122,12 +125,28 @@ func NewJoiner(k *sim.Kernel, cfg JoinConfig, self, bssid wifi.Addr, ssid string
 	if send == nil || onResult == nil {
 		panic("mac: joiner needs send and onResult")
 	}
-	return &Joiner{
+	j := &Joiner{
 		kernel: k, cfg: cfg.withDefaults(),
 		self: self, bssid: bssid, ssid: ssid,
 		send: send, onResult: onResult,
 		rng: k.RNG("mac.joiner." + self.String() + bssid.String()),
 	}
+	j.timeoutFn = j.onTimeout
+	return j
+}
+
+// ResetTarget re-points a recycled joiner at a new AP, restoring the
+// state a fresh NewJoiner would have. RNG streams are named per
+// (client, BSSID) and persistent in the kernel, so a reused joiner draws
+// exactly the values a newly constructed one would.
+func (j *Joiner) ResetTarget(bssid wifi.Addr, ssid string) {
+	j.cancelTimer()
+	j.stage = StageIdle
+	j.retries = 0
+	j.seq = 0
+	j.bssid, j.ssid = bssid, ssid
+	j.rng = j.kernel.RNG("mac.joiner." + j.self.String() + bssid.String())
+	j.Attempts, j.Successes, j.Failures = 0, 0, 0
 }
 
 // Config returns the effective configuration.
@@ -202,7 +221,7 @@ func (j *Joiner) sendCurrent() {
 	// Jitter the per-message timer (±20%) so retransmissions cannot
 	// phase-lock against a channel schedule whose period divides it.
 	jitter := time.Duration((j.rng.Float64()*0.4 - 0.2) * float64(j.cfg.LinkTimeout))
-	j.timer = j.kernel.After(j.cfg.LinkTimeout+jitter, j.onTimeout)
+	j.timer = j.kernel.After(j.cfg.LinkTimeout+jitter, j.timeoutFn)
 }
 
 func (j *Joiner) onTimeout() {

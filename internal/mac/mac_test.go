@@ -66,8 +66,11 @@ func quietAPConfig(ssid string, ch int) APConfig {
 	return cfg
 }
 
+// losslessMedium disables the frame pool: the test client retains every
+// delivered frame for later inspection, which pooled frames (recycled at
+// transmit completion) do not allow.
 func losslessMedium(k *sim.Kernel) *radio.Medium {
-	return radio.NewMedium(k, radio.Config{Range: 100, Loss: 0, EdgeStart: 1})
+	return radio.NewMedium(k, radio.Config{Range: 100, Loss: 0, EdgeStart: 1, NoPool: true})
 }
 
 func setup(t *testing.T) (*sim.Kernel, *radio.Medium, *AP, *testClient) {
@@ -133,7 +136,7 @@ func TestJoinerAssociates(t *testing.T) {
 
 func TestJoinerRetriesThroughLoss(t *testing.T) {
 	k := sim.NewKernel(12)
-	m := radio.NewMedium(k, radio.Config{Range: 100, Loss: 0.3, EdgeStart: 1})
+	m := radio.NewMedium(k, radio.Config{Range: 100, Loss: 0.3, EdgeStart: 1, NoPool: true})
 	ap := NewAPAt(m, quietAPConfig("net", 6), wifi.NewAddr(0, 1), geo.Point{}, 1)
 	succ := 0
 	for i := 0; i < 20; i++ {

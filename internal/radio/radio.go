@@ -58,6 +58,12 @@ type Config struct {
 	// linear path exists as the reference implementation and for
 	// before/after benchmarking.
 	LinearScan bool
+	// NoPool disables the medium's frame/body pool: every frame is a
+	// fresh allocation and nothing is recycled, exactly the pre-pooling
+	// allocator behavior. Results are byte-identical either way (the
+	// pooling equivalence tests enforce it); the unpooled path exists as
+	// the reference implementation and for before/after benchmarking.
+	NoPool bool
 }
 
 // Defaults returns the configuration used throughout the paper's
@@ -133,6 +139,11 @@ type Medium struct {
 	// it to capture broadcasts that land inside a neighboring shard's halo.
 	txObs func(f *wifi.Frame, ch int, at time.Duration, txPos geo.Point)
 
+	// pool recycles hot frame/body allocations through the transmit
+	// completion path (nil under Config.NoPool). Owned by the medium's
+	// kernel goroutine; see wifi.Pool for the ownership rules.
+	pool *wifi.Pool
+
 	// burst holds per-channel additive loss while a fault-injected
 	// interference episode is active (nil when no episode ever ran). The
 	// boost perturbs only the loss comparison, never the RNG draw — the
@@ -167,6 +178,9 @@ func (m *Medium) SetTxObserver(fn func(f *wifi.Frame, ch int, at time.Duration, 
 // airtime was already paid on the medium it originated on. The shard
 // runtime uses it to mirror halo-crossing broadcasts from a neighboring
 // shard at an epoch boundary.
+//
+// The caller keeps ownership of f: injected frames are never recycled
+// into this medium's pool (they were allocated elsewhere).
 func (m *Medium) InjectFrame(f *wifi.Frame, ch int, txPos geo.Point) {
 	m.stats.HaloInjected++
 	m.deliver(nil, txPos, f, ch, 0)
@@ -197,8 +211,17 @@ func NewMedium(k *sim.Kernel, cfg Config) *Medium {
 	if !m.cfg.LinearScan {
 		m.idx = newMediumIndex(m.cfg)
 	}
+	if !m.cfg.NoPool {
+		m.pool = &wifi.Pool{}
+	}
 	return m
 }
+
+// Pool returns the medium's frame pool — nil under Config.NoPool, which
+// every pool method accepts (a nil pool allocates fresh and never
+// recycles). Frame producers (APs, drivers, the TCP/DHCP payload
+// builders) draw from it; the medium recycles at transmit completion.
+func (m *Medium) Pool() *wifi.Pool { return m.pool }
 
 // Config returns the medium's effective configuration.
 func (m *Medium) Config() Config { return m.cfg }
@@ -257,13 +280,30 @@ type Radio struct {
 	channel     int
 	promiscuous bool
 	suspendedTo time.Duration // hardware reset in progress until this time
+	// Cached retune completion (see Retune): target channel, caller
+	// callback, and the single closure reading them.
+	retuneCh   int
+	retuneDone func()
+	retuneFn   func()
 	busyUntil   time.Duration // airtime deferral from carrier sense
 
 	// FIFO transmit queue: like a real MAC, the head frame blocks the
 	// line while ARQ retries it, so a station never reorders its own
 	// traffic (reordering would trigger spurious TCP fast retransmits).
+	// The head index makes pops free: advancing it keeps the backing
+	// array, where re-slicing (txQueue = txQueue[1:]) would strand the
+	// array's capacity and force append to reallocate on every frame.
 	txQueue []txJob
+	txHead  int
 	txBusy  bool
+
+	// In-flight transmission state, plus the completion closure cached
+	// once per radio: one frame is on the air at a time, so per-transmit
+	// state lives in fields instead of a fresh closure per frame.
+	txF      *wifi.Frame
+	txCh     int
+	txDur    time.Duration
+	txDoneFn func()
 
 	air Airtime
 }
@@ -300,7 +340,9 @@ func (m *Medium) NewRadio(addr wifi.Addr, pos func() geo.Point, rx Receiver) *Ra
 	if pos == nil || rx == nil {
 		panic("radio: position and receiver are required")
 	}
-	r := &Radio{m: m, addr: addr, pos: pos, rx: rx, regIdx: int32(len(m.radios))}
+	r := &Radio{m: m, addr: addr, pos: pos, rx: rx, regIdx: int32(len(m.radios)),
+		txQueue: make([]txJob, 0, 8)}
+	r.txDoneFn = r.txComplete
 	m.radios = append(m.radios, r)
 	if _, dup := m.byAddr[addr]; !dup {
 		m.byAddr[addr] = r
@@ -361,8 +403,10 @@ func (r *Radio) setChannel(ch int) {
 // Retune switches to ch after a hardware-reset delay during which the
 // radio neither sends nor receives. done (optional) runs when the radio
 // is usable on the new channel. This is the Table 1 "hardware reset"
-// component of Spider's switch cost.
-func (r *Radio) Retune(ch int, reset time.Duration, done func()) {
+// component of Spider's switch cost. The returned event lets the caller
+// cancel a retune it has decided to supersede — the radio stays deaf
+// (channel 0) until someone retunes it again.
+func (r *Radio) Retune(ch int, reset time.Duration, done func()) sim.Event {
 	if ch != 0 && !wifi.ValidChannel(ch) {
 		panic(fmt.Sprintf("radio: invalid channel %d", ch))
 	}
@@ -372,12 +416,21 @@ func (r *Radio) Retune(ch int, reset time.Duration, done func()) {
 	if now+reset > r.suspendedTo {
 		r.suspendedTo = now + reset
 	}
-	r.m.kernel.After(reset, func() {
-		r.setChannel(ch)
-		if done != nil {
-			done()
+	// One cached completion per radio: at most one retune is in flight
+	// (the only overlapping caller, the driver's switch supersede,
+	// cancels the pending event before retuning again), so the target
+	// channel and callback can live in fields instead of a per-call
+	// closure.
+	r.retuneCh, r.retuneDone = ch, done
+	if r.retuneFn == nil {
+		r.retuneFn = func() {
+			r.setChannel(r.retuneCh)
+			if r.retuneDone != nil {
+				r.retuneDone()
+			}
 		}
-	})
+	}
+	return r.m.kernel.After(reset, r.retuneFn)
 }
 
 // Suspended reports whether the radio is mid-reset at time t.
@@ -409,30 +462,50 @@ func (r *Radio) SendNotify(f *wifi.Frame, done func(delivered bool)) bool {
 		}
 		return false
 	}
+	if r.txHead == len(r.txQueue) && r.txHead > 0 {
+		r.txQueue = r.txQueue[:0]
+		r.txHead = 0
+	}
 	r.txQueue = append(r.txQueue, txJob{f: f, ch: ch, done: done})
 	r.kick()
 	return true
 }
 
-// kick starts transmitting the queue head if the MAC is idle.
-func (r *Radio) kick() {
-	if r.txBusy || len(r.txQueue) == 0 {
-		return
+// popHead drops the queue head, clearing its references so the slot
+// does not retain the frame, and resets the queue to the start of its
+// backing array whenever it drains.
+func (r *Radio) popHead() {
+	r.txQueue[r.txHead] = txJob{}
+	r.txHead++
+	if r.txHead == len(r.txQueue) {
+		r.txQueue = r.txQueue[:0]
+		r.txHead = 0
 	}
-	job := &r.txQueue[0]
-	if r.channel != job.ch {
+}
+
+// kick starts transmitting the queue head if the MAC is idle, first
+// flushing any frames queued for a channel the radio has left.
+func (r *Radio) kick() {
+	m := r.m
+	for {
+		if r.txBusy || r.txHead == len(r.txQueue) {
+			return
+		}
+		job := &r.txQueue[r.txHead]
+		if r.channel == job.ch {
+			break
+		}
 		// Channel changed under the queued frame: flush it.
-		done := job.done
-		r.txQueue = r.txQueue[1:]
-		r.m.stats.FlushedOnRetune++
+		f, done := job.f, job.done
+		r.popHead()
+		m.stats.FlushedOnRetune++
 		if done != nil {
 			done(false)
 		}
-		r.kick()
-		return
+		m.pool.Recycle(f)
 	}
+	job := &r.txQueue[r.txHead]
 	r.txBusy = true
-	m := r.m
 	now := m.kernel.Now()
 	start := now
 	if r.busyUntil > start {
@@ -470,29 +543,41 @@ func (r *Radio) kick() {
 	if m.cfg.HiddenCollisions {
 		m.recordActive(activeTx{from: r, ch: job.ch, start: start, end: start + dur, pos: txPos})
 	}
-	ch := job.ch
-	m.kernel.At(start+dur, func() {
-		r.txBusy = false
-		endPos := r.pos()
-		if m.tap != nil {
-			m.tap(f, ch, m.kernel.Now())
+	r.txF, r.txCh, r.txDur = f, job.ch, dur
+	m.kernel.At(start+dur, r.txDoneFn)
+}
+
+// txComplete is the end-of-transmission event for the in-flight frame —
+// one closure per radio, cached at construction, with the per-transmit
+// state in Radio fields. This is the single point every transmitted
+// frame passes through, and therefore the pool's recycle point: once
+// the taps have observed the frame and deliver has returned (receivers
+// copy what they keep), the frame is dead.
+func (r *Radio) txComplete() {
+	m := r.m
+	f, ch, dur := r.txF, r.txCh, r.txDur
+	r.txF = nil
+	r.txBusy = false
+	endPos := r.pos()
+	if m.tap != nil {
+		m.tap(f, ch, m.kernel.Now())
+	}
+	if m.txObs != nil {
+		m.txObs(f, ch, m.kernel.Now(), endPos)
+	}
+	delivered := m.deliver(r, endPos, f, ch, dur)
+	if !delivered && r.canRetry(f, r.txQueue[r.txHead].attempt) && r.channel == ch {
+		m.stats.Retries++
+		r.txQueue[r.txHead].attempt++
+	} else {
+		done := r.txQueue[r.txHead].done
+		r.popHead()
+		if done != nil {
+			done(delivered)
 		}
-		if m.txObs != nil {
-			m.txObs(f, ch, m.kernel.Now(), endPos)
-		}
-		delivered := m.deliver(r, endPos, f, ch, dur)
-		if !delivered && r.canRetry(f, r.txQueue[0].attempt) && r.channel == ch {
-			m.stats.Retries++
-			r.txQueue[0].attempt++
-		} else {
-			done := r.txQueue[0].done
-			r.txQueue = r.txQueue[1:]
-			if done != nil {
-				done(delivered)
-			}
-		}
-		r.kick()
-	})
+		m.pool.Recycle(f)
+	}
+	r.kick()
 }
 
 func (r *Radio) canRetry(f *wifi.Frame, attempt int) bool {

@@ -132,13 +132,15 @@ func (c *Client) newSender(cn *conn, size int64, onDone func()) *tcpsim.Sender {
 	flowID := c.nextFlow
 	cn.receiver = tcpsim.NewReceiver(flowID)
 	cn.delivered = 0
-	clientMAC := c.Driver.Addr()
 	node := cn.node
-	return tcpsim.NewSender(c.World.Kernel, tcpsim.Config{}, flowID, size, func(seg *tcpsim.Segment) {
-		node.Link.Down(seg.WireSize(), func() {
-			node.AP.Deliver(clientMAC, segBody(seg))
-		})
+	s := tcpsim.NewSender(c.World.Kernel, tcpsim.Config{}, flowID, size, func(seg *tcpsim.Segment) {
+		// The segment stays alive across the backhaul delay; linkSeg.down
+		// encodes it on arrival and recycles it into c.segPool.
+		ds := c.getLinkSeg(&c.downFree, node, seg)
+		node.Link.Down(seg.WireSize(), ds.downFn)
 	}, onDone)
+	s.SetSegPool(&c.segPool)
+	return s
 }
 
 // SetWorkload selects the client's traffic pattern. Call before the

@@ -130,23 +130,75 @@ func (w *World) AddAP(spec APSpec) *APNode {
 	w.APs = append(w.APs, node)
 	w.byBSS[ap.Addr()] = node
 	// Uplink router: TCP ACKs from any client traverse the backhaul to
-	// that client's flow server.
+	// that client's flow server. The segment is copied out of the (maybe
+	// pooled) frame body into the client's segment pool before the
+	// backhaul delay, and recycled once the sender has consumed it.
 	ap.SetUplinkHandler(func(from wifi.Addr, db *wifi.DataBody) {
+		if db.Proto != wifi.ProtoTCP {
+			return
+		}
 		client, ok := w.byMAC[from]
 		if !ok {
 			return
 		}
-		seg := tcpsim.FromFrame(&wifi.Frame{Type: wifi.TypeData, Body: db})
-		if seg == nil {
+		seg := client.segPool.Get()
+		if !tcpsim.DecodeSegmentInto(seg, db.Header) {
+			client.segPool.Put(seg)
 			return
 		}
-		node.Link.Up(seg.WireSize(), func() {
-			if live, ok := client.conns[node.AP.Addr()]; ok && live.sender != nil {
-				live.sender.HandleAck(seg)
-			}
-		})
+		up := client.getLinkSeg(&client.upFree, node, seg)
+		node.Link.Up(seg.WireSize(), up.upFn)
 	})
 	return node
+}
+
+// linkSeg carries one segment across a backhaul link delay. It exists
+// so the per-segment callbacks handed to Link.Up/Link.Down are cached
+// method values on a recycled object instead of fresh closures — the
+// TCP data path schedules one per segment, every segment.
+type linkSeg struct {
+	c    *Client
+	node *APNode
+	seg  *tcpsim.Segment
+	upFn, downFn func()
+}
+
+// getLinkSeg pops a carrier from the given free list (or builds one,
+// caching its method-value callbacks) and arms it.
+func (c *Client) getLinkSeg(free *[]*linkSeg, node *APNode, seg *tcpsim.Segment) *linkSeg {
+	var ls *linkSeg
+	if n := len(*free); n > 0 {
+		ls = (*free)[n-1]
+		*free = (*free)[:n-1]
+	} else {
+		ls = &linkSeg{c: c}
+		ls.upFn = ls.up
+		ls.downFn = ls.down
+	}
+	ls.node, ls.seg = node, seg
+	return ls
+}
+
+// up completes an uplink ACK's backhaul traversal: hand it to the live
+// sender (if the association still exists) and recycle everything.
+func (ls *linkSeg) up() {
+	c, node, seg := ls.c, ls.node, ls.seg
+	ls.node, ls.seg = nil, nil
+	c.upFree = append(c.upFree, ls)
+	if live, ok := c.conns[node.AP.Addr()]; ok && live.sender != nil {
+		live.sender.HandleAck(seg)
+	}
+	c.segPool.Put(seg)
+}
+
+// down completes a data segment's backhaul traversal: deliver it
+// through the AP toward the client and recycle the segment.
+func (ls *linkSeg) down() {
+	c, node, seg := ls.c, ls.node, ls.seg
+	ls.node, ls.seg = nil, nil
+	c.downFree = append(c.downFree, ls)
+	node.AP.Deliver(c.addr, c.bodyFor(seg))
+	c.segPool.Put(seg)
 }
 
 // Run advances the world to the given virtual time.
@@ -203,6 +255,12 @@ type Client struct {
 	// tcpClosed accumulates sender counters from flows already replaced
 	// or torn down, so TCPStats covers the client's whole history.
 	tcpClosed TCPStats
+	// segPool recycles the client's TCP segments (data and uplink ACKs);
+	// upFree/downFree recycle the backhaul carriers, dlSeg is the
+	// downlink decode scratch. All single-threaded with the world.
+	segPool tcpsim.SegPool
+	upFree, downFree []*linkSeg
+	dlSeg   tcpsim.Segment
 	// statsClosed / invClosed carry the counters of drivers this client
 	// has already retired (one per shard migration), so Stats and
 	// InvariantsTotal cover the whole life regardless of which world the
@@ -329,12 +387,18 @@ func (w *World) AdoptClient(c *Client, cfg core.Config, mob geo.Mobility, recs [
 	}
 }
 
-func segBody(seg *tcpsim.Segment) *wifi.DataBody {
-	virt := 0
+// bodyFor wraps a segment in a data body drawn from the world medium's
+// frame pool (fresh under NoPool), encoding into the body's recycled
+// header buffer. The body is owned by whatever frame carries it and is
+// recycled with that frame at transmit completion.
+func (c *Client) bodyFor(seg *tcpsim.Segment) *wifi.DataBody {
+	db := c.World.Medium.Pool().Data()
+	db.Proto = wifi.ProtoTCP
+	db.Header = seg.AppendEncode(db.Header[:0])
 	if !seg.IsAck {
-		virt = seg.Len + 20
+		db.VirtualLen = uint16(seg.Len + 20)
 	}
-	return &wifi.DataBody{Proto: wifi.ProtoTCP, Header: seg.Encode(), VirtualLen: uint16(virt)}
+	return db
 }
 
 // openFlow installs the client's workload on a newly connected AP
@@ -380,11 +444,10 @@ func (c *Client) downlink(bssid wifi.Addr, db *wifi.DataBody) {
 	if !ok || cn.receiver == nil {
 		return
 	}
-	seg := tcpsim.FromFrame(&wifi.Frame{Type: wifi.TypeData, Body: db})
-	if seg == nil {
+	if db.Proto != wifi.ProtoTCP || !tcpsim.DecodeSegmentInto(&c.dlSeg, db.Header) {
 		return
 	}
-	ack := cn.receiver.HandleData(seg)
+	ack := cn.receiver.HandleData(&c.dlSeg)
 	if ack == nil {
 		return
 	}
@@ -392,7 +455,7 @@ func (c *Client) downlink(bssid wifi.Addr, db *wifi.DataBody) {
 		c.Rec.Add(c.World.Kernel.Now(), int(d))
 		cn.delivered = cn.receiver.Delivered
 	}
-	c.Driver.Uplink(bssid, segBody(ack))
+	c.Driver.Uplink(bssid, c.bodyFor(ack))
 }
 
 // ActiveFlows reports how many downloads are currently open.

@@ -23,13 +23,44 @@ type haloFrame struct {
 	pos   geo.Point
 }
 
-// Tile is one stripe of the city: a complete self-contained simulation
-// owning the APs placed inside its bounds and the clients currently
-// resident there.
+// neighbor is one adjacent tile (up to 8 in the 2-D grid) with its rect,
+// precomputed so the capture hook is a handful of float compares.
+type neighbor struct {
+	dst            int
+	x0, x1, y0, y1 float64
+}
+
+// dist is the L∞ distance from p to the neighbor's rect (0 inside).
+// Chebyshev rather than Euclidean makes corner capture conservative: a
+// transmission diagonally within halo of a corner-adjacent tile is
+// mirrored even when its Euclidean reach falls short. Extra mirrors are
+// harmless — the receiving medium re-applies its own range check.
+func (n neighbor) dist(p geo.Point) float64 {
+	var dx, dy float64
+	if p.X < n.x0 {
+		dx = n.x0 - p.X
+	} else if p.X > n.x1 {
+		dx = p.X - n.x1
+	}
+	if p.Y < n.y0 {
+		dy = n.y0 - p.Y
+	} else if p.Y > n.y1 {
+		dy = p.Y - n.y1
+	}
+	if dy > dx {
+		return dy
+	}
+	return dx
+}
+
+// Tile is one rectangle of the city: a complete self-contained
+// simulation owning the APs placed inside its bounds and the clients
+// currently resident there.
 type Tile struct {
-	Index  int
-	World  *scenario.World
-	Lo, Hi float64
+	Index int
+	World *scenario.World
+	// The owned rect [X0,X1) × [Y0,Y1).
+	X0, X1, Y0, Y1 float64
 
 	// outbox collects boundary transmissions during an epoch (appended
 	// only by this tile's own single-threaded simulation); inbox holds
@@ -37,10 +68,56 @@ type Tile struct {
 	// its next epoch starts.
 	outbox []haloFrame
 	inbox  []haloFrame
+
+	// neighbors are the adjacent tiles this tile can mirror into.
+	neighbors []neighbor
+
+	// bodyFree recycles mirror BeaconBodies tile-locally: mirrorFrame
+	// pops from the capturing tile's list during its epoch; the inject
+	// loop pushes spent bodies onto the receiving tile's list at its next
+	// epoch start. Each list is touched only by its own tile's
+	// goroutine, and InjectFrame delivers synchronously (receivers copy,
+	// nothing is pooled into the target medium), so a body is dead the
+	// moment injection returns. bodySlab arena-feeds the misses during
+	// the first epochs before the recycle flow reaches steady state.
+	bodyFree []*wifi.BeaconBody
+	bodySlab []wifi.BeaconBody
 }
 
-// City is a sharded city-scale run: the planned world split into tiles
-// advancing in lockstep epochs.
+// getBody pops a recycled mirror body, carving from the slab while the
+// free list warms up.
+func (t *Tile) getBody() *wifi.BeaconBody {
+	if n := len(t.bodyFree); n > 0 {
+		b := t.bodyFree[n-1]
+		t.bodyFree = t.bodyFree[:n-1]
+		return b
+	}
+	if len(t.bodySlab) == 0 {
+		t.bodySlab = make([]wifi.BeaconBody, 128)
+	}
+	b := &t.bodySlab[0]
+	t.bodySlab = t.bodySlab[1:]
+	return b
+}
+
+// mirrorFrame copies a boundary beacon for the outbox into a body the
+// mirror owns outright. The source medium recycles pooled frames (and
+// their bodies) at transmit completion, long before the mirror is
+// injected next epoch — aliasing the pool's body would hand the
+// neighbor a body mid-reuse.
+func (t *Tile) mirrorFrame(f *wifi.Frame) wifi.Frame {
+	g := *f
+	g.Halo = true
+	if b, ok := f.Body.(*wifi.BeaconBody); ok {
+		bb := t.getBody()
+		*bb = *b
+		g.Body = bb
+	}
+	return g
+}
+
+// City is a sharded city-scale run: the planned world split into a 2-D
+// grid of tiles advancing in lockstep epochs.
 //
 // Build order mirrors the single-world convention: NewCity, then
 // EnableObs (optional), then ApplyChaos (optional), then Run.
@@ -62,10 +139,18 @@ type City struct {
 	// (index-aligned with Tiles).
 	Injectors []*fault.Injector
 
-	cfg  core.Config
-	mobs map[wifi.Addr]geo.Mobility
-	now  time.Duration
-	obs  []*obs.Obs
+	cfg core.Config
+	now time.Duration
+	obs []*obs.Obs
+
+	// Per-client hot state in struct-of-arrays layout, indexed by plan
+	// order (which is also MAC order: client MACs embed the plan ID).
+	// The barrier migration scan walks these slices linearly — no map
+	// iteration anywhere on the per-epoch path, so iteration order is a
+	// property of the plan, never of Go's map randomization.
+	mobs         []geo.Mobility
+	clients      []*scenario.Client
+	residentTile []int32
 }
 
 // NewCity plans the city and builds its tiles. Every AP and client is
@@ -74,31 +159,56 @@ type City struct {
 // same spec yields the same city under any layout.
 func NewCity(spec scenario.CityGridSpec, cfg core.Config, workers int) *City {
 	plan := spec.Plan()
-	lay := DeriveLayout(spec)
+	lay := DeriveLayoutPlan(spec, plan)
 	c := &City{
 		Spec: spec, Plan: plan, Layout: lay, Workers: workers,
-		cfg:  cfg,
-		mobs: make(map[wifi.Addr]geo.Mobility, len(plan.Clients)),
+		cfg:          cfg,
+		mobs:         make([]geo.Mobility, len(plan.Clients)),
+		clients:      make([]*scenario.Client, len(plan.Clients)),
+		residentTile: make([]int32, len(plan.Clients)),
 	}
 	rcfg := spec.Radio
 	if rcfg.Range == 0 {
 		rcfg = radio.Defaults()
 	}
-	for i := 0; i < lay.NTiles; i++ {
-		c.Tiles = append(c.Tiles, &Tile{
-			Index: i,
-			World: scenario.NewWorld(sweep.TaskSeed(spec.Seed, "shard.tile", i), rcfg),
-			Lo:    float64(i) * lay.TileW,
-			Hi:    float64(i+1) * lay.TileW,
-		})
+	for iy := 0; iy < lay.Ny; iy++ {
+		for ix := 0; ix < lay.Nx; ix++ {
+			i := iy*lay.Nx + ix
+			c.Tiles = append(c.Tiles, &Tile{
+				Index: i,
+				World: scenario.NewWorld(sweep.TaskSeed(spec.Seed, "shard.tile", i), rcfg),
+				X0:    lay.XBounds[ix], X1: lay.XBounds[ix+1],
+				Y0: lay.YBounds[iy], Y1: lay.YBounds[iy+1],
+			})
+		}
+	}
+	for iy := 0; iy < lay.Ny; iy++ {
+		for ix := 0; ix < lay.Nx; ix++ {
+			t := c.Tiles[iy*lay.Nx+ix]
+			for dy := -1; dy <= 1; dy++ {
+				for dx := -1; dx <= 1; dx++ {
+					jx, jy := ix+dx, iy+dy
+					if (dx == 0 && dy == 0) || jx < 0 || jx >= lay.Nx || jy < 0 || jy >= lay.Ny {
+						continue
+					}
+					j := jy*lay.Nx + jx
+					t.neighbors = append(t.neighbors, neighbor{
+						dst: j,
+						x0:  lay.XBounds[jx], x1: lay.XBounds[jx+1],
+						y0: lay.YBounds[jy], y1: lay.YBounds[jy+1],
+					})
+				}
+			}
+		}
 	}
 	for _, ap := range plan.APs {
-		c.Tiles[lay.TileOf(ap.Pos.X)].World.AddAP(ap.Spec())
+		c.Tiles[lay.TileOf(ap.Pos)].World.AddAP(ap.Spec())
 	}
-	for _, cp := range plan.Clients {
-		c.mobs[cp.Addr()] = cp.Mob
-		tile := c.Tiles[lay.TileOf(cp.Mob.PositionAt(0).X)]
-		tile.World.AddClientAddr(cp.Addr(), cfg, cp.Mob)
+	for i, cp := range plan.Clients {
+		tile := lay.TileOf(cp.Mob.PositionAt(0))
+		c.mobs[i] = cp.Mob
+		c.residentTile[i] = int32(tile)
+		c.clients[i] = c.Tiles[tile].World.AddClientAddr(cp.Addr(), cfg, cp.Mob)
 	}
 	if lay.NTiles > 1 {
 		for _, t := range c.Tiles {
@@ -114,22 +224,17 @@ func NewCity(spec scenario.CityGridSpec, cfg core.Config, workers int) *City {
 // captureHalo mirrors boundary beacons into the outbox. Only broadcast
 // beacons cross: they are what populates scan tables, they carry no
 // per-client state, and their sources (APs) are static inside their
-// stripe — so a captured frame only ever concerns the adjacent tile.
+// tile — so a captured frame only ever concerns adjacent tiles.
 // Halo-injected frames are never re-captured (injection bypasses the
 // transmit path), so mirrors cannot cascade across the city.
 func (c *City) captureHalo(t *Tile, f *wifi.Frame, ch int, pos geo.Point) {
 	if f.Type != wifi.TypeBeacon || !f.DA.IsBroadcast() || f.Halo {
 		return
 	}
-	if t.Index > 0 && pos.X < t.Lo+c.Layout.Halo {
-		g := *f
-		g.Halo = true
-		t.outbox = append(t.outbox, haloFrame{dst: t.Index - 1, frame: g, ch: ch, pos: pos})
-	}
-	if t.Index < c.Layout.NTiles-1 && pos.X >= t.Hi-c.Layout.Halo {
-		g := *f
-		g.Halo = true
-		t.outbox = append(t.outbox, haloFrame{dst: t.Index + 1, frame: g, ch: ch, pos: pos})
+	for _, nb := range t.neighbors {
+		if nb.dist(pos) <= c.Layout.Halo {
+			t.outbox = append(t.outbox, haloFrame{dst: nb.dst, frame: t.mirrorFrame(f), ch: ch, pos: pos})
+		}
 	}
 }
 
@@ -150,9 +255,16 @@ func (c *City) Run(until time.Duration) error {
 			t := c.Tiles[i]
 			// Inject the frames routed here at the last barrier: ghost
 			// beacons land at epoch start, at most one epoch stale.
+			// Delivery is synchronous and receivers copy, so the mirror
+			// body is spent the moment InjectFrame returns — recycle it
+			// into this tile's free list.
 			for j := range t.inbox {
 				h := &t.inbox[j]
 				t.World.Medium.InjectFrame(&h.frame, h.ch, h.pos)
+				if bb, ok := h.frame.Body.(*wifi.BeaconBody); ok {
+					t.bodyFree = append(t.bodyFree, bb)
+					h.frame.Body = nil
+				}
 			}
 			t.inbox = t.inbox[:0]
 			t.World.Run(t1)
@@ -168,10 +280,11 @@ func (c *City) Run(until time.Duration) error {
 }
 
 // exchange is the barrier phase: route halo outboxes and migrate
-// clients whose position crossed a stripe boundary. Strictly
-// single-threaded, iterating tiles (and each tile's residents) in index
-// order — the orderings are properties of the simulation state, never
-// of scheduling.
+// clients whose position crossed a tile boundary. Strictly
+// single-threaded; outboxes route in tile order and the migration scan
+// walks the plan-ordered client arrays — a linear pass over three
+// parallel slices, cache-friendly at metro scale and ordered by planned
+// identity, never by scheduling or map iteration.
 func (c *City) exchange(t1 time.Duration) {
 	for _, t := range c.Tiles {
 		for _, h := range t.outbox {
@@ -179,23 +292,14 @@ func (c *City) exchange(t1 time.Duration) {
 		}
 		t.outbox = t.outbox[:0]
 	}
-
-	type move struct {
-		cl       *scenario.Client
-		from, to int
-	}
-	var moves []move
-	for _, t := range c.Tiles {
-		for _, cl := range t.World.Clients {
-			dst := c.Layout.TileOf(c.mobs[cl.Addr()].PositionAt(t1).X)
-			if dst != t.Index {
-				moves = append(moves, move{cl, t.Index, dst})
-			}
+	for i := range c.clients {
+		dst := int32(c.Layout.TileOf(c.mobs[i].PositionAt(t1)))
+		if dst == c.residentTile[i] {
+			continue
 		}
-	}
-	for _, mv := range moves {
-		recs := c.Tiles[mv.from].World.RemoveClient(mv.cl)
-		c.Tiles[mv.to].World.AdoptClient(mv.cl, c.cfg, c.mobs[mv.cl.Addr()], recs)
+		recs := c.Tiles[c.residentTile[i]].World.RemoveClient(c.clients[i])
+		c.Tiles[dst].World.AdoptClient(c.clients[i], c.cfg, c.mobs[i], recs)
+		c.residentTile[i] = dst
 		c.Migrations++
 	}
 }
@@ -302,10 +406,8 @@ func (c *City) TotalInjected() uint64 {
 // order derived from planned identity, independent of which tile each
 // client currently resides in.
 func (c *City) Clients() []*scenario.Client {
-	var out []*scenario.Client
-	for _, t := range c.Tiles {
-		out = append(out, t.World.Clients...)
-	}
+	out := make([]*scenario.Client, len(c.clients))
+	copy(out, c.clients)
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i].Addr(), out[j].Addr()
 		for k := range a {

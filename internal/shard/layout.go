@@ -3,26 +3,29 @@
 // on: an N-worker run is byte-identical to a 1-worker run for every N
 // and every GOMAXPROCS.
 //
-// The world is partitioned into vertical stripes ("tiles"), each owning
-// its own sim kernel, radio medium, APs and resident clients — a full
-// independent simulation. Tiles advance in fixed lockstep epochs under
-// a conservative barrier; everything that crosses a stripe boundary
+// The world is partitioned into a 2-D grid of rectangular tiles, each
+// owning its own sim kernel, radio medium, APs and resident clients — a
+// full independent simulation. Tiles advance in fixed lockstep epochs
+// under a conservative barrier; everything that crosses a tile boundary
 // (beacon halos, client migration) is exchanged single-threaded at the
 // barrier in tile-index order.
 //
 // The load-bearing design decision: the tile layout is a pure function
-// of the scenario geometry and the radio lookahead — NEVER of the
-// worker count. A "-shards 8" run advances the same tiles as a
-// "-shards 1" run, just more of them concurrently, so each tile's
-// event stream (and therefore every metric, trace and CSV the run
-// exports) cannot depend on scheduling. Determinism is structural, not
-// tested-into-existence — though the tests enforce it anyway.
+// of the scenario geometry, the plan's AP density and the radio
+// lookahead — NEVER of the worker count. A "-shards 8" run advances the
+// same tiles as a "-shards 1" run, just more of them concurrently, so
+// each tile's event stream (and therefore every metric, trace and CSV
+// the run exports) cannot depend on scheduling. Determinism is
+// structural, not tested-into-existence — though the tests enforce it
+// anyway.
 package shard
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
+	"spider/internal/geo"
 	"spider/internal/radio"
 	"spider/internal/scenario"
 )
@@ -41,30 +44,48 @@ const (
 // 1.3× SpeedMS.
 const speedSpread = 1.3
 
-// Layout is the derived spatial decomposition of a city.
+// Layout is the derived spatial decomposition of a city: an Nx×Ny grid
+// of rectangular tiles whose boundaries are load-aware — placed at
+// AP-count quantiles of the plan so dense downtown columns get narrow
+// tiles and sparse outskirts get wide ones — then clamped so every span
+// is at least twice the halo (a mirror only ever reaches the adjacent
+// tile).
 type Layout struct {
-	// WorldW is the stripe axis extent in meters (the city's width).
-	WorldW float64
+	// WorldW, WorldH are the city extents in meters.
+	WorldW, WorldH float64
 	// Halo is the mirror depth in meters: transmissions within Halo of a
-	// stripe edge are ghosted into the adjacent tile at the next epoch
+	// tile edge are ghosted into the adjacent tile(s) at the next epoch
 	// boundary. Halo ≥ radio range + the farthest a client can stray
-	// past its stripe within one epoch, so an edge client never misses a
+	// past its tile within one epoch, so an edge client never misses a
 	// beacon it could physically hear.
 	Halo float64
 	// Epoch is the lockstep advance quantum.
 	Epoch time.Duration
-	// NTiles is the stripe count; TileW = WorldW / NTiles ≥ 2×Halo so a
-	// halo only ever reaches the immediately adjacent tile.
+	// Nx, Ny are the grid dimensions; NTiles = Nx*Ny. Tiles are indexed
+	// row-major: index = iy*Nx + ix.
+	Nx, Ny int
 	NTiles int
-	TileW  float64
+	// XBounds (len Nx+1) and YBounds (len Ny+1) are the column/row
+	// boundaries, XBounds[0]=0 and XBounds[Nx]=WorldW. Tile (ix,iy) owns
+	// the half-open rect [XBounds[ix],XBounds[ix+1]) × [YBounds[iy],
+	// YBounds[iy+1]).
+	XBounds, YBounds []float64
 }
 
-// DeriveLayout computes the tile decomposition for a city spec. The
-// result depends only on the scenario geometry, the radio config and
-// the mobility envelope — not on worker count, GOMAXPROCS, or any
-// runtime state — which is what makes sharded runs reproducible across
-// machines.
+// DeriveLayout computes the tile decomposition for a city spec,
+// planning the city itself to read the AP density. Use DeriveLayoutPlan
+// when the plan is already in hand (NewCity is — planning a metro twice
+// would be wasteful).
 func DeriveLayout(spec scenario.CityGridSpec) Layout {
+	return DeriveLayoutPlan(spec, spec.Plan())
+}
+
+// DeriveLayoutPlan computes the tile decomposition for a planned city.
+// The result depends only on the scenario geometry, the plan's AP
+// positions and the radio config — not on worker count, GOMAXPROCS, or
+// any runtime state — which is what makes sharded runs reproducible
+// across machines.
+func DeriveLayoutPlan(spec scenario.CityGridSpec, plan scenario.CityPlan) Layout {
 	rc := spec.Radio
 	if rc.Range == 0 {
 		rc = radio.Defaults()
@@ -86,7 +107,7 @@ func DeriveLayout(spec scenario.CityGridSpec) Layout {
 	if vmax <= 0 {
 		epoch = maxEpoch
 	} else {
-		// Largest epoch such that a client straying past its stripe still
+		// Largest epoch such that a client straying past its tile still
 		// sits within (halo − range) of it — i.e. still hears every
 		// mirrored beacon — clamped to the practical window.
 		epoch = time.Duration((h - rng) / vmax * float64(time.Second))
@@ -102,28 +123,78 @@ func DeriveLayout(spec scenario.CityGridSpec) Layout {
 			}
 		}
 	}
-	n := int(spec.AreaW / (2 * h))
-	if n < 1 {
-		n = 1
+	nx := int(spec.AreaW / (2 * h))
+	if nx < 1 {
+		nx = 1
 	}
-	return Layout{WorldW: spec.AreaW, Halo: h, Epoch: epoch, NTiles: n, TileW: spec.AreaW / float64(n)}
+	ny := int(spec.AreaH / (2 * h))
+	if ny < 1 {
+		ny = 1
+	}
+	xs := make([]float64, 0, len(plan.APs))
+	ys := make([]float64, 0, len(plan.APs))
+	for _, ap := range plan.APs {
+		xs = append(xs, ap.Pos.X)
+		ys = append(ys, ap.Pos.Y)
+	}
+	sort.Float64s(xs)
+	sort.Float64s(ys)
+	return Layout{
+		WorldW: spec.AreaW, WorldH: spec.AreaH,
+		Halo: h, Epoch: epoch,
+		Nx: nx, Ny: ny, NTiles: nx * ny,
+		XBounds: loadBounds(xs, nx, spec.AreaW, 2*h),
+		YBounds: loadBounds(ys, ny, spec.AreaH, 2*h),
+	}
 }
 
-// TileOf maps an x coordinate to its owning tile, clamping positions
-// that strayed outside the world (mobility keeps clients inside, but
-// the clamp makes the mapping total).
-func (l Layout) TileOf(x float64) int {
-	i := int(x / l.TileW)
-	if i < 0 {
-		i = 0
+// loadBounds splits [0, w] into n spans holding equal AP counts (the
+// load-aware part: boundaries sit at AP-coordinate quantiles), then
+// clamps every span to at least minSpan so a halo only ever reaches the
+// immediately adjacent tile. Feasible because n ≤ w/minSpan by
+// construction. With no APs the split degenerates to equal widths.
+func loadBounds(sorted []float64, n int, w, minSpan float64) []float64 {
+	b := make([]float64, n+1)
+	b[0], b[n] = 0, w
+	for i := 1; i < n; i++ {
+		if len(sorted) > 0 {
+			b[i] = sorted[(i*len(sorted))/n]
+		} else {
+			b[i] = w * float64(i) / float64(n)
+		}
 	}
-	if i >= l.NTiles {
-		i = l.NTiles - 1
+	// Forward then backward clamp: after the two passes the bounds are
+	// strictly increasing with every span ≥ minSpan, ends pinned at the
+	// world edges.
+	for i := 1; i < n; i++ {
+		if b[i] < b[i-1]+minSpan {
+			b[i] = b[i-1] + minSpan
+		}
 	}
-	return i
+	for i := n - 1; i >= 1; i-- {
+		if b[i] > b[i+1]-minSpan {
+			b[i] = b[i+1] - minSpan
+		}
+	}
+	return b
+}
+
+// TileOf maps a position to its owning tile (row-major index), clamping
+// positions that strayed outside the world (mobility keeps clients
+// inside, but the clamp makes the mapping total). Boundaries belong to
+// the upper tile: the rects are half-open.
+func (l Layout) TileOf(p geo.Point) int {
+	return l.tileIdx(l.YBounds, l.Ny, p.Y)*l.Nx + l.tileIdx(l.XBounds, l.Nx, p.X)
+}
+
+// tileIdx returns the index of the span owning x: the number of
+// interior boundaries ≤ x, clamped to [0, n-1].
+func (l Layout) tileIdx(bounds []float64, n int, x float64) int {
+	in := bounds[1:n] // interior boundaries only
+	return sort.Search(len(in), func(j int) bool { return in[j] > x })
 }
 
 func (l Layout) String() string {
-	return fmt.Sprintf("%d tile(s) × %.0f m, halo %.0f m, epoch %v",
-		l.NTiles, l.TileW, l.Halo, l.Epoch)
+	return fmt.Sprintf("%d tile(s) (%d×%d grid), halo %.0f m, epoch %v",
+		l.NTiles, l.Nx, l.Ny, l.Halo, l.Epoch)
 }

@@ -1,0 +1,52 @@
+package shard
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"spider/internal/fault"
+)
+
+// runCityPool is runCity with the frame pool switchable: NoPool retains
+// the pre-pooling allocator (every frame fresh, nothing recycled).
+func runCityPool(t *testing.T, seed int64, noPool, chaos bool, until time.Duration) *City {
+	t.Helper()
+	spec := testSpec(seed)
+	spec.Radio.NoPool = noPool
+	c := NewCity(spec, testCfg(), 1)
+	c.EnableObs(0)
+	if chaos {
+		c.ApplyChaos(fault.Aggressive())
+	}
+	if err := c.Run(until); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// TestPoolingByteIdentity is the pooling escape hatch's contract: frame
+// and body recycling is an allocator change, not a behavior change, so
+// pooled and unpooled runs must export identical universes — across
+// seeds, clean and under the aggressive fault profile. Any lifetime bug
+// (a recycled frame still referenced, a halo mirror aliasing a pooled
+// body) shows up here as a fingerprint diff.
+func TestPoolingByteIdentity(t *testing.T) {
+	const until = 20 * time.Second
+	for _, chaos := range []bool{false, true} {
+		for _, seed := range []int64{1, 2, 3} {
+			seed, chaos := seed, chaos
+			name := fmt.Sprintf("seed%d", seed)
+			if chaos {
+				name += "-chaos"
+			}
+			t.Run(name, func(t *testing.T) {
+				pooled := runCityPool(t, seed, false, chaos, until)
+				want := fingerprint(t, runCityPool(t, seed, true, chaos, until))
+				if got := fingerprint(t, pooled); got != want {
+					t.Fatalf("pooled run diverged from unpooled\n%s", firstDiff(want, got))
+				}
+			})
+		}
+	}
+}

@@ -8,15 +8,17 @@ import (
 
 	"spider/internal/core"
 	"spider/internal/fault"
+	"spider/internal/geo"
 	"spider/internal/obs"
 	"spider/internal/radio"
 	"spider/internal/scenario"
 	"spider/internal/sweep"
 )
 
-// testSpec is a small-but-real city: 4 tiles at the default 200 m halo,
-// dense enough that clients roam between APs and cross stripe
-// boundaries within the run.
+// testSpec is a small-but-real city: a 4×1 tile grid at the default
+// 200 m halo, dense enough that clients roam between APs and cross
+// tile boundaries within the run. (TestTwoDimensionalByteIdentity
+// covers the 2-D case with both row and column edges live.)
 func testSpec(seed int64) scenario.CityGridSpec {
 	spec := scenario.CityGrid(seed, 40, 10)
 	spec.AreaW = 1600
@@ -99,11 +101,26 @@ func TestLayoutInvariants(t *testing.T) {
 			if rc.Range == 0 {
 				rc = radio.Defaults()
 			}
-			if l.NTiles < 1 {
-				t.Fatalf("no tiles: %+v", l)
+			if l.NTiles < 1 || l.NTiles != l.Nx*l.Ny {
+				t.Fatalf("bad grid: %+v", l)
 			}
-			if l.NTiles > 1 && l.TileW < 2*l.Halo {
-				t.Fatalf("tile narrower than twice the halo — mirrors would skip tiles: %+v", l)
+			for _, ax := range []struct {
+				bounds []float64
+				n      int
+				w      float64
+			}{{l.XBounds, l.Nx, l.WorldW}, {l.YBounds, l.Ny, l.WorldH}} {
+				if len(ax.bounds) != ax.n+1 || ax.bounds[0] != 0 || ax.bounds[ax.n] != ax.w {
+					t.Fatalf("bounds not pinned to world edges: %+v", l)
+				}
+				for i := 0; i < ax.n; i++ {
+					span := ax.bounds[i+1] - ax.bounds[i]
+					if ax.n > 1 && span < 2*l.Halo {
+						t.Fatalf("span %d narrower than twice the halo — mirrors would skip tiles: %+v", i, l)
+					}
+					if span <= 0 {
+						t.Fatalf("non-increasing bounds: %+v", l)
+					}
+				}
 			}
 			vmax := speedSpread * tc.spec.SpeedMS
 			if l.Halo < rc.Range+vmax*l.Epoch.Seconds() {
@@ -112,13 +129,18 @@ func TestLayoutInvariants(t *testing.T) {
 			if l.Epoch < minEpoch || l.Epoch > maxEpoch {
 				t.Fatalf("epoch outside bounds: %+v", l)
 			}
-			if l.TileOf(0) != 0 || l.TileOf(l.WorldW-1e-9) != l.NTiles-1 {
-				t.Fatalf("world edges map outside tile range: %+v", l)
+			last := geo.Point{X: l.WorldW - 1e-9, Y: l.WorldH - 1e-9}
+			if l.TileOf(geo.Point{}) != 0 || l.TileOf(last) != l.NTiles-1 {
+				t.Fatalf("world corners map outside tile range: %+v", l)
 			}
-			if l.NTiles > 1 && l.TileOf(l.TileW) != 1 {
-				t.Fatalf("boundary x=TileW not owned by tile 1: %+v", l)
+			if l.Nx > 1 && l.TileOf(geo.Point{X: l.XBounds[1]}) != 1 {
+				t.Fatalf("column boundary not owned by the upper tile: %+v", l)
 			}
-			if l.TileOf(-5) != 0 || l.TileOf(l.WorldW+5) != l.NTiles-1 {
+			if l.Ny > 1 && l.TileOf(geo.Point{Y: l.YBounds[1]}) != l.Nx {
+				t.Fatalf("row boundary not owned by the upper tile: %+v", l)
+			}
+			if l.TileOf(geo.Point{X: -5, Y: -5}) != 0 ||
+				l.TileOf(geo.Point{X: l.WorldW + 5, Y: l.WorldH + 5}) != l.NTiles-1 {
 				t.Fatal("out-of-world positions must clamp")
 			}
 		})
@@ -152,6 +174,55 @@ func TestWorkerCountByteIdentity(t *testing.T) {
 				got := fingerprint(t, runCity(t, seed, workers, false, until))
 				if got != want {
 					t.Fatalf("workers=%d diverged from workers=1\n%s", workers, firstDiff(want, got))
+				}
+			}
+		})
+	}
+}
+
+// TestTwoDimensionalByteIdentity repeats the worker sweep on a city
+// whose layout is a genuine 2-D grid, so row edges, column edges, and
+// corner adjacency all carry halo traffic and migrations. The 1-D
+// fixture above cannot see a bug in the row-neighbor or diagonal
+// mirroring paths.
+func TestTwoDimensionalByteIdentity(t *testing.T) {
+	const until = 20 * time.Second
+	spec2d := func(seed int64) scenario.CityGridSpec {
+		spec := testSpec(seed)
+		spec.AreaW = 1200
+		spec.AreaH = 800
+		return spec
+	}
+	run := func(seed int64, workers int) *City {
+		c := NewCity(spec2d(seed), testCfg(), workers)
+		c.EnableObs(0)
+		if err := c.Run(until); err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	for _, seed := range []int64{1, 2} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			base := run(seed, 1)
+			if base.Layout.Nx < 2 || base.Layout.Ny < 2 {
+				t.Fatalf("fixture expects a 2-D grid, layout %v", base.Layout)
+			}
+			var halo uint64
+			for _, tile := range base.Tiles {
+				halo += tile.World.Medium.Stats().HaloInjected
+			}
+			if halo == 0 {
+				t.Fatal("no halo beacons crossed — fixture exercises nothing")
+			}
+			if base.Migrations == 0 {
+				t.Fatal("no client migrated — fixture exercises nothing")
+			}
+			want := fingerprint(t, base)
+			for _, workers := range []int{2, 8} {
+				got := fingerprint(t, run(seed, workers))
+				if got != want {
+					t.Fatalf("2-D workers=%d diverged from workers=1\n%s", workers, firstDiff(want, got))
 				}
 			}
 		})

@@ -6,7 +6,7 @@ import (
 	"time"
 )
 
-// The shard runtime advances each stripe's kernel in fixed epochs:
+// The shard runtime advances each tile's kernel in fixed epochs:
 // Run(h1); Run(h2); … instead of one Run(T). These tests pin the horizon
 // contract that makes the two byte-identical: events scheduled exactly at
 // a horizon fire inside that epoch, resumption preserves the (at, seq)

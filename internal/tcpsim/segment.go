@@ -29,6 +29,50 @@ type Segment struct {
 	// algorithm needs it on the sender side only, but carrying it keeps
 	// traces self-describing.
 	Retx bool
+
+	pooled bool // owned by a SegPool; never encoded
+}
+
+// SegPool is a nil-safe free list of Segments for the sender's hot
+// path. A nil pool allocates fresh and never recycles — senders without
+// one behave exactly as before. Single-threaded like the kernel that
+// drives it: one pool must not be shared across worlds.
+type SegPool struct {
+	free []*Segment
+	slab []Segment
+}
+
+// Get returns a zeroed segment, reusing a recycled one when available.
+// Misses carve from a slab so growing to the in-flight working set
+// costs one allocation per 64 segments.
+func (p *SegPool) Get() *Segment {
+	if p == nil {
+		return &Segment{}
+	}
+	if n := len(p.free); n > 0 {
+		s := p.free[n-1]
+		p.free = p.free[:n-1]
+		*s = Segment{pooled: true}
+		return s
+	}
+	if len(p.slab) == 0 {
+		p.slab = make([]Segment, 64)
+	}
+	s := &p.slab[0]
+	p.slab = p.slab[1:]
+	s.pooled = true
+	return s
+}
+
+// Put recycles a segment obtained from Get. Segments the pool does not
+// own (fresh allocations from a nil pool, scratch values) are ignored,
+// as is a double Put.
+func (p *SegPool) Put(s *Segment) {
+	if p == nil || s == nil || !s.pooled {
+		return
+	}
+	s.pooled = false
+	p.free = append(p.free, s)
 }
 
 const segHeaderLen = 4 + 8 + 8 + 2 + 1
@@ -41,7 +85,12 @@ var ErrBadSegment = errors.New("tcpsim: malformed segment")
 
 // Encode serializes the segment header.
 func (s *Segment) Encode() []byte {
-	b := make([]byte, 0, segHeaderLen)
+	return s.AppendEncode(make([]byte, 0, segHeaderLen))
+}
+
+// AppendEncode serializes the segment header into b — Encode without
+// the allocation when the caller owns a reusable buffer.
+func (s *Segment) AppendEncode(b []byte) []byte {
 	b = binary.BigEndian.AppendUint32(b, s.FlowID)
 	b = binary.BigEndian.AppendUint64(b, s.Seq)
 	b = binary.BigEndian.AppendUint64(b, s.Ack)
@@ -58,18 +107,30 @@ func (s *Segment) Encode() []byte {
 
 // DecodeSegment parses a segment header.
 func DecodeSegment(b []byte) (*Segment, error) {
-	if len(b) < segHeaderLen {
+	s := &Segment{}
+	if !DecodeSegmentInto(s, b) {
 		return nil, ErrBadSegment
 	}
-	s := &Segment{
+	return s, nil
+}
+
+// DecodeSegmentInto parses a segment header into a caller-owned
+// segment, reporting success — DecodeSegment without the allocation.
+func DecodeSegmentInto(s *Segment, b []byte) bool {
+	if len(b) < segHeaderLen {
+		return false
+	}
+	pooled := s.pooled
+	*s = Segment{
 		FlowID: binary.BigEndian.Uint32(b[0:4]),
 		Seq:    binary.BigEndian.Uint64(b[4:12]),
 		Ack:    binary.BigEndian.Uint64(b[12:20]),
 		Len:    int(binary.BigEndian.Uint16(b[20:22])),
+		pooled: pooled,
 	}
 	s.IsAck = b[22]&1 != 0
 	s.Retx = b[22]&2 != 0
-	return s, nil
+	return true
 }
 
 // WireSize returns the byte count the segment occupies on a link,

@@ -88,9 +88,15 @@ type Sender struct {
 	lastAck  uint64
 
 	rtoTimer      sim.Event
+	onRTOFn       func() // cached method value: armRTO runs per ACK
 	closed        bool
 	onDone        func()
 	lastTimeoutAt time.Duration
+
+	// segs, when set, recycles transmitted segments. The owner of the
+	// transmit callback must Put each segment back once it is done
+	// encoding it (a nil pool allocates fresh and never recycles).
+	segs *SegPool
 
 	// NewReno-style recovery state.
 	inRecovery bool
@@ -119,8 +125,14 @@ func NewSender(k *sim.Kernel, cfg Config, flowID uint32, size int64, transmit fu
 		remaining: size, cwnd: float64(c.InitCwnd), ssthresh: float64(c.MaxCwnd),
 		rto: c.InitialRTO, onDone: onDone,
 	}
+	s.onRTOFn = s.onRTO
 	return s
 }
+
+// SetSegPool points the sender at a segment free list. Segments handed
+// to transmit are drawn from it; the transmit owner recycles them once
+// encoded. Senders sharing a pool must live on the same kernel.
+func (s *Sender) SetSegPool(p *SegPool) { s.segs = p }
 
 // Config returns the effective configuration.
 func (s *Sender) Config() Config { return s.cfg }
@@ -166,7 +178,8 @@ func (s *Sender) pump() {
 		if s.remaining > 0 && int64(l) > s.remaining {
 			l = int(s.remaining)
 		}
-		seg := &Segment{FlowID: s.flowID, Seq: s.nextSeq, Len: l}
+		seg := s.segs.Get()
+		seg.FlowID, seg.Seq, seg.Len = s.flowID, s.nextSeq, l
 		s.inflight = append(s.inflight, unacked{seq: s.nextSeq, len: l, sentAt: s.kernel.Now()})
 		s.nextSeq += uint64(l)
 		if s.remaining > 0 {
@@ -184,7 +197,7 @@ func (s *Sender) armRTO() {
 	if len(s.inflight) == 0 || s.closed {
 		return
 	}
-	s.rtoTimer = s.kernel.After(s.rto, s.onRTO)
+	s.rtoTimer = s.kernel.After(s.rto, s.onRTOFn)
 }
 
 // onRTO handles a retransmission timeout: multiplicative backoff, window
@@ -230,7 +243,9 @@ func (s *Sender) retransmitHead() {
 	u.sentAt = s.kernel.Now()
 	s.SegmentsSent++
 	s.RetxSegments++
-	s.transmit(&Segment{FlowID: s.flowID, Seq: u.seq, Len: u.len, Retx: true})
+	seg := s.segs.Get()
+	seg.FlowID, seg.Seq, seg.Len, seg.Retx = s.flowID, u.seq, u.len, true
+	s.transmit(seg)
 }
 
 // HandleAck processes a cumulative ACK from the receiver.
@@ -251,16 +266,23 @@ func (s *Sender) HandleAck(seg *Segment) {
 		// PSM-buffered links: it sees the full buffering delay, so the RTO
 		// adapts above the off-channel absence instead of firing
 		// spuriously every scheduling period.
-		var sample *unacked
-		for len(s.inflight) > 0 && s.inflight[0].seq+uint64(s.inflight[0].len) <= ack {
-			u := s.inflight[0]
-			s.inflight = s.inflight[1:]
-			if sample == nil && !u.retx && u.sentAt >= s.lastTimeoutAt {
-				v := u
-				sample = &v
+		var sample unacked
+		haveSample := false
+		n := 0
+		for n < len(s.inflight) && s.inflight[n].seq+uint64(s.inflight[n].len) <= ack {
+			u := s.inflight[n]
+			n++
+			if !haveSample && !u.retx && u.sentAt >= s.lastTimeoutAt {
+				sample, haveSample = u, true
 			}
 		}
-		if sample != nil {
+		if n > 0 {
+			// Shift-down pop keeps the backing array: the [1:] idiom
+			// strands capacity and reallocates on every later append.
+			copy(s.inflight, s.inflight[n:])
+			s.inflight = s.inflight[:len(s.inflight)-n]
+		}
+		if haveSample {
 			s.sampleRTT(s.kernel.Now() - sample.sentAt)
 		}
 		s.backoff = 0
@@ -345,6 +367,9 @@ type Receiver struct {
 	ooo []segRange
 	// Delivered counts in-order bytes handed to the application.
 	Delivered uint64
+	// ack is the scratch segment HandleData returns: one ACK is in
+	// flight per call, so the caller must encode it before the next.
+	ack Segment
 }
 
 type segRange struct{ start, end uint64 }
@@ -353,7 +378,9 @@ type segRange struct{ start, end uint64 }
 func NewReceiver(flowID uint32) *Receiver { return &Receiver{flowID: flowID} }
 
 // HandleData ingests a data segment and returns the ACK to send back.
-// Returns nil for foreign or pure-ACK segments.
+// Returns nil for foreign or pure-ACK segments. The returned segment is
+// the receiver's scratch: valid until the next HandleData call, so
+// encode (or copy) it before handing the receiver another segment.
 func (r *Receiver) HandleData(seg *Segment) *Segment {
 	if seg.IsAck || seg.FlowID != r.flowID {
 		return nil
@@ -361,16 +388,24 @@ func (r *Receiver) HandleData(seg *Segment) *Segment {
 	start, end := seg.Seq, seg.Seq+uint64(seg.Len)
 	if end > r.rcvNxt {
 		r.insert(segRange{start, end})
-		// Advance rcvNxt over contiguous ranges.
-		for len(r.ooo) > 0 && r.ooo[0].start <= r.rcvNxt {
-			if r.ooo[0].end > r.rcvNxt {
-				r.Delivered += r.ooo[0].end - r.rcvNxt
-				r.rcvNxt = r.ooo[0].end
+		// Advance rcvNxt over contiguous ranges, then compact the slice
+		// in place — re-slicing off the front would strand the backing
+		// array and make every future insert reallocate.
+		k := 0
+		for k < len(r.ooo) && r.ooo[k].start <= r.rcvNxt {
+			if r.ooo[k].end > r.rcvNxt {
+				r.Delivered += r.ooo[k].end - r.rcvNxt
+				r.rcvNxt = r.ooo[k].end
 			}
-			r.ooo = r.ooo[1:]
+			k++
+		}
+		if k > 0 {
+			n := copy(r.ooo, r.ooo[k:])
+			r.ooo = r.ooo[:n]
 		}
 	}
-	return &Segment{FlowID: r.flowID, Ack: r.rcvNxt, IsAck: true}
+	r.ack = Segment{FlowID: r.flowID, Ack: r.rcvNxt, IsAck: true}
+	return &r.ack
 }
 
 func (r *Receiver) insert(n segRange) {

@@ -19,6 +19,8 @@ type BeaconBody struct {
 	// implement the "offered bandwidth" oracle of the paper's §2.1.3
 	// optimization without a side channel.
 	BackhaulKbps uint32
+
+	pooled bool // owned by a Pool; recycled with its frame
 }
 
 // BodySize implements Body.
@@ -54,6 +56,8 @@ func decodeBeacon(b []byte) (*BeaconBody, error) {
 // wildcard probe used during opportunistic scanning.
 type ProbeReqBody struct {
 	SSID string
+
+	pooled bool // owned by a Pool; recycled with its frame
 }
 
 // BodySize implements Body.
@@ -187,6 +191,8 @@ type DataBody struct {
 	Proto      uint8
 	Header     []byte
 	VirtualLen uint16
+
+	pooled bool // owned by a Pool; recycled with its frame
 }
 
 // BodySize implements Body.

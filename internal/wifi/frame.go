@@ -123,6 +123,9 @@ type Frame struct {
 	// receivers use it to tag scan results whose AP lives outside their
 	// shard.
 	Halo bool
+	// pooled marks a frame owned by a Pool; the medium recycles it after
+	// transmit completion. Simulation metadata, never on the wire.
+	pooled bool
 }
 
 // headerSize is the encoded fixed header: type(1) flags(1) seq(2)
