@@ -4,7 +4,8 @@
 //
 //	spider-exp -list
 //	spider-exp -id table2 [-seed 1] [-scale 1.0]
-//	spider-exp -id all -scale 0.25
+//	spider-exp -id fig2,fig3 -scale 0.25
+//	spider-exp -id all -scale 0.25 -archive-out run.json -resume run.campaign
 //
 // Scale 1.0 runs paper-like durations (a 40-minute drive per
 // configuration); smaller scales shrink durations and trial counts
@@ -46,6 +47,7 @@ func main() {
 		traceO   = flag.String("trace-out", "", "write the event trace to this file: .jsonl for JSONL, else Chrome trace JSON (forces -workers 1)")
 		traceF   = flag.String("trace-filter", "", "comma-separated category prefixes to trace (empty = all)")
 		archO    = flag.String("archive-out", "", "write a run archive to this file (experiments run sequentially in id order; byte-identical at any -workers/-shards)")
+		resumeO  = flag.String("resume", "", "campaign state file: skip experiments it records as complete, persist each new one as it finishes (requires -archive-out)")
 	)
 	flag.Parse()
 	stopProf, err := prof.Start(*cpuProf, *memProf)
@@ -82,7 +84,7 @@ func main() {
 		}
 	}
 	opts := expt.Options{Seed: *seed, Scale: *scale, Workers: *workers, Chaos: *chaos, Obs: o, Shards: *shards}
-	ids := []string{*id}
+	ids := strings.Split(*id, ",")
 	if *id == "all" {
 		ids = expt.IDs()
 	}
@@ -110,14 +112,43 @@ func main() {
 		exptWorkers = 1
 		perExpt.Workers = *workers
 	}
+	var camp *campaignState
+	if *resumeO != "" {
+		if arch == nil {
+			fmt.Fprintln(os.Stderr, "spider-exp: -resume requires -archive-out (the archive is what a campaign resumes)")
+			os.Exit(2)
+		}
+		campFP := archive.FP(fmt.Sprintf("seed=%d", *seed), expt.ConfigFP(opts),
+			"ids="+strings.Join(ids, ","))
+		camp, err = loadCampaign(*resumeO, campFP)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "spider-exp:", err)
+			os.Exit(1)
+		}
+		if camp.Archive != nil {
+			// Continue the interrupted run's document: already-archived
+			// experiments keep their bytes, new ones append in id order.
+			arch = camp.Archive
+			fmt.Printf("   resuming campaign from %s: %d of %d experiments already archived\n",
+				*resumeO, len(camp.Completed), len(ids))
+		}
+	}
 	outs, err := sweep.Map(context.Background(), exptWorkers, ids,
 		func(_ context.Context, _ int, e string) (outcome, error) {
 			start := time.Now()
 			var res fmt.Stringer
 			var err error
-			if arch != nil {
+			switch {
+			case camp != nil && camp.done(e):
+				res = skippedResult(e)
+			case arch != nil:
 				res, err = expt.RunArchived(arch, e, perExpt)
-			} else {
+				if err == nil && camp != nil {
+					camp.Completed = append(camp.Completed, e)
+					camp.Archive = arch
+					err = camp.save(*resumeO)
+				}
+			default:
 				res, err = expt.Run(e, perExpt)
 			}
 			return outcome{res: res, elapsed: time.Since(start)}, err

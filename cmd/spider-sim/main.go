@@ -33,6 +33,7 @@ import (
 	"time"
 
 	"spider/internal/archive"
+	"spider/internal/checkpoint"
 	"spider/internal/core"
 	"spider/internal/fault"
 	"spider/internal/metrics"
@@ -271,9 +272,16 @@ func writeDriveArchive(path string, seed int64, configFP, chaosSpec string, resu
 	return nil
 }
 
+// ckptOpts carries the crash-resume flags into the citygrid runner.
+type ckptOpts struct {
+	out    string // -checkpoint-out: checkpoint file path
+	every  int    // -checkpoint-every: rewrite it every N barrier epochs (0 = only at end)
+	resume string // -resume: checkpoint file to restore before running
+}
+
 // runCityGrid builds and runs the sharded city-scale scenario and
 // reports fleet-wide aggregates.
-func runCityGrid(cfg core.Config, seed int64, numAPs, clients, shards int, areaW, areaH float64, dur time.Duration, chaosSpec string, ospec obsSpec, metricsOut, traceOut, archiveOut, configFP string) error {
+func runCityGrid(cfg core.Config, seed int64, numAPs, clients, shards int, areaW, areaH float64, dur time.Duration, chaosSpec string, ospec obsSpec, metricsOut, traceOut, archiveOut, configFP string, ck ckptOpts) error {
 	if numAPs <= 0 {
 		numAPs = 600
 	}
@@ -300,8 +308,47 @@ func runCityGrid(cfg core.Config, seed int64, numAPs, clients, shards int, areaW
 		}
 		c.ApplyChaos(fcfg)
 	}
-	if err := c.Run(dur); err != nil {
+	if ck.resume != "" {
+		doc, err := checkpoint.ReadFile(ck.resume)
+		if err != nil {
+			return err
+		}
+		if err := doc.Apply(c, seed, configFP); err != nil {
+			return err
+		}
+		fmt.Printf("resumed from %s at t=%v\n", ck.resume, c.Now())
+	}
+	writeCkpt := func() error {
+		doc, err := checkpoint.Capture(c, seed, configFP)
+		if err != nil {
+			return err
+		}
+		return checkpoint.WriteFile(ck.out, doc)
+	}
+	if ck.out != "" && ck.every > 0 {
+		// Periodic checkpoints land on the barrier-epoch grid, so a
+		// resumed run reproduces the uninterrupted run's barrier
+		// schedule (and therefore its bytes) exactly.
+		step := time.Duration(ck.every) * c.Layout.Epoch
+		for c.Now() < dur {
+			next := c.Now() + step
+			if next > dur {
+				next = dur
+			}
+			if err := c.Run(next); err != nil {
+				return err
+			}
+			if err := writeCkpt(); err != nil {
+				return err
+			}
+		}
+	} else if err := c.Run(dur); err != nil {
 		return err
+	}
+	if ck.out != "" && ck.every <= 0 {
+		if err := writeCkpt(); err != nil {
+			return err
+		}
 	}
 
 	fmt.Printf("City: %.0f×%.0f m, %d APs, %d clients, %v simulated (%v wall)\n",
@@ -379,6 +426,9 @@ func main() {
 		traceO   = flag.String("trace-out", "", "write the event trace to this file: .jsonl for JSONL, else Chrome trace JSON (single rep only)")
 		traceF   = flag.String("trace-filter", "", "comma-separated category prefixes to trace (empty = all)")
 		archO    = flag.String("archive-out", "", "write a run archive to this file (byte-identical at any -workers/-shards)")
+		ckptO    = flag.String("checkpoint-out", "", "write a resumable checkpoint to this file (citygrid only)")
+		ckptN    = flag.Int("checkpoint-every", 0, "rewrite -checkpoint-out every N barrier epochs (0 = only at run end)")
+		resume   = flag.String("resume", "", "resume a citygrid run from this checkpoint file (same seed and flags)")
 	)
 	flag.Parse()
 	stopProf, err := prof.Start(*cpuProf, *memProf)
@@ -411,6 +461,10 @@ func main() {
 		fmt.Sprintf("reps=%d", *reps),
 		"chaos="+*chaos,
 	)
+	if *city != "citygrid" && (*ckptO != "" || *ckptN > 0 || *resume != "") {
+		fmt.Fprintln(os.Stderr, "spider-sim: -checkpoint-out/-checkpoint-every/-resume require -city citygrid")
+		os.Exit(2)
+	}
 	if *city == "citygrid" {
 		if *reps > 1 {
 			fmt.Fprintln(os.Stderr, "spider-sim: -city citygrid requires -reps 1 (use -shards for parallelism)")
@@ -421,7 +475,8 @@ func main() {
 			ospec.filter = strings.Split(*traceF, ",")
 		}
 		err := runCityGrid(cfg, *seed, *numAPs, *clients, *shards, *areaW, *areaH,
-			time.Duration(*minutes)*time.Minute, *chaos, ospec, *metricsO, *traceO, *archO, configFP)
+			time.Duration(*minutes)*time.Minute, *chaos, ospec, *metricsO, *traceO, *archO, configFP,
+			ckptOpts{out: *ckptO, every: *ckptN, resume: *resume})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "spider-sim:", err)
 			os.Exit(1)

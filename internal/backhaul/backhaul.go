@@ -113,32 +113,45 @@ func (l *Link) SetFaultLatency(extra time.Duration) {
 // when the last byte arrives. It reports false (and drops) if the shaper
 // queue is over budget.
 func (l *Link) Down(size int, fn func()) bool {
-	ok := l.send(&l.down, size, fn)
+	_, ok := l.DownEv(size, fn)
+	return ok
+}
+
+// Up sends size bytes from the AP toward the server.
+func (l *Link) Up(size int, fn func()) bool {
+	_, ok := l.UpEv(size, fn)
+	return ok
+}
+
+// DownEv is Down returning the delivery event handle, so callers that
+// checkpoint in-flight traffic can record its (at, seq) identity.
+func (l *Link) DownEv(size int, fn func()) (sim.Event, bool) {
+	ev, ok := l.send(&l.down, size, fn)
 	if ok {
 		l.DownDelivered++
 		l.DownBytes += uint64(size)
 	} else {
 		l.DownDrops++
 	}
-	return ok
+	return ev, ok
 }
 
-// Up sends size bytes from the AP toward the server.
-func (l *Link) Up(size int, fn func()) bool {
-	ok := l.send(&l.up, size, fn)
+// UpEv is Up returning the delivery event handle.
+func (l *Link) UpEv(size int, fn func()) (sim.Event, bool) {
+	ev, ok := l.send(&l.up, size, fn)
 	if ok {
 		l.UpDelivered++
 		l.UpBytes += uint64(size)
 	} else {
 		l.UpDrops++
 	}
-	return ok
+	return ev, ok
 }
 
-func (l *Link) send(dir *direction, size int, fn func()) bool {
+func (l *Link) send(dir *direction, size int, fn func()) (sim.Event, bool) {
 	if l.blackhole {
 		l.BlackholeDrops++
-		return false
+		return sim.Event{}, false
 	}
 	if size < 0 {
 		size = 0
@@ -151,12 +164,46 @@ func (l *Link) send(dir *direction, size int, fn func()) bool {
 	// Queue occupancy in bytes implied by the backlog ahead of us.
 	backlogBytes := int(float64((start - now)) / float64(time.Second) * float64(l.cfg.RateKbps) * 1000 / 8)
 	if backlogBytes > l.cfg.QueueBytes {
-		return false
+		return sim.Event{}, false
 	}
 	txTime := time.Duration(float64(size*8) / float64(l.cfg.RateKbps) / 1000 * float64(time.Second))
 	dir.busyUntil = start + txTime
-	l.kernel.At(start+txTime+l.cfg.Latency+l.faultLat, fn)
-	return true
+	return l.kernel.At(start+txTime+l.cfg.Latency+l.faultLat, fn), true
+}
+
+// State is a Link's complete checkpointable state (the in-flight
+// deliveries themselves are recorded by the layer that owns their
+// callbacks).
+type State struct {
+	DownBusyUntil, UpBusyUntil time.Duration
+	Blackhole                  bool
+	FaultLat                   time.Duration
+	DownDrops, UpDrops         uint64
+	BlackholeDrops             uint64
+	DownDelivered, UpDelivered uint64
+	DownBytes, UpBytes         uint64
+}
+
+// ExportState captures the link for a checkpoint.
+func (l *Link) ExportState() State {
+	return State{
+		DownBusyUntil: l.down.busyUntil, UpBusyUntil: l.up.busyUntil,
+		Blackhole: l.blackhole, FaultLat: l.faultLat,
+		DownDrops: l.DownDrops, UpDrops: l.UpDrops, BlackholeDrops: l.BlackholeDrops,
+		DownDelivered: l.DownDelivered, UpDelivered: l.UpDelivered,
+		DownBytes: l.DownBytes, UpBytes: l.UpBytes,
+	}
+}
+
+// RestoreState rewinds the link to a checkpointed state.
+func (l *Link) RestoreState(st State) {
+	l.down.busyUntil = st.DownBusyUntil
+	l.up.busyUntil = st.UpBusyUntil
+	l.blackhole = st.Blackhole
+	l.faultLat = st.FaultLat
+	l.DownDrops, l.UpDrops, l.BlackholeDrops = st.DownDrops, st.UpDrops, st.BlackholeDrops
+	l.DownDelivered, l.UpDelivered = st.DownDelivered, st.UpDelivered
+	l.DownBytes, l.UpBytes = st.DownBytes, st.UpBytes
 }
 
 // QueueDelay reports how long a byte entering the given direction now

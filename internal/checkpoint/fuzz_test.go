@@ -1,0 +1,62 @@
+package checkpoint
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"spider/internal/core"
+	"spider/internal/fault"
+	"spider/internal/shard"
+)
+
+// FuzzDecodeCheckpoint is the codec's robustness contract: Decode never
+// panics on arbitrary bytes, and whenever it accepts a document, the
+// canonical re-encoding is a fixed point — encode(decode(x)) decodes to
+// the same document and re-encodes byte-identically. Deep consistency
+// (does this state describe the rebuilt world?) is Apply's job and is
+// exercised by the crash-resume tests; the decoder's only promises are
+// no-panic and canonical stability.
+func FuzzDecodeCheckpoint(f *testing.F) {
+	// A real checkpoint mid-run, chaos on, as the main seed — a small
+	// city so per-exec decode cost leaves the fuzzer time to mutate.
+	spec := testSpec(1)
+	spec.NumAPs, spec.NumClients = 8, 3
+	spec.AreaW, spec.AreaH = 600, 300
+	cfg := core.SpiderDefaults(core.MultiChannelMultiAP,
+		core.EqualSchedule(200*time.Millisecond, 1, 6, 11))
+	c := shard.NewCity(spec, cfg, 1)
+	c.EnableObs(0)
+	c.ApplyChaos(fault.Aggressive())
+	if err := c.Run(2 * time.Second); err != nil {
+		f.Fatal(err)
+	}
+	ck, err := Capture(c, 1, "fp")
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(ck.Encode())
+	// Seed the interesting rejection paths so mutations explore them.
+	f.Add([]byte(`{"format":"spider-checkpoint","version":1,"seed":1,"config_fp":"x","city":{}}`))
+	f.Add([]byte(`{"format":"spider-checkpoint","version":2}`))
+	f.Add([]byte(`{"format":"spider-archive","version":1}`))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`[]`))
+	f.Add([]byte(`not json at all`))
+	f.Add(append(ck.Encode(), []byte("{}")...))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ck, err := Decode(data)
+		if err != nil {
+			return // rejected input: the only requirement is no panic
+		}
+		enc := ck.Encode()
+		b, err := Decode(enc)
+		if err != nil {
+			t.Fatalf("re-decode of canonical encoding failed: %v", err)
+		}
+		if re := b.Encode(); !bytes.Equal(enc, re) {
+			t.Fatalf("canonical encoding is not a fixed point")
+		}
+	})
+}

@@ -1,6 +1,9 @@
 package core
 
-import "spider/internal/wifi"
+import (
+	"spider/internal/sim"
+	"spider/internal/wifi"
+)
 
 // startAPSlicer begins FatVAP-style per-AP time slicing when the config
 // asks for it. Every APSliceDwell the driver picks the next connected
@@ -12,15 +15,16 @@ func (d *Driver) startAPSlicer() {
 	if d.apSliceFn == nil {
 		d.apSliceFn = d.apSliceTick
 	}
-	d.kernel.After(d.cfg.APSliceDwell, d.apSliceFn)
+	d.apSliceEv = d.kernel.After(d.cfg.APSliceDwell, d.apSliceFn)
 }
 
 func (d *Driver) apSliceTick() {
+	d.apSliceEv = sim.Event{}
 	if d.stopped {
 		return
 	}
-	defer d.kernel.After(d.cfg.APSliceDwell, d.apSliceFn)
 	d.apSliceRebalance()
+	d.apSliceEv = d.kernel.After(d.cfg.APSliceDwell, d.apSliceFn)
 }
 
 // apSliceRebalance advances the slice rotation and reassigns PSM state.

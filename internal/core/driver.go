@@ -135,8 +135,16 @@ type Driver struct {
 
 	sink func(bssid wifi.Addr, db *wifi.DataBody)
 
-	scanEv  sim.Event
-	sliceEv sim.Event
+	// Every self-rescheduling tick keeps its live event handle so a
+	// checkpoint can record — and a restore re-arm — its exact identity,
+	// and so Shutdown can disarm all of them (a retired driver must leave
+	// nothing in the heap).
+	scanEv     sim.Event
+	sliceEv    sim.Event
+	inactEv    sim.Event
+	bgScanEv   sim.Event
+	bgReturnEv sim.Event
+	apSliceEv  sim.Event
 
 	// pool is the medium's frame pool (nil under NoPool); every frame the
 	// driver originates comes from it and is recycled by the medium at
@@ -222,6 +230,7 @@ func NewDriver(m *radio.Medium, cfg Config, addr wifi.Addr, mob geo.Mobility, ev
 	d.inactivityFn = d.inactivityTick
 	d.bgScanFn = d.backgroundScanTick
 	d.bgReturnFn = func() {
+		d.bgReturnEv = sim.Event{}
 		if d.dwelling && !d.stopped { // still associated: come home
 			d.switchTo(d.bgHome)
 		}
@@ -238,13 +247,13 @@ func NewDriver(m *radio.Medium, cfg Config, addr wifi.Addr, mob geo.Mobility, ev
 	}
 	d.arriveFn = d.arrive
 	d.radio.SetChannel(d.cfg.Schedule[0].Channel)
-	d.kernel.After(0, d.scanTickFn)
+	d.scanEv = d.kernel.After(0, d.scanTickFn)
 	if len(d.cfg.Schedule) > 1 {
 		d.sliceEv = d.kernel.After(d.cfg.Schedule[0].Dwell, d.nextSliceFn)
 	}
-	d.kernel.After(time.Second, d.inactivityFn)
+	d.inactEv = d.kernel.After(time.Second, d.inactivityFn)
 	if d.cfg.BackgroundScanEvery > 0 && len(d.cfg.Schedule) > 1 {
-		d.kernel.After(d.cfg.BackgroundScanEvery, d.bgScanFn)
+		d.bgScanEv = d.kernel.After(d.cfg.BackgroundScanEvery, d.bgScanFn)
 	}
 	if d.cfg.APCentric {
 		d.startAPSlicer()
@@ -266,8 +275,32 @@ func (d *Driver) Shutdown() {
 		d.teardown(ifc)
 	}
 	d.stopped = true
+	// Disarm every tick and in-flight switch stage: a retired driver must
+	// leave nothing in the event heap, so a checkpoint taken after the
+	// migration has no orphan timers pointing at a dead owner.
+	d.scanEv.Cancel()
+	d.scanEv = sim.Event{}
 	d.sliceEv.Cancel()
 	d.sliceEv = sim.Event{}
+	d.inactEv.Cancel()
+	d.inactEv = sim.Event{}
+	d.bgScanEv.Cancel()
+	d.bgScanEv = sim.Event{}
+	d.bgReturnEv.Cancel()
+	d.bgReturnEv = sim.Event{}
+	d.apSliceEv.Cancel()
+	d.apSliceEv = sim.Event{}
+	d.swLingerEv.Cancel()
+	d.swLingerEv = sim.Event{}
+	d.swRetuneEv.Cancel()
+	d.swRetuneEv = sim.Event{}
+	d.switching = false
+	// Frames already committed to the radio finish as pure physics — the
+	// airtime is spent and deliveries still draw loss — but their
+	// completion callbacks are stripped so nothing upcalls into the
+	// retired driver (a stale PSM completion could otherwise schedule a
+	// linger tick).
+	d.radio.Orphan()
 	d.radio.SetChannel(0)
 }
 
@@ -311,10 +344,15 @@ func (d *Driver) ImportAPRecord(rec APRecord, halo bool) {
 // backgroundScanTick implements the roaming single-AP driver's periodic
 // off-channel peek while dwelling on its associated AP's channel.
 func (d *Driver) backgroundScanTick() {
+	d.bgScanEv = sim.Event{}
 	if d.stopped {
 		return
 	}
-	defer d.kernel.After(d.cfg.BackgroundScanEvery, d.bgScanFn)
+	d.backgroundScanVisit()
+	d.bgScanEv = d.kernel.After(d.cfg.BackgroundScanEvery, d.bgScanFn)
+}
+
+func (d *Driver) backgroundScanVisit() {
 	if !d.dwelling || d.switching {
 		return
 	}
@@ -337,7 +375,7 @@ func (d *Driver) backgroundScanTick() {
 	}
 	d.bgHome = home
 	d.switchTo(target)
-	d.kernel.After(d.cfg.BackgroundScanDwell, d.bgReturnFn)
+	d.bgReturnEv = d.kernel.After(d.cfg.BackgroundScanDwell, d.bgReturnFn)
 }
 
 // Addr returns the client MAC address.
@@ -570,16 +608,7 @@ func (d *Driver) switchTo(ch int) {
 		if ifc.Channel() == from && ifc.state >= IfaceDHCP {
 			connected++
 			if psmDone == nil {
-				gen := d.swGen
-				psmDone = func(bool) {
-					if d.swGen != gen {
-						return // a later switch superseded this one
-					}
-					d.swOutstanding--
-					if d.swOutstanding == 0 {
-						d.beginResetFn()
-					}
-				}
+				psmDone = d.psmDoneFor(d.swGen)
 			}
 			d.swOutstanding++
 			psm := d.pool.Frame()
@@ -589,7 +618,7 @@ func (d *Driver) switchTo(ch int) {
 			psm.Seq = d.nextSeq()
 			ifc.psmOn = true
 			latency += nullUnicastTxTime
-			d.radio.SendNotify(psm, psmDone)
+			d.radio.SendTagged(psm, psmDone, radio.TxTag{Kind: radio.TagPSM, Gen: d.swGen})
 		}
 	}
 	latency += d.cfg.ResetBase
@@ -624,6 +653,22 @@ func (d *Driver) switchTo(ch int) {
 	d.swReset = reset
 	if d.swOutstanding == 0 {
 		d.beginResetFn()
+	}
+}
+
+// psmDoneFor builds the generation-guarded PSM completion callback for
+// one switch: straggling completions from a superseded switch see a
+// newer generation and do nothing. Checkpoint restore also uses it to
+// rebind restored radio-queue entries (TagPSM) to their generation.
+func (d *Driver) psmDoneFor(gen uint64) func(bool) {
+	return func(bool) {
+		if d.swGen != gen {
+			return // a later switch superseded this one
+		}
+		d.swOutstanding--
+		if d.swOutstanding == 0 {
+			d.beginResetFn()
+		}
 	}
 }
 
@@ -665,11 +710,12 @@ func (d *Driver) nextSeq() uint16 {
 // ---- Scanning ----
 
 func (d *Driver) scanTick() {
+	d.scanEv = sim.Event{}
 	if d.stopped {
 		return
 	}
 	d.probe()
-	d.kernel.After(d.cfg.ScanInterval, d.scanTickFn)
+	d.scanEv = d.kernel.After(d.cfg.ScanInterval, d.scanTickFn)
 }
 
 // probe sends a wildcard probe request on the current channel
@@ -872,15 +918,26 @@ func (d *Driver) scheduleRenewal(ifc *Iface, lease time.Duration) {
 		return
 	}
 	ifc.renewEv.Cancel()
-	ifc.renewEv = d.kernel.After(lease/2, func() {
-		ifc.renewEv = sim.Event{}
-		if !ifc.Connected() || d.ifaces[ifc.BSSID()] != ifc {
-			return
+	ifc.renewEv = d.kernel.After(lease/2, d.ensureRenewFn(ifc))
+}
+
+// ensureRenewFn builds (once per interface) the T1 renewal callback.
+// It reads ifc fields at fire time and guards on the interface map, so
+// it stays correct across interface recycles; checkpoint restore uses
+// it to re-arm a recorded renewal timer.
+func (d *Driver) ensureRenewFn(ifc *Iface) func() {
+	if ifc.renewFn == nil {
+		ifc.renewFn = func() {
+			ifc.renewEv = sim.Event{}
+			if !ifc.Connected() || d.ifaces[ifc.BSSID()] != ifc {
+				return
+			}
+			ifc.renewing = true
+			d.stats.Renewals++
+			ifc.dhcpc.Start(ifc.ip)
 		}
-		ifc.renewing = true
-		d.stats.Renewals++
-		ifc.dhcpc.Start(ifc.ip)
-	})
+	}
+	return ifc.renewFn
 }
 
 // onRenewResult finishes a T1 renewal: success extends the lease (and
@@ -1023,6 +1080,7 @@ func (d *Driver) teardown(ifc *Iface) {
 
 // inactivityTick drops interfaces whose AP has gone silent (range exit).
 func (d *Driver) inactivityTick() {
+	d.inactEv = sim.Event{}
 	if d.stopped {
 		return
 	}
@@ -1036,7 +1094,7 @@ func (d *Driver) inactivityTick() {
 			}
 		}
 	}
-	d.kernel.After(time.Second, d.inactivityFn)
+	d.inactEv = d.kernel.After(time.Second, d.inactivityFn)
 }
 
 // ---- Data plane ----

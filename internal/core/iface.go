@@ -46,6 +46,10 @@ type Iface struct {
 	psmOn     bool // we've told this AP we're in power-save
 	renewing  bool // a T1 lease renewal (not a join) is in flight
 	renewEv   sim.Event
+	// renewFn is the cached T1 renewal callback (built by the driver's
+	// ensureRenewFn); it reads fields at fire time, so one closure serves
+	// the interface across recycles.
+	renewFn func()
 }
 
 // BSSID returns the AP this interface is bound to.

@@ -104,6 +104,11 @@ type Server struct {
 	bindings map[wifi.Addr]binding
 	nextIP   int
 
+	// pending tracks scheduled-but-unsent responses so checkpoints can
+	// capture them; respFree recycles fired records.
+	pending  []*srvResp
+	respFree []*srvResp
+
 	// Fault-injection state (inert until SetChaos).
 	chaos    Chaos
 	chaosRNG *rand.Rand
@@ -163,6 +168,64 @@ func (s *Server) Reset() {
 	s.nextIP = 0
 }
 
+// respKind selects the stat bumped when a scheduled response fires.
+type respKind uint8
+
+// Response kinds.
+const (
+	respOffer respKind = iota
+	respAck
+	respNak
+)
+
+// srvResp is one scheduled response: the server's think-time delay in
+// flight. Responses are tracked (not anonymous closures) so a
+// checkpoint can record each one's message and (at, seq) identity and a
+// restore can re-arm it.
+type srvResp struct {
+	s      *Server
+	msg    Message
+	kind   respKind
+	ev     sim.Event
+	idx    int // position in s.pending
+	fireFn func()
+}
+
+func (r *srvResp) fire() {
+	s := r.s
+	// Swap-remove from the pending list.
+	last := len(s.pending) - 1
+	s.pending[r.idx] = s.pending[last]
+	s.pending[r.idx].idx = r.idx
+	s.pending = s.pending[:last]
+	switch r.kind {
+	case respOffer:
+		s.Offers++
+	case respAck:
+		s.Acks++
+	case respNak:
+		s.Naks++
+	}
+	s.send(r.msg.ClientMAC, &r.msg)
+	s.respFree = append(s.respFree, r)
+}
+
+// scheduleResp queues m to be sent after delay, tracking it as pending.
+func (s *Server) scheduleResp(kind respKind, m Message, delay time.Duration) {
+	var r *srvResp
+	if n := len(s.respFree); n > 0 {
+		r = s.respFree[n-1]
+		s.respFree = s.respFree[:n-1]
+	} else {
+		r = &srvResp{s: s}
+		r.fireFn = r.fire
+	}
+	r.msg, r.kind = m, kind
+	r.idx = len(s.pending)
+	s.pending = append(s.pending, r)
+	r.ev = s.kernel.After(delay, r.fireFn)
+}
+
 // chaosIntercept applies injected misbehavior to one incoming message.
 // It reports whether the message should be processed at all and how
 // much extra think-time to add to the response.
@@ -182,11 +245,8 @@ func (s *Server) chaosIntercept(m *Message) (proceed bool, extra time.Duration) 
 			s.notifyFault("nak")
 			// Copy out of m before the latency elapses: the message may be
 			// a transport's decode scratch, dead after HandleMessage returns.
-			resp := &Message{Op: Nak, XID: m.XID, ClientMAC: m.ClientMAC, ServerID: s.cfg.ServerID}
-			s.kernel.After(s.cfg.AckLatency.Sample(s.rng), func() {
-				s.Naks++
-				s.send(resp.ClientMAC, resp)
-			})
+			resp := Message{Op: Nak, XID: m.XID, ClientMAC: m.ClientMAC, ServerID: s.cfg.ServerID}
+			s.scheduleResp(respNak, resp, s.cfg.AckLatency.Sample(s.rng))
 			return false, 0
 		}
 		s.ChaosDrops++
@@ -225,12 +285,9 @@ func (s *Server) HandleMessage(m *Message) {
 		if !ok {
 			return // pool exhausted: silence, like real routers
 		}
-		resp := &Message{Op: Offer, XID: m.XID, ClientMAC: m.ClientMAC,
+		resp := Message{Op: Offer, XID: m.XID, ClientMAC: m.ClientMAC,
 			YourIP: ip, ServerID: s.cfg.ServerID, LeaseSecs: uint32(s.cfg.LeaseDur.Seconds())}
-		s.kernel.After(s.cfg.OfferLatency.Sample(s.rng)+extra, func() {
-			s.Offers++
-			s.send(resp.ClientMAC, resp)
-		})
+		s.scheduleResp(respOffer, resp, s.cfg.OfferLatency.Sample(s.rng)+extra)
 	case Request:
 		s.Requests++
 		b, ok := s.bindings[m.ClientMAC]
@@ -240,11 +297,8 @@ func (s *Server) HandleMessage(m *Message) {
 		}
 		if ok && m.YourIP != 0 && m.YourIP != b.ip {
 			// Client asked for a stale cached address someone else holds.
-			resp := &Message{Op: Nak, XID: m.XID, ClientMAC: m.ClientMAC, ServerID: s.cfg.ServerID}
-			s.kernel.After(s.cfg.AckLatency.Sample(s.rng)+extra, func() {
-				s.Naks++
-				s.send(resp.ClientMAC, resp)
-			})
+			resp := Message{Op: Nak, XID: m.XID, ClientMAC: m.ClientMAC, ServerID: s.cfg.ServerID}
+			s.scheduleResp(respNak, resp, s.cfg.AckLatency.Sample(s.rng)+extra)
 			return
 		}
 		if !ok {
@@ -255,22 +309,16 @@ func (s *Server) HandleMessage(m *Message) {
 				s.bindings[m.ClientMAC] = b
 				ok = true
 			} else {
-				resp := &Message{Op: Nak, XID: m.XID, ClientMAC: m.ClientMAC, ServerID: s.cfg.ServerID}
-				s.kernel.After(s.cfg.AckLatency.Sample(s.rng)+extra, func() {
-					s.Naks++
-					s.send(resp.ClientMAC, resp)
-				})
+				resp := Message{Op: Nak, XID: m.XID, ClientMAC: m.ClientMAC, ServerID: s.cfg.ServerID}
+				s.scheduleResp(respNak, resp, s.cfg.AckLatency.Sample(s.rng)+extra)
 				return
 			}
 		}
 		b.expires = now + s.cfg.LeaseDur
 		s.bindings[m.ClientMAC] = b
-		resp := &Message{Op: Ack, XID: m.XID, ClientMAC: m.ClientMAC,
+		resp := Message{Op: Ack, XID: m.XID, ClientMAC: m.ClientMAC,
 			YourIP: b.ip, ServerID: s.cfg.ServerID, LeaseSecs: uint32(s.cfg.LeaseDur.Seconds())}
-		s.kernel.After(s.cfg.AckLatency.Sample(s.rng)+extra, func() {
-			s.Acks++
-			s.send(resp.ClientMAC, resp)
-		})
+		s.scheduleResp(respAck, resp, s.cfg.AckLatency.Sample(s.rng)+extra)
 	default:
 		// A server receiving a server-side op (Offer/Ack/Nak) means some
 		// component routed a frame backwards — count it, don't crash.

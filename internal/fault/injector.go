@@ -3,6 +3,7 @@ package fault
 import (
 	"fmt"
 	"math/rand"
+	"strconv"
 	"strings"
 	"time"
 
@@ -69,9 +70,19 @@ type Injector struct {
 	apStream   []int
 	linkStream []int
 
-	// dhcpRNG holds the lazily created per-AP chaos streams (shared by
-	// the profile chaos and timeline overrides of one server).
-	dhcpRNG map[int]*rand.Rand
+	// streams is the registry of per-(class, target) fault streams.
+	// Each wraps a CountedSource so a checkpoint can record and restore
+	// the stream's exact position; both the episode machinery and the
+	// lazily created DHCP-chaos/reset streams draw through it.
+	streams map[string]*faultStream
+
+	// episodes tracks every armed recurring-fault timeline in attach
+	// order, so a checkpoint can capture which phase each one is in.
+	episodes []*episode
+
+	// timelineUsed marks that a scripted Timeline was scheduled; those
+	// closures are not reifiable, so the injector refuses to checkpoint.
+	timelineUsed bool
 
 	// Reset-fault state: the profile probability plus any timeline
 	// window override.
@@ -104,11 +115,11 @@ func NewInjectorSeeded(k *sim.Kernel, cfg Config, seed int64) *Injector {
 		kernel:      k,
 		cfg:         cfg,
 		seed:        seed,
-		dhcpRNG:     make(map[int]*rand.Rand),
-		classes:     make(map[string]*ClassStat, len(Classes)),
+		streams:     make(map[string]*faultStream),
+		classes:     make(map[string]*ClassStat, len(WorldClasses)),
 		outstanding: make(map[string][]time.Duration),
 	}
-	for _, c := range Classes {
+	for _, c := range WorldClasses {
 		in.classes[c] = &ClassStat{Class: c}
 	}
 	return in
@@ -127,7 +138,7 @@ func (in *Injector) AttachObs(o *obs.Obs) {
 		return
 	}
 	in.tr = o.Tracer
-	for _, class := range Classes {
+	for _, class := range WorldClasses {
 		cs := in.classes[class]
 		name := strings.ReplaceAll(class, "-", "_")
 		o.Reg.CounterFunc("fault_"+name+"_injected_total",
@@ -139,8 +150,38 @@ func (in *Injector) AttachObs(o *obs.Obs) {
 	}
 }
 
+// faultStream is one registered (class, target) stream: the counted
+// source (for checkpoint position export) plus the rand.Rand drawing
+// from it. The derivation seed rides along so a restore can rewind the
+// source in place without re-deriving it.
+type faultStream struct {
+	seed int64
+	src  *sim.CountedSource
+	rng  *rand.Rand
+}
+
+// streamKey names a (class, target) stream for checkpoints.
+func streamKey(class string, target int) string {
+	return class + "." + strconv.Itoa(target)
+}
+
+// streamFor returns (creating on first use) the registered stream for
+// the pair. The value sequence matches sweep.RNG(seed, "fault."+class,
+// target) exactly; the counting wrapper only observes it.
+func (in *Injector) streamFor(class string, target int) *faultStream {
+	key := streamKey(class, target)
+	fs := in.streams[key]
+	if fs == nil {
+		seed := sweep.TaskSeed(in.seed, "fault."+class, target)
+		src := sim.NewCountedSource(seed)
+		fs = &faultStream{seed: seed, src: src, rng: rand.New(src)}
+		in.streams[key] = fs
+	}
+	return fs
+}
+
 func (in *Injector) stream(class string, target int) *rand.Rand {
-	return sweep.RNG(in.seed, "fault."+class, target)
+	return in.streamFor(class, target).rng
 }
 
 // recordFault counts one injected fault and opens a recovery marker.
@@ -174,41 +215,79 @@ func (in *Injector) onDriverConnected() {
 	}
 }
 
+// episode is one target's recurring fault timeline, reified so a
+// checkpoint can record which phase it is in: exactly one event is
+// pending at any instant — the next start when healthy, the stop when
+// a fault is active.
+type episode struct {
+	in    *Injector
+	class string
+	key   string // streamKey(class, target): checkpoint identity
+	rng   *rand.Rand
+	mtbf  time.Duration
+	dur   sim.Dist
+	start, stop func()
+
+	fireFn, stopFn func()
+
+	inFault bool
+	t0      time.Duration // active episode's start, for the trace span
+	ev      sim.Event
+}
+
+// arm draws the next inter-arrival gap and schedules the start. A 1 ms
+// minimum spacing guards against event storms from tiny MTBF configs.
+func (ep *episode) arm() {
+	gap := time.Duration(ep.rng.ExpFloat64() * float64(ep.mtbf))
+	if gap < time.Millisecond {
+		gap = time.Millisecond
+	}
+	ep.ev = ep.in.kernel.After(gap, ep.fireFn)
+}
+
+func (ep *episode) fire() {
+	in := ep.in
+	in.recordFault(ep.class)
+	ep.start()
+	ep.inFault = true
+	ep.t0 = in.kernel.Now()
+	var d time.Duration
+	if ep.dur != nil {
+		d = ep.dur.Sample(ep.rng)
+	}
+	if d < time.Millisecond {
+		d = time.Millisecond
+	}
+	ep.ev = in.kernel.After(d, ep.stopFn)
+}
+
+func (ep *episode) finish() {
+	in := ep.in
+	ep.stop()
+	ep.inFault = false
+	ep.ev = sim.Event{}
+	// in.tr is read at fire time, so episodes armed before AttachObs
+	// still trace once it lands.
+	if in.tr != nil {
+		in.tr.Complete("fault."+ep.class, ep.class, ep.t0)
+	}
+	ep.arm()
+}
+
 // scheduleEpisodes arms one target's recurring fault timeline:
 // exponential inter-arrival gaps with the given mean, each episode
 // applying start, then stop after a dur sample. Episodes on one target
-// never overlap, and a 1 ms minimum spacing guards against event
-// storms from tiny MTBF configs.
-func (in *Injector) scheduleEpisodes(class string, rng *rand.Rand, mtbf time.Duration, dur sim.Dist, start, stop func()) {
-	var arm func()
-	arm = func() {
-		gap := time.Duration(rng.ExpFloat64() * float64(mtbf))
-		if gap < time.Millisecond {
-			gap = time.Millisecond
-		}
-		in.kernel.After(gap, func() {
-			in.recordFault(class)
-			start()
-			t0 := in.kernel.Now()
-			var d time.Duration
-			if dur != nil {
-				d = dur.Sample(rng)
-			}
-			if d < time.Millisecond {
-				d = time.Millisecond
-			}
-			in.kernel.After(d, func() {
-				stop()
-				// in.tr is read at fire time, so episodes armed before
-				// AttachObs still trace once it lands.
-				if in.tr != nil {
-					in.tr.Complete("fault."+class, class, t0)
-				}
-				arm()
-			})
-		})
+// never overlap.
+func (in *Injector) scheduleEpisodes(class string, target int, mtbf time.Duration, dur sim.Dist, start, stop func()) {
+	ep := &episode{
+		in: in, class: class, key: streamKey(class, target),
+		rng: in.stream(class, target), mtbf: mtbf, dur: dur,
+		start: start, stop: stop,
 	}
-	arm()
+	ep.fireFn = ep.fire
+	ep.stopFn = ep.finish
+	in.episodes = append(in.episodes, ep)
+	ep.arm()
 }
 
 // AttachAP registers an access point as fault target: crash/reboot
@@ -225,13 +304,11 @@ func (in *Injector) AttachAPIndexed(ap *mac.AP, streamIdx int) {
 	in.aps = append(in.aps, ap)
 	in.apStream = append(in.apStream, streamIdx)
 	if in.cfg.APCrashMTBF > 0 {
-		rng := in.stream(ClassAPCrash, streamIdx)
-		in.scheduleEpisodes(ClassAPCrash, rng, in.cfg.APCrashMTBF, in.cfg.APDowntime,
+		in.scheduleEpisodes(ClassAPCrash, streamIdx, in.cfg.APCrashMTBF, in.cfg.APDowntime,
 			ap.Crash, ap.Restart)
 	}
 	if in.cfg.BeaconSilenceMTBF > 0 {
-		rng := in.stream(ClassBeaconSilence, streamIdx)
-		in.scheduleEpisodes(ClassBeaconSilence, rng, in.cfg.BeaconSilenceMTBF, in.cfg.BeaconSilenceDur,
+		in.scheduleEpisodes(ClassBeaconSilence, streamIdx, in.cfg.BeaconSilenceMTBF, in.cfg.BeaconSilenceDur,
 			func() { ap.SetBeaconMute(true) }, func() { ap.SetBeaconMute(false) })
 	}
 	if in.cfg.DHCPDrop > 0 || in.cfg.DHCPNak > 0 || in.cfg.DHCPSlowProb > 0 {
@@ -247,18 +324,14 @@ func (in *Injector) baseChaos() dhcp.Chaos {
 	}
 }
 
-// setServerChaos (re)installs chaos on AP idx's DHCP server, reusing
-// one per-AP stream so repeated installs never reset the draw sequence.
+// setServerChaos (re)installs chaos on AP idx's DHCP server. The stream
+// registry hands back one per-AP stream, so repeated installs never
+// reset the draw sequence.
 func (in *Injector) setServerChaos(idx int, c dhcp.Chaos) {
 	if idx < 0 || idx >= len(in.aps) {
 		return
 	}
-	streamIdx := in.apStream[idx]
-	rng := in.dhcpRNG[streamIdx]
-	if rng == nil {
-		rng = in.stream("dhcp", streamIdx)
-		in.dhcpRNG[streamIdx] = rng
-	}
+	rng := in.stream("dhcp", in.apStream[idx])
 	in.aps[idx].DHCPServer().SetChaos(rng, c, func(kind string) {
 		in.recordFault("dhcp-" + kind)
 	})
@@ -276,14 +349,13 @@ func (in *Injector) AttachLinkIndexed(l *backhaul.Link, streamIdx int) {
 	in.links = append(in.links, l)
 	in.linkStream = append(in.linkStream, streamIdx)
 	if in.cfg.BlackholeMTBF > 0 {
-		rng := in.stream(ClassBlackhole, streamIdx)
-		in.scheduleEpisodes(ClassBlackhole, rng, in.cfg.BlackholeMTBF, in.cfg.BlackholeDur,
+		in.scheduleEpisodes(ClassBlackhole, streamIdx, in.cfg.BlackholeMTBF, in.cfg.BlackholeDur,
 			func() { l.SetBlackhole(true) }, func() { l.SetBlackhole(false) })
 	}
 	if in.cfg.LatencySpikeMTBF > 0 {
 		rng := in.stream(ClassLatencySpike, streamIdx)
 		extraDist := in.cfg.LatencySpikeExtra
-		in.scheduleEpisodes(ClassLatencySpike, rng, in.cfg.LatencySpikeMTBF, in.cfg.LatencySpikeDur,
+		in.scheduleEpisodes(ClassLatencySpike, streamIdx, in.cfg.LatencySpikeMTBF, in.cfg.LatencySpikeDur,
 			func() {
 				extra := 300 * time.Millisecond
 				if extraDist != nil {
@@ -302,9 +374,8 @@ func (in *Injector) AttachMedium(m *radio.Medium, channels []int) {
 	if in.cfg.BurstMTBF > 0 && in.cfg.BurstExtraLoss > 0 {
 		for i, ch := range channels {
 			ch := ch
-			rng := in.stream(ClassBurstLoss, i)
 			extra := in.cfg.BurstExtraLoss
-			in.scheduleEpisodes(ClassBurstLoss, rng, in.cfg.BurstMTBF, in.cfg.BurstDur,
+			in.scheduleEpisodes(ClassBurstLoss, i, in.cfg.BurstMTBF, in.cfg.BurstDur,
 				func() { m.SetBurstLoss(ch, extra) }, func() { m.SetBurstLoss(ch, 0) })
 		}
 	}
@@ -346,10 +417,11 @@ func (in *Injector) ensureResetHook() {
 	})
 }
 
-// Snapshot returns every class's counters in canonical order.
+// Snapshot returns every injectable class's counters in canonical
+// order (the shard classes are the City's, not the injector's).
 func (in *Injector) Snapshot() []ClassStat {
-	out := make([]ClassStat, 0, len(Classes))
-	for _, c := range Classes {
+	out := make([]ClassStat, 0, len(WorldClasses))
+	for _, c := range WorldClasses {
 		out = append(out, *in.classes[c])
 	}
 	return out
@@ -358,7 +430,7 @@ func (in *Injector) Snapshot() []ClassStat {
 // TotalInjected sums injected faults across classes.
 func (in *Injector) TotalInjected() uint64 {
 	var t uint64
-	for _, c := range Classes {
+	for _, c := range WorldClasses {
 		t += in.classes[c].Injected
 	}
 	return t

@@ -193,6 +193,11 @@ func parseEntry(item string) (Entry, error) {
 // targets are attached; entries whose target index does not resolve
 // count as Skipped rather than failing the run.
 func (in *Injector) ScheduleTimeline(t Timeline) {
+	if len(t) > 0 {
+		// Scripted entries live in closures the checkpoint cannot reify;
+		// an injector that ran a timeline refuses to export.
+		in.timelineUsed = true
+	}
 	for _, e := range t {
 		e := e
 		in.kernel.At(e.At, func() { in.applyEntry(e) })

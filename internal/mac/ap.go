@@ -73,12 +73,15 @@ type AP struct {
 
 	// beaconFn caches the beacon method value so each re-arm does not
 	// allocate a fresh closure (ten per second per AP adds up at metro
-	// scale).
+	// scale); beaconEv is the armed tick, recorded by checkpoints.
 	beaconFn func()
+	beaconEv sim.Event
 	// respFree recycles the delayed-response carriers; each holds a
 	// cached fire callback so scheduling a management response allocates
-	// nothing in steady state.
+	// nothing in steady state. resps tracks the in-flight carriers so a
+	// checkpoint can capture them.
 	respFree []*pendingResp
+	resps    []*pendingResp
 
 	clients map[wifi.Addr]*apClient
 	uplink  func(from wifi.Addr, db *wifi.DataBody)
@@ -133,7 +136,7 @@ func NewAPAt(m *radio.Medium, cfg APConfig, addr wifi.Addr, pos geo.Point, serve
 	ap.dhcpd.SetInvariants(ap.inv)
 	ap.beaconFn = ap.beacon
 	if cfg.BeaconInterval > 0 {
-		ap.kernel.After(cfg.BeaconInterval, ap.beaconFn)
+		ap.beaconEv = ap.kernel.After(cfg.BeaconInterval, ap.beaconFn)
 	}
 	return ap
 }
@@ -223,7 +226,7 @@ func (ap *AP) beacon() {
 	} else {
 		ap.BeaconsMissed++
 	}
-	ap.kernel.After(ap.cfg.BeaconInterval, ap.beaconFn)
+	ap.beaconEv = ap.kernel.After(ap.cfg.BeaconInterval, ap.beaconFn)
 }
 
 // beaconFrame builds a pooled beacon or probe-response frame — the two
@@ -245,22 +248,30 @@ func (ap *AP) beaconFrame(da wifi.Addr, t wifi.FrameType) *wifi.Frame {
 // pendingResp carries one delayed management response to its timer
 // firing. Responses fire in random-delay order, not FIFO, so a free
 // list (LIFO reuse) is safe: each carrier is parked from schedule to
-// fire and owns nothing afterwards.
+// fire and owns nothing afterwards. In-flight carriers sit in ap.resps
+// (swap-removed on fire) so checkpoints can capture them.
 type pendingResp struct {
 	ap     *AP
 	f      *wifi.Frame
+	ev     sim.Event
+	idx    int // position in ap.resps
 	fireFn func()
 }
 
 func (pr *pendingResp) fire() {
+	ap := pr.ap
+	last := len(ap.resps) - 1
+	ap.resps[pr.idx] = ap.resps[last]
+	ap.resps[pr.idx].idx = pr.idx
+	ap.resps = ap.resps[:last]
 	f := pr.f
 	pr.f = nil
-	pr.ap.respFree = append(pr.ap.respFree, pr)
-	pr.ap.radio.Send(f)
+	ap.respFree = append(ap.respFree, pr)
+	ap.radio.Send(f)
 }
 
-// respondAfterDelay transmits f after the AP's processing delay.
-func (ap *AP) respondAfterDelay(f *wifi.Frame) {
+// trackResp parks f on a (recycled) carrier registered in ap.resps.
+func (ap *AP) trackResp(f *wifi.Frame) *pendingResp {
 	var pr *pendingResp
 	if n := len(ap.respFree); n > 0 {
 		pr = ap.respFree[n-1]
@@ -270,7 +281,15 @@ func (ap *AP) respondAfterDelay(f *wifi.Frame) {
 		pr.fireFn = pr.fire
 	}
 	pr.f = f
-	ap.kernel.After(ap.cfg.RespDelay.Sample(ap.kernel.RNG("mac.ap.resp")), pr.fireFn)
+	pr.idx = len(ap.resps)
+	ap.resps = append(ap.resps, pr)
+	return pr
+}
+
+// respondAfterDelay transmits f after the AP's processing delay.
+func (ap *AP) respondAfterDelay(f *wifi.Frame) {
+	pr := ap.trackResp(f)
+	pr.ev = ap.kernel.After(ap.cfg.RespDelay.Sample(ap.kernel.RNG("mac.ap.resp")), pr.fireFn)
 }
 
 func (ap *AP) receive(f *wifi.Frame) {
@@ -408,13 +427,32 @@ func (ap *AP) pump(client wifi.Addr, c *apClient) {
 	c.pending = c.pending[:len(c.pending)-1]
 	c.txBusy = true
 	ap.DownDelivered++
+	ap.radio.SendTagged(f, ap.ensureDoneFn(client, c),
+		radio.TxTag{Kind: radio.TagAPPump, Addr: client})
+}
+
+// ensureDoneFn builds (once per client) the pump's MAC-completion
+// callback. Checkpoint restore also uses it, via PumpDone, to rebind
+// radio-queue entries to their owning client.
+func (ap *AP) ensureDoneFn(client wifi.Addr, c *apClient) func(bool) {
 	if c.doneFn == nil {
 		c.doneFn = func(bool) {
 			c.txBusy = false
 			ap.pump(client, c)
 		}
 	}
-	ap.radio.SendNotify(f, c.doneFn)
+	return c.doneFn
+}
+
+// PumpDone returns the MAC-completion callback for the client's
+// committed downlink frames, or nil for an unknown client. Checkpoint
+// restore uses it to re-attach restored radio queue entries.
+func (ap *AP) PumpDone(client wifi.Addr) func(bool) {
+	c, ok := ap.clients[client]
+	if !ok {
+		return nil
+	}
+	return ap.ensureDoneFn(client, c)
 }
 
 func (ap *AP) trimBuffer(c *apClient) {

@@ -304,6 +304,7 @@ type Radio struct {
 	txCh     int
 	txDur    time.Duration
 	txDoneFn func()
+	txDoneEv sim.Event // the end-of-transmission event, for checkpointing
 
 	air Airtime
 }
@@ -330,6 +331,10 @@ type txJob struct {
 	ch      int // channel the frame was queued for
 	attempt int
 	done    func(delivered bool)
+	// tag names the done callback for checkpoints: closures cannot be
+	// serialized, so tagged sends record enough identity for the owner
+	// to rebuild the callback at restore (see TxTag).
+	tag TxTag
 }
 
 // NewRadio registers a radio on the medium. pos is sampled at transmit
@@ -433,6 +438,24 @@ func (r *Radio) Retune(ch int, reset time.Duration, done func()) sim.Event {
 	return r.m.kernel.After(reset, r.retuneFn)
 }
 
+// RestoreRetune re-arms a checkpointed in-flight retune with its
+// recorded event identity. The radio's deaf channel, suspendedTo, and
+// accumulated reset airtime were already restored through RestoreState;
+// unlike Retune this adds nothing — it only re-creates the completion
+// event. done plays the role of the original Retune done callback.
+func (r *Radio) RestoreRetune(ch int, at time.Duration, seq uint64, done func()) sim.Event {
+	r.retuneCh, r.retuneDone = ch, done
+	if r.retuneFn == nil {
+		r.retuneFn = func() {
+			r.setChannel(r.retuneCh)
+			if r.retuneDone != nil {
+				r.retuneDone()
+			}
+		}
+	}
+	return r.m.kernel.RestoreAt(at, seq, r.retuneFn)
+}
+
 // Suspended reports whether the radio is mid-reset at time t.
 func (r *Radio) Suspended(t time.Duration) bool { return t < r.suspendedTo }
 
@@ -455,6 +478,15 @@ func (r *Radio) Send(f *wifi.Frame) bool { return r.SendNotify(f, nil) }
 // channel change), letting senders pace themselves against the actual
 // airtime instead of guessing.
 func (r *Radio) SendNotify(f *wifi.Frame, done func(delivered bool)) bool {
+	return r.SendTagged(f, done, TxTag{})
+}
+
+// SendTagged is SendNotify with a checkpoint tag naming the callback:
+// closures cannot be serialized, so owners that pass a done callback
+// also record which callback it is, letting a restore rebuild it (see
+// TxTag). Untagged callbacks are legal but make the radio's queue
+// uncheckpointable while they sit in it.
+func (r *Radio) SendTagged(f *wifi.Frame, done func(delivered bool), tag TxTag) bool {
 	ch := r.channel
 	if ch == 0 {
 		if done != nil {
@@ -466,9 +498,21 @@ func (r *Radio) SendNotify(f *wifi.Frame, done func(delivered bool)) bool {
 		r.txQueue = r.txQueue[:0]
 		r.txHead = 0
 	}
-	r.txQueue = append(r.txQueue, txJob{f: f, ch: ch, done: done})
+	r.txQueue = append(r.txQueue, txJob{f: f, ch: ch, done: done, tag: tag})
 	r.kick()
 	return true
+}
+
+// Orphan strips the completion callback and checkpoint tag from every
+// queued (and in-flight) frame. A retiring driver calls it: committed
+// frames still finish as physics — airtime is spent, deliveries draw
+// loss — but nothing upcalls into the retired owner, and the queue
+// stays checkpointable without a resolver for a dead driver.
+func (r *Radio) Orphan() {
+	for i := r.txHead; i < len(r.txQueue); i++ {
+		r.txQueue[i].done = nil
+		r.txQueue[i].tag = TxTag{}
+	}
 }
 
 // popHead drops the queue head, clearing its references so the slot
@@ -544,7 +588,7 @@ func (r *Radio) kick() {
 		m.recordActive(activeTx{from: r, ch: job.ch, start: start, end: start + dur, pos: txPos})
 	}
 	r.txF, r.txCh, r.txDur = f, job.ch, dur
-	m.kernel.At(start+dur, r.txDoneFn)
+	r.txDoneEv = m.kernel.At(start+dur, r.txDoneFn)
 }
 
 // txComplete is the end-of-transmission event for the in-flight frame —

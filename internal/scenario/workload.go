@@ -137,7 +137,10 @@ func (c *Client) newSender(cn *conn, size int64, onDone func()) *tcpsim.Sender {
 		// The segment stays alive across the backhaul delay; linkSeg.down
 		// encodes it on arrival and recycles it into c.segPool.
 		ds := c.getLinkSeg(&c.downFree, node, seg)
-		node.Link.Down(seg.WireSize(), ds.downFn)
+		if ev, ok := node.Link.DownEv(seg.WireSize(), ds.downFn); ok {
+			ds.ev = ev
+			c.trackSeg(&c.downLive, ds)
+		}
 	}, onDone)
 	s.SetSegPool(&c.segPool)
 	return s

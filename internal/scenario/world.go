@@ -147,7 +147,10 @@ func (w *World) AddAP(spec APSpec) *APNode {
 			return
 		}
 		up := client.getLinkSeg(&client.upFree, node, seg)
-		node.Link.Up(seg.WireSize(), up.upFn)
+		if ev, ok := node.Link.UpEv(seg.WireSize(), up.upFn); ok {
+			up.ev = ev
+			client.trackSeg(&client.upLive, up)
+		}
 	})
 	return node
 }
@@ -160,7 +163,42 @@ type linkSeg struct {
 	c    *Client
 	node *APNode
 	seg  *tcpsim.Segment
+	// ev/idx track the in-flight delivery for checkpoints: ev is the
+	// kernel event identity, idx the carrier's slot in the client's live
+	// registry (upLive/downLive).
+	ev   sim.Event
+	idx  int
 	upFn, downFn func()
+}
+
+// trackSeg registers an armed carrier in the given live registry.
+func (c *Client) trackSeg(live *[]*linkSeg, ls *linkSeg) {
+	ls.idx = len(*live)
+	*live = append(*live, ls)
+}
+
+// untrackSeg removes a completed carrier (swap-remove; order is
+// irrelevant, exports sort by event identity).
+func (c *Client) untrackSeg(live *[]*linkSeg, ls *linkSeg) {
+	l := *live
+	last := len(l) - 1
+	if ls.idx <= last && l[ls.idx] == ls {
+		l[ls.idx] = l[last]
+		l[ls.idx].idx = ls.idx
+		*live = l[:last]
+	}
+}
+
+// drainLinkSegs cancels every in-flight carrier and recycles it: the
+// segment dies with the backhaul traversal, as if the link dropped it.
+func (c *Client) drainLinkSegs(live, free *[]*linkSeg) {
+	for _, ls := range *live {
+		ls.ev.Cancel()
+		c.segPool.Put(ls.seg)
+		ls.node, ls.seg, ls.ev = nil, nil, sim.Event{}
+		*free = append(*free, ls)
+	}
+	*live = (*live)[:0]
 }
 
 // getLinkSeg pops a carrier from the given free list (or builds one,
@@ -183,7 +221,8 @@ func (c *Client) getLinkSeg(free *[]*linkSeg, node *APNode, seg *tcpsim.Segment)
 // sender (if the association still exists) and recycle everything.
 func (ls *linkSeg) up() {
 	c, node, seg := ls.c, ls.node, ls.seg
-	ls.node, ls.seg = nil, nil
+	c.untrackSeg(&c.upLive, ls)
+	ls.node, ls.seg, ls.ev = nil, nil, sim.Event{}
 	c.upFree = append(c.upFree, ls)
 	if live, ok := c.conns[node.AP.Addr()]; ok && live.sender != nil {
 		live.sender.HandleAck(seg)
@@ -195,7 +234,8 @@ func (ls *linkSeg) up() {
 // through the AP toward the client and recycle the segment.
 func (ls *linkSeg) down() {
 	c, node, seg := ls.c, ls.node, ls.seg
-	ls.node, ls.seg = nil, nil
+	c.untrackSeg(&c.downLive, ls)
+	ls.node, ls.seg, ls.ev = nil, nil, sim.Event{}
 	c.downFree = append(c.downFree, ls)
 	node.AP.Deliver(c.addr, c.bodyFor(seg))
 	c.segPool.Put(seg)
@@ -260,6 +300,9 @@ type Client struct {
 	// downlink decode scratch. All single-threaded with the world.
 	segPool tcpsim.SegPool
 	upFree, downFree []*linkSeg
+	// upLive/downLive register carriers currently in flight across a
+	// backhaul, so checkpoints can capture the pending deliveries.
+	upLive, downLive []*linkSeg
 	dlSeg   tcpsim.Segment
 	// statsClosed / invClosed carry the counters of drivers this client
 	// has already retired (one per shard migration), so Stats and
@@ -360,6 +403,12 @@ func (c *Client) attachDriver(w *World, cfg core.Config, mob geo.Mobility) {
 // totals — stays alive for AdoptClient in the destination world.
 func (w *World) RemoveClient(c *Client) []core.APRecord {
 	recs := c.Driver.ExportAPRecords()
+	// Drain in-flight backhaul carriers. Their completions close over
+	// this client and would otherwise fire in THIS world's kernel after
+	// the client moved on — touching the client's new world (its medium
+	// frame pool, its segment pool) from the old world's goroutine.
+	c.drainLinkSegs(&c.upLive, &c.upFree)
+	c.drainLinkSegs(&c.downLive, &c.downFree)
 	c.Driver.Shutdown()
 	c.statsClosed = c.statsClosed.Add(c.Driver.Stats())
 	c.invClosed += c.Driver.Invariants().Total()

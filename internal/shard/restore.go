@@ -1,0 +1,220 @@
+package shard
+
+import (
+	"fmt"
+
+	"time"
+
+	"spider/internal/fault"
+	"spider/internal/geo"
+	"spider/internal/obs"
+	"spider/internal/scenario"
+	"spider/internal/sim"
+	"spider/internal/wifi"
+)
+
+// HaloFrameState is one inbox mirror frame as wire bytes. The Halo flag
+// is implicit — the wire format drops it, and every frame sitting in an
+// inbox at a barrier is a halo mirror by construction.
+type HaloFrameState struct {
+	Dst   int
+	Frame []byte
+	Ch    int
+	Pos   geo.Point
+}
+
+// ObsState is one tile's observation bundle: typed metric handles plus
+// the trace ring.
+type ObsState struct {
+	Handles []obs.HandleState
+	Tracer  obs.TracerState
+}
+
+// TileState is one tile's complete checkpointable state: its kernel
+// position, every RNG stream position, the world, the chaos injector
+// (when armed), the observation bundle (when enabled), and the halo
+// frames awaiting injection at its next epoch.
+type TileState struct {
+	NextSeq uint64
+	Fired   uint64
+	RNGs    []sim.RNGPos
+	World   scenario.WorldState
+
+	Injector *fault.InjectorState
+	Obs      *ObsState
+	Inbox    []HaloFrameState
+}
+
+// CityState is a city's complete state at a shard barrier — the only
+// point where a consistent cut exists: outboxes are empty, inboxes are
+// routed, every tile sits at the same virtual time, and every pending
+// event is strictly in the future.
+type CityState struct {
+	Now        time.Duration
+	Migrations uint64
+
+	// MigLog is the full migration history. Restore replays it call by
+	// call so each medium's radio registration order matches the
+	// original run's — the one property a fresh build cannot reproduce.
+	MigLog []MigRecord
+
+	// ResidentTile is the post-replay residency, kept as a cross-check
+	// that the replay reconverged.
+	ResidentTile []int32
+
+	// ShardFaults is the city-level runtime-fault ledger (non-zero
+	// classes only, canonical order).
+	ShardFaults []fault.ClassStat
+
+	Tiles []TileState
+}
+
+// ExportState captures the city at the current barrier. The city must
+// be healthy: a quarantined tile's world may still be owned by its
+// abandoned goroutine, so a sick city refuses to checkpoint.
+func (c *City) ExportState() (CityState, error) {
+	for i, q := range c.quarantined {
+		if q {
+			return CityState{}, fmt.Errorf("shard: tile %d is quarantined; a sick city does not checkpoint", i)
+		}
+	}
+	st := CityState{
+		Now:          c.now,
+		Migrations:   c.Migrations,
+		MigLog:       append([]MigRecord(nil), c.migLog...),
+		ResidentTile: append([]int32(nil), c.residentTile...),
+		ShardFaults:  c.ShardFaults(),
+	}
+	for i, t := range c.Tiles {
+		k := t.World.Kernel
+		if k.Now() != c.now {
+			return CityState{}, fmt.Errorf("shard: tile %d at %v, barrier at %v", i, k.Now(), c.now)
+		}
+		if len(t.outbox) != 0 {
+			return CityState{}, fmt.Errorf("shard: tile %d has an unrouted outbox", i)
+		}
+		ts := TileState{NextSeq: k.NextSeq(), Fired: k.Fired(), RNGs: k.ExportRNGs()}
+		ws, err := t.World.ExportState()
+		if err != nil {
+			return CityState{}, fmt.Errorf("shard: tile %d: %w", i, err)
+		}
+		ts.World = ws
+		for _, h := range t.inbox {
+			ts.Inbox = append(ts.Inbox, HaloFrameState{
+				Dst: h.dst, Frame: h.frame.Encode(), Ch: h.ch, Pos: h.pos,
+			})
+		}
+		if len(c.Injectors) > 0 {
+			is, err := c.Injectors[i].ExportState()
+			if err != nil {
+				return CityState{}, fmt.Errorf("shard: tile %d: %w", i, err)
+			}
+			ts.Injector = &is
+		}
+		if c.obs != nil {
+			ts.Obs = &ObsState{
+				Handles: c.obs[i].Reg.ExportHandles(),
+				Tracer:  c.obs[i].Tracer.ExportState(),
+			}
+		}
+		st.Tiles = append(st.Tiles, ts)
+	}
+	return st, nil
+}
+
+// RestoreState rewinds a freshly built city to a checkpointed barrier.
+// The city must have been built from the same spec, with EnableObs and
+// ApplyChaos applied (or not) exactly as in the checkpointed run —
+// presence mismatches are errors, not silent drift.
+//
+// Order matters:
+//  1. Replay the migration log, reproducing each medium's radio
+//     registration sequence. The replay schedules events and churns
+//     component state, all of which the next step discards.
+//  2. Per tile: BeginRestore (drops every pending event, sets the
+//     clock), then world → injector → obs state, whose restores re-arm
+//     events with their recorded identities.
+//  3. Per tile, last: RestoreRNGs — cancelling every construction- and
+//     replay-time draw by rewinding each stream in place.
+func (c *City) RestoreState(st CityState) error {
+	if c.now != 0 || c.Migrations != 0 || len(c.migLog) != 0 {
+		return fmt.Errorf("shard: RestoreState needs a freshly built city")
+	}
+	if len(st.Tiles) != len(c.Tiles) {
+		return fmt.Errorf("shard: %d tiles in state, %d built", len(st.Tiles), len(c.Tiles))
+	}
+	if len(st.ResidentTile) != len(c.residentTile) {
+		return fmt.Errorf("shard: %d clients in state, %d built", len(st.ResidentTile), len(c.residentTile))
+	}
+
+	for n, m := range st.MigLog {
+		if m.Client < 0 || int(m.Client) >= len(c.clients) ||
+			m.From < 0 || int(m.From) >= len(c.Tiles) ||
+			m.To < 0 || int(m.To) >= len(c.Tiles) || m.From == m.To {
+			return fmt.Errorf("shard: migration log entry %d is out of range", n)
+		}
+		if c.residentTile[m.Client] != m.From {
+			return fmt.Errorf("shard: migration log entry %d moves client %d from tile %d, resident in %d",
+				n, m.Client, m.From, c.residentTile[m.Client])
+		}
+		recs := c.Tiles[m.From].World.RemoveClient(c.clients[m.Client])
+		c.Tiles[m.To].World.AdoptClient(c.clients[m.Client], c.cfg, c.mobs[m.Client], recs)
+		c.residentTile[m.Client] = m.To
+	}
+	for i := range c.residentTile {
+		if c.residentTile[i] != st.ResidentTile[i] {
+			return fmt.Errorf("shard: client %d resident in tile %d after replay, checkpoint says %d",
+				i, c.residentTile[i], st.ResidentTile[i])
+		}
+	}
+	c.migLog = append(c.migLog, st.MigLog...)
+	c.Migrations = st.Migrations
+	for _, cs := range st.ShardFaults {
+		c.shardFaults[cs.Class] = cs.Injected
+	}
+
+	for i, ts := range st.Tiles {
+		t := c.Tiles[i]
+		k := t.World.Kernel
+		k.BeginRestore(st.Now, ts.NextSeq, ts.Fired)
+		if err := t.World.RestoreState(ts.World); err != nil {
+			return fmt.Errorf("shard: tile %d: %w", i, err)
+		}
+		switch {
+		case ts.Injector != nil && i < len(c.Injectors):
+			if err := c.Injectors[i].RestoreState(*ts.Injector); err != nil {
+				return fmt.Errorf("shard: tile %d: %w", i, err)
+			}
+		case ts.Injector != nil:
+			return fmt.Errorf("shard: tile %d has chaos state but no injector; call ApplyChaos before RestoreState", i)
+		case len(c.Injectors) > 0:
+			return fmt.Errorf("shard: tile %d has an injector but the checkpoint carries no chaos state", i)
+		}
+		switch {
+		case ts.Obs != nil && c.obs != nil:
+			if err := c.obs[i].Reg.RestoreHandles(ts.Obs.Handles); err != nil {
+				return fmt.Errorf("shard: tile %d: %w", i, err)
+			}
+			if err := c.obs[i].Tracer.RestoreState(ts.Obs.Tracer); err != nil {
+				return fmt.Errorf("shard: tile %d: %w", i, err)
+			}
+		case ts.Obs != nil:
+			return fmt.Errorf("shard: tile %d has obs state but obs are not enabled; call EnableObs before RestoreState", i)
+		case c.obs != nil:
+			return fmt.Errorf("shard: tile %d has obs enabled but the checkpoint carries no obs state", i)
+		}
+		t.inbox = t.inbox[:0]
+		for n, hs := range ts.Inbox {
+			f, err := wifi.Decode(hs.Frame)
+			if err != nil {
+				return fmt.Errorf("shard: tile %d inbox frame %d: %w", i, n, err)
+			}
+			hf := haloFrame{dst: hs.Dst, ch: hs.Ch, pos: hs.Pos, frame: *f}
+			hf.frame.Halo = true
+			t.inbox = append(t.inbox, hf)
+		}
+		k.RestoreRNGs(ts.RNGs)
+	}
+	c.now = st.Now
+	return nil
+}

@@ -83,6 +83,7 @@ type Kernel struct {
 	nextSeq uint64
 	seed    int64
 	rngs    map[string]*rand.Rand
+	srcs    map[string]*CountedSource
 	stopped bool
 
 	// Fired counts events executed; useful for tests and budget guards.
@@ -95,6 +96,7 @@ func NewKernel(seed int64) *Kernel {
 	return &Kernel{
 		seed: seed,
 		rngs: make(map[string]*rand.Rand),
+		srcs: make(map[string]*CountedSource),
 	}
 }
 
@@ -107,17 +109,26 @@ func (k *Kernel) Seed() int64 { return k.seed }
 // Fired returns the number of events executed so far.
 func (k *Kernel) Fired() uint64 { return k.fired }
 
+// streamSeed derives the seed for the named RNG stream by mixing the
+// kernel seed with an FNV-1a hash of the name.
+func (k *Kernel) streamSeed(name string) int64 {
+	h := fnv.New64a()
+	h.Write([]byte(name))
+	return k.seed ^ int64(h.Sum64())
+}
+
 // RNG returns the named random stream, creating it on first use. The
 // stream's seed mixes the kernel seed with the name, so streams are
-// mutually independent and stable across runs.
+// mutually independent and stable across runs. Streams sit on counted
+// sources so checkpoints can record and restore their exact positions.
 func (k *Kernel) RNG(name string) *rand.Rand {
 	if r, ok := k.rngs[name]; ok {
 		return r
 	}
-	h := fnv.New64a()
-	h.Write([]byte(name))
-	r := rand.New(rand.NewSource(k.seed ^ int64(h.Sum64())))
+	src := NewCountedSource(k.streamSeed(name))
+	r := rand.New(src)
 	k.rngs[name] = r
+	k.srcs[name] = src
 	return r
 }
 

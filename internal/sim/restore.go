@@ -1,0 +1,207 @@
+// Checkpoint/restore support: the primitives that let a kernel be
+// rewound to a recorded instant and re-armed so that continued
+// execution is byte-identical to a run that never stopped.
+//
+// The restore model is "build normally, then rewind & re-arm". A
+// restoring process constructs its world exactly as a fresh run would
+// — constructors may schedule events and draw from named RNG streams;
+// none of that matters, because the restore then:
+//
+//  1. calls BeginRestore, which drops every pending event and sets the
+//     clock, sequence counter and fired count to the recorded values;
+//  2. calls RestoreRNGs, which re-derives every named stream from the
+//     kernel seed and fast-forwards it by the recorded number of
+//     source steps; and
+//  3. has each component re-arm its recorded pending timers via
+//     RestoreAt with the original (at, seq) pair.
+//
+// The event heap is keyed by (at, seq), so re-insertion order is
+// irrelevant: ties between restored events break exactly as they did
+// in the original run, and events scheduled after the restore draw
+// fresh sequence numbers from the restored counter — the same numbers
+// the uninterrupted run would have used.
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// CountedSource wraps a math/rand Source64 and counts generator steps.
+// Every *rand.Rand method consumes one or more source outputs, each of
+// which passes through here, so the count identifies the stream's exact
+// position regardless of which mix of draw methods produced it.
+// Fast-forwarding a fresh source by the same count restores the
+// position: Burn draws at the source level, below rand.Rand's
+// conversion layer, so the mix of Int63/Uint64 calls never matters.
+type CountedSource struct {
+	src rand.Source64
+	n   uint64
+}
+
+// NewCountedSource returns a counted source seeded with seed.
+func NewCountedSource(seed int64) *CountedSource {
+	return &CountedSource{src: rand.NewSource(seed).(rand.Source64)}
+}
+
+// Int63 returns a non-negative 63-bit value, counting one step.
+func (c *CountedSource) Int63() int64 {
+	c.n++
+	return c.src.Int63()
+}
+
+// Uint64 returns a 64-bit value, counting one step.
+func (c *CountedSource) Uint64() uint64 {
+	c.n++
+	return c.src.Uint64()
+}
+
+// Seed reseeds the underlying source. The step count is not reset;
+// use Reseed for checkpoint restore.
+func (c *CountedSource) Seed(seed int64) { c.src.Seed(seed) }
+
+// Steps reports how many source outputs have been consumed.
+func (c *CountedSource) Steps() uint64 { return c.n }
+
+// Reseed resets the source to its initial state for seed and then
+// fast-forwards it by burn steps, leaving the stream positioned exactly
+// where a fresh source would be after burn draws.
+func (c *CountedSource) Reseed(seed int64, burn uint64) {
+	c.src.Seed(seed)
+	c.n = 0
+	for i := uint64(0); i < burn; i++ {
+		c.src.Uint64()
+	}
+	c.n = burn
+}
+
+// RNGPos records the position of one named kernel RNG stream.
+type RNGPos struct {
+	Name string
+	N    uint64
+}
+
+// NextSeq reports the sequence number the next scheduled event will
+// receive — part of checkpoint state, because restored runs must hand
+// out the same tie-break sequence numbers the uninterrupted run would.
+func (k *Kernel) NextSeq() uint64 { return k.nextSeq }
+
+// State reports the scheduled time and tie-break sequence of a still
+// pending event, for checkpoint export. ok is false if the event has
+// fired or been cancelled.
+func (e Event) State() (at time.Duration, seq uint64, ok bool) {
+	if !e.live() {
+		return 0, 0, false
+	}
+	return e.at, e.k.slots[e.idx].seq, true
+}
+
+// ExportRNGs returns the positions of all named RNG streams that have
+// consumed at least one source step, sorted by name. Streams at
+// position zero are omitted: a rebuilt kernel recreates them fresh on
+// first use, which is the same state.
+func (k *Kernel) ExportRNGs() []RNGPos {
+	out := make([]RNGPos, 0, len(k.srcs))
+	for name, src := range k.srcs {
+		if src.Steps() > 0 {
+			out = append(out, RNGPos{Name: name, N: src.Steps()})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// RestoreRNGs rewinds every named stream to its seed-derived initial
+// state and fast-forwards the named ones to their recorded positions.
+// Streams that exist in the kernel but not in pos (created by
+// constructors during the rebuild) are reset to fresh, cancelling any
+// construction-time draws; streams in pos but not yet created are
+// created. Cached *rand.Rand pointers held by components stay valid:
+// the reseed mutates the underlying source in place.
+func (k *Kernel) RestoreRNGs(pos []RNGPos) {
+	for name, src := range k.srcs {
+		src.Reseed(k.streamSeed(name), 0)
+	}
+	for _, p := range pos {
+		k.RNG(p.Name) // ensure the stream exists
+		k.srcs[p.Name].Reseed(k.streamSeed(p.Name), p.N)
+	}
+}
+
+// BeginRestore drops every pending event and sets the clock, event
+// sequence counter and fired count to the recorded values. Outstanding
+// Event handles are invalidated (their slots' generations bump), so a
+// freshly built world can be rewound wholesale: constructors' scheduled
+// events vanish and components re-arm from recorded state via
+// RestoreAt.
+func (k *Kernel) BeginRestore(now time.Duration, nextSeq, fired uint64) {
+	for len(k.heap) > 0 {
+		idx := k.heap[0]
+		k.heapRemove(0)
+		k.release(idx)
+	}
+	k.now = now
+	k.nextSeq = nextSeq
+	k.fired = fired
+	k.stopped = false
+}
+
+// EventState is the serializable identity of one possibly-pending
+// timer: the common currency of component checkpoints.
+type EventState struct {
+	Pending bool
+	At      time.Duration
+	Seq     uint64
+}
+
+// CaptureEvent records a timer's identity for a checkpoint (zero value
+// if it has fired or been cancelled).
+func CaptureEvent(e Event) EventState {
+	if at, seq, ok := e.State(); ok {
+		return EventState{Pending: true, At: at, Seq: seq}
+	}
+	return EventState{}
+}
+
+// Restore re-arms a captured timer on k with fn, or returns the zero
+// Event if none was pending.
+func (es EventState) Restore(k *Kernel, fn func()) Event {
+	if !es.Pending {
+		return Event{}
+	}
+	return k.RestoreAt(es.At, es.Seq, fn)
+}
+
+// RestoreAt schedules fn with an explicit recorded (at, seq) identity
+// instead of allocating the next sequence number. It is the re-arm
+// half of checkpoint restore: a timer that was pending at snapshot
+// time is reinserted with its original key, so it sorts against every
+// other event — restored or new — exactly as in the uninterrupted run.
+// seq must come from a snapshot taken below the restored NextSeq.
+func (k *Kernel) RestoreAt(at time.Duration, seq uint64, fn func()) Event {
+	if fn == nil {
+		panic("sim: nil event func")
+	}
+	if at < k.now {
+		panic(fmt.Sprintf("sim: restoring into the past: now=%v at=%v", k.now, at))
+	}
+	if seq >= k.nextSeq {
+		panic(fmt.Sprintf("sim: restored seq %d not below next seq %d", seq, k.nextSeq))
+	}
+	var idx int32
+	if n := len(k.free); n > 0 {
+		idx = k.free[n-1]
+		k.free = k.free[:n-1]
+	} else {
+		k.slots = append(k.slots, slot{})
+		idx = int32(len(k.slots) - 1)
+	}
+	s := &k.slots[idx]
+	s.fn = fn
+	s.at = at
+	s.seq = seq
+	k.heapPush(idx)
+	return Event{k: k, at: at, idx: idx, gen: s.gen}
+}

@@ -134,6 +134,10 @@ func NewSender(k *sim.Kernel, cfg Config, flowID uint32, size int64, transmit fu
 // encoded. Senders sharing a pool must live on the same kernel.
 func (s *Sender) SetSegPool(p *SegPool) { s.segs = p }
 
+// FlowID returns the flow identity, so owners can rebuild the sender
+// (and its paired receiver) from a checkpoint.
+func (s *Sender) FlowID() uint32 { return s.flowID }
+
 // Config returns the effective configuration.
 func (s *Sender) Config() Config { return s.cfg }
 

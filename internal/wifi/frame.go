@@ -35,6 +35,17 @@ func NewAddr(class byte, index uint32) Addr {
 // IsBroadcast reports whether a is the broadcast address.
 func (a Addr) IsBroadcast() bool { return a == Broadcast }
 
+// Less orders addresses lexicographically — the canonical sort used by
+// deterministic exports (client rosters, checkpoint state).
+func (a Addr) Less(b Addr) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return false
+}
+
 func (a Addr) String() string {
 	return fmt.Sprintf("%02x:%02x:%02x:%02x:%02x:%02x", a[0], a[1], a[2], a[3], a[4], a[5])
 }
