@@ -84,9 +84,12 @@ func main() {
 		}
 	}
 	opts := expt.Options{Seed: *seed, Scale: *scale, Workers: *workers, Chaos: *chaos, Obs: o, Shards: *shards}
-	ids := strings.Split(*id, ",")
-	if *id == "all" {
-		ids = expt.IDs()
+	// Unknown or duplicate ids fail here, before any experiment runs — a
+	// typo must not cost a partial campaign.
+	ids, err := expt.ResolveIDs(*id)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "spider-exp:", err)
+		os.Exit(2)
 	}
 	// Experiments are independent worlds on independent kernels, so a
 	// multi-experiment run fans out on the sweep engine; the -workers
@@ -139,12 +142,12 @@ func main() {
 			var res fmt.Stringer
 			var err error
 			switch {
-			case camp != nil && camp.done(e):
+			case camp != nil && camp.Done(e):
 				res = skippedResult(e)
 			case arch != nil:
 				res, err = expt.RunArchived(arch, e, perExpt)
 				if err == nil && camp != nil {
-					camp.Completed = append(camp.Completed, e)
+					camp.MarkDone(e)
 					camp.Archive = arch
 					err = camp.save(*resumeO)
 				}

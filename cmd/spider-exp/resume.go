@@ -1,21 +1,16 @@
 package main
 
 import (
-	"bytes"
-	"encoding/json"
-	"errors"
 	"fmt"
-	"io"
-	"os"
-	"path/filepath"
 
-	"spider/internal/archive"
+	"spider/internal/campaign"
 )
 
 // A campaign state file makes a multi-experiment archived run
 // crash-resumable at experiment granularity: after each experiment
 // completes, the partial archive and the completed-id list are
-// persisted atomically. A rerun with -resume pointing at the file skips
+// persisted atomically and durably (internal/campaign over
+// internal/atomicfile). A rerun with -resume pointing at the file skips
 // everything it records and continues from the first missing
 // experiment; the final archive is byte-identical to an uninterrupted
 // run of the same flags.
@@ -24,54 +19,35 @@ const (
 	campaignVersion = 1
 )
 
+// campaignState is the CLI's on-disk envelope around the shared
+// resumable core. The embedded fields inline, so the file format is
+// unchanged from before the extraction.
 type campaignState struct {
 	Format  string `json:"format"`
 	Version int    `json:"version"`
-	// ConfigFP fingerprints the campaign identity (seed, scale, chaos,
-	// the -id list): a state file never resumes a different campaign.
-	ConfigFP  string           `json:"config_fp"`
-	Completed []string         `json:"completed"`
-	Archive   *archive.Archive `json:"archive"`
+	campaign.State
 }
 
 // loadCampaign reads the state file, returning a fresh state when the
 // file does not exist yet.
 func loadCampaign(path, fp string) (*campaignState, error) {
-	b, err := os.ReadFile(path)
-	if errors.Is(err, os.ErrNotExist) {
-		return &campaignState{Format: campaignFormat, Version: campaignVersion, ConfigFP: fp}, nil
-	}
+	var s campaignState
+	ok, err := campaign.LoadFile(path, &s)
 	if err != nil {
 		return nil, err
 	}
-	dec := json.NewDecoder(bytes.NewReader(b))
-	dec.DisallowUnknownFields()
-	var s campaignState
-	if err := dec.Decode(&s); err != nil {
-		return nil, fmt.Errorf("campaign state %s: %w", path, err)
-	}
-	var extra json.RawMessage
-	if err := dec.Decode(&extra); !errors.Is(err, io.EOF) {
-		return nil, fmt.Errorf("campaign state %s: trailing data", path)
+	if !ok {
+		s = campaignState{Format: campaignFormat, Version: campaignVersion}
+		s.ConfigFP = fp
+		return &s, nil
 	}
 	if s.Format != campaignFormat || s.Version != campaignVersion {
 		return nil, fmt.Errorf("campaign state %s: format %q v%d unsupported", path, s.Format, s.Version)
 	}
-	if s.ConfigFP != fp {
-		return nil, fmt.Errorf("campaign state %s: recorded campaign %s, flags describe %s (delete the file to start over)",
-			path, s.ConfigFP, fp)
+	if err := s.Verify(fp); err != nil {
+		return nil, fmt.Errorf("campaign state %s: %w", path, err)
 	}
 	return &s, nil
-}
-
-// done reports whether the experiment already completed in a prior run.
-func (s *campaignState) done(id string) bool {
-	for _, c := range s.Completed {
-		if c == id {
-			return true
-		}
-	}
-	return false
 }
 
 // skippedResult stands in for an experiment the campaign state already
@@ -83,31 +59,8 @@ func (s skippedResult) String() string {
 	return fmt.Sprintf("[%s already archived by an earlier run of this campaign; skipped]", string(s))
 }
 
-// save persists the state atomically (temp file + rename), so a crash
-// mid-save leaves the previous state intact.
+// save persists the state atomically and durably, so a crash at any
+// instant leaves either the previous state or the new one.
 func (s *campaignState) save(path string) error {
-	var buf bytes.Buffer
-	enc := json.NewEncoder(&buf)
-	enc.SetEscapeHTML(false)
-	enc.SetIndent("", "\t")
-	if err := enc.Encode(s); err != nil {
-		return err
-	}
-	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp*")
-	if err != nil {
-		return err
-	}
-	defer os.Remove(tmp.Name())
-	if _, err := tmp.Write(buf.Bytes()); err != nil {
-		tmp.Close()
-		return err
-	}
-	if err := tmp.Sync(); err != nil {
-		tmp.Close()
-		return err
-	}
-	if err := tmp.Close(); err != nil {
-		return err
-	}
-	return os.Rename(tmp.Name(), path)
+	return campaign.WriteFile(path, s)
 }

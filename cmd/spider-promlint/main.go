@@ -1,0 +1,47 @@
+// Command spider-promlint validates a Prometheus text-exposition
+// document — the repo's stand-in for `promtool check metrics`, used by
+// the supervisor-smoke CI job to prove a live /metrics scrape parses.
+//
+// Usage:
+//
+//	spider-promlint metrics.prom     # or read stdin with no argument
+//
+// Exit status: 0 when the document parses under the strict exposition
+// checker (internal/obs.CheckExposition), 1 with the offending line on
+// stderr otherwise.
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"spider/internal/obs"
+)
+
+func main() {
+	var (
+		data []byte
+		err  error
+		src  = "stdin"
+	)
+	switch len(os.Args) {
+	case 1:
+		data, err = io.ReadAll(os.Stdin)
+	case 2:
+		src = os.Args[1]
+		data, err = os.ReadFile(src)
+	default:
+		fmt.Fprintln(os.Stderr, "usage: spider-promlint [file]")
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "spider-promlint:", err)
+		os.Exit(1)
+	}
+	if err := obs.CheckExposition(data); err != nil {
+		fmt.Fprintf(os.Stderr, "spider-promlint: %s: %v\n", src, err)
+		os.Exit(1)
+	}
+	fmt.Printf("%s: ok\n", src)
+}

@@ -1,0 +1,71 @@
+// Command spider-supervisor is the simulation-as-a-service daemon: it
+// accepts campaign specs over HTTP, fans runs across the deterministic
+// sweep engine, persists campaign state durably after every run, and
+// serves the resulting spider-archive documents plus a live Prometheus
+// scrape. See docs/SUPERVISOR.md for the API reference and a curl
+// walkthrough.
+//
+// Usage:
+//
+//	spider-supervisor [-addr :8677] [-store supervisor-state]
+//	                  [-max-runs N] [-drain 30s]
+//
+// A killed (or drained) supervisor resumes every incomplete campaign
+// when restarted over the same -store directory, and the archives it
+// then serves are byte-identical to an uninterrupted run — the same
+// contract spider-exp's -resume flag honors.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"spider/internal/supervisor"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":8677", "listen address")
+		store   = flag.String("store", "supervisor-state", "campaign state directory (created if missing; incomplete campaigns resume on start)")
+		maxRuns = flag.Int("max-runs", runtime.GOMAXPROCS(0), "experiment runs executing concurrently across all campaigns")
+		drain   = flag.Duration("drain", 30*time.Second, "graceful-shutdown deadline for in-flight runs")
+	)
+	flag.Parse()
+
+	sup, err := supervisor.New(*store, *maxRuns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "spider-supervisor:", err)
+		os.Exit(1)
+	}
+	srv := &http.Server{Addr: *addr, Handler: sup.Handler()}
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	fmt.Printf("spider-supervisor: listening on %s, store %s, %d concurrent runs\n", *addr, *store, *maxRuns)
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case sig := <-sigc:
+		fmt.Printf("spider-supervisor: %v, draining (deadline %v)\n", sig, *drain)
+		ctx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		srv.Shutdown(ctx)
+		if err := sup.Shutdown(ctx); err != nil {
+			// Campaign state is durable run by run: whatever the deadline
+			// cut off resumes on the next start.
+			fmt.Fprintln(os.Stderr, "spider-supervisor:", err)
+			os.Exit(1)
+		}
+	case err := <-errc:
+		fmt.Fprintln(os.Stderr, "spider-supervisor:", err)
+		os.Exit(1)
+	}
+}

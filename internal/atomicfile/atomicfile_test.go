@@ -1,0 +1,68 @@
+package atomicfile
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestWriteFileRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "state.json")
+	want := []byte("{\"v\": 1}\n")
+	if err := WriteFile(path, want); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("ReadFile: %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("content = %q, want %q", got, want)
+	}
+}
+
+func TestWriteFileReplacesExisting(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "state.json")
+	if err := WriteFile(path, []byte("old")); err != nil {
+		t.Fatalf("WriteFile old: %v", err)
+	}
+	if err := WriteFile(path, []byte("new")); err != nil {
+		t.Fatalf("WriteFile new: %v", err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("ReadFile: %v", err)
+	}
+	if string(got) != "new" {
+		t.Fatalf("content = %q, want %q", got, "new")
+	}
+}
+
+func TestWriteFileLeavesNoTempDebris(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "state.json")
+	if err := WriteFile(path, []byte("data")); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("ReadDir: %v", err)
+	}
+	for _, e := range ents {
+		if strings.Contains(e.Name(), ".tmp") {
+			t.Fatalf("temp file %s left behind", e.Name())
+		}
+	}
+	if len(ents) != 1 {
+		t.Fatalf("dir holds %d entries, want 1", len(ents))
+	}
+}
+
+func TestWriteFileMissingDirFails(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "nope", "state.json")
+	if err := WriteFile(path, []byte("data")); err == nil {
+		t.Fatal("WriteFile into a missing directory succeeded")
+	}
+}

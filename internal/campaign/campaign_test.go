@@ -1,0 +1,98 @@
+package campaign
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"spider/internal/archive"
+)
+
+// envelope mirrors how consumers wrap State: format/version fields plus
+// the embedded resumable core.
+type envelope struct {
+	Format  string `json:"format"`
+	Version int    `json:"version"`
+	State
+}
+
+func TestDoneMarkDone(t *testing.T) {
+	var s State
+	if s.Done("fig2") {
+		t.Fatal("empty state claims fig2 done")
+	}
+	s.MarkDone("fig2")
+	s.MarkDone("fig2") // idempotent
+	if !s.Done("fig2") || len(s.Completed) != 1 {
+		t.Fatalf("Completed = %v, want exactly [fig2]", s.Completed)
+	}
+}
+
+func TestVerify(t *testing.T) {
+	s := State{ConfigFP: "abc"}
+	if err := s.Verify("abc"); err != nil {
+		t.Fatalf("Verify(match): %v", err)
+	}
+	if err := s.Verify("xyz"); err == nil {
+		t.Fatal("Verify accepted a different campaign")
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "camp.state")
+	doc := envelope{Format: "test-campaign", Version: 1}
+	doc.ConfigFP = "fp1"
+	doc.Archive = archive.New(7, "fp1")
+	doc.MarkDone("fig2")
+
+	if err := WriteFile(path, &doc); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	var got envelope
+	ok, err := LoadFile(path, &got)
+	if err != nil || !ok {
+		t.Fatalf("LoadFile: ok=%v err=%v", ok, err)
+	}
+	if got.Format != "test-campaign" || got.Version != 1 || !got.Done("fig2") {
+		t.Fatalf("round trip lost fields: %+v", got)
+	}
+	if got.Archive == nil || got.Archive.RunID != doc.Archive.RunID {
+		t.Fatal("round trip lost the archive")
+	}
+
+	// Saving the loaded document must be byte-stable.
+	b1, err := Encode(&doc)
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	b2, err := Encode(&got)
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	if !bytes.Equal(b1, b2) {
+		t.Fatal("encode(load(save(doc))) is not byte-stable")
+	}
+}
+
+func TestLoadFileMissing(t *testing.T) {
+	var got envelope
+	ok, err := LoadFile(filepath.Join(t.TempDir(), "absent"), &got)
+	if err != nil {
+		t.Fatalf("LoadFile(missing): %v", err)
+	}
+	if ok {
+		t.Fatal("LoadFile reported a missing file as existing")
+	}
+}
+
+func TestDecodeStrictRejectsHostileInput(t *testing.T) {
+	var e envelope
+	if err := DecodeStrict([]byte(`{"format":"x","version":1,"config_fp":"","completed":null,"archive":null,"bogus":1}`), &e); err == nil {
+		t.Fatal("unknown field accepted")
+	}
+	if err := DecodeStrict([]byte(`{"format":"x","version":1,"config_fp":"","completed":null,"archive":null} trailing`), &e); err == nil ||
+		!strings.Contains(err.Error(), "trailing") {
+		t.Fatalf("trailing data accepted (err=%v)", err)
+	}
+}

@@ -30,8 +30,8 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"path/filepath"
 
+	"spider/internal/atomicfile"
 	"spider/internal/shard"
 )
 
@@ -119,28 +119,12 @@ func Decode(b []byte) (*Checkpoint, error) {
 	return &ck, nil
 }
 
-// WriteFile persists the checkpoint atomically: encode to a sibling
-// temp file, fsync, rename. A crash mid-write leaves the previous
-// checkpoint intact — the property the crash-resume harness relies on.
+// WriteFile persists the checkpoint atomically and durably via
+// atomicfile.WriteFile (temp + fsync + rename + directory fsync). A
+// crash mid-write leaves the previous checkpoint intact — the property
+// the crash-resume harness relies on.
 func WriteFile(path string, ck *Checkpoint) error {
-	dir := filepath.Dir(path)
-	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
-	if err != nil {
-		return err
-	}
-	defer os.Remove(tmp.Name())
-	if _, err := tmp.Write(ck.Encode()); err != nil {
-		tmp.Close()
-		return err
-	}
-	if err := tmp.Sync(); err != nil {
-		tmp.Close()
-		return err
-	}
-	if err := tmp.Close(); err != nil {
-		return err
-	}
-	return os.Rename(tmp.Name(), path)
+	return atomicfile.WriteFile(path, ck.Encode())
 }
 
 // ReadFile loads and decodes a checkpoint file.

@@ -1,0 +1,42 @@
+package expt
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// ResolveIDs expands and validates an experiment-id spec: a single id,
+// a comma-separated list, or "all". Every id must exist in the registry
+// and appear at most once, and the check happens before anything runs —
+// a campaign must fail fast on a typo, not after hours of partial work.
+// Surrounding whitespace per id is tolerated. spider-exp's -id flag and
+// the supervisor's campaign-spec validation share this path.
+func ResolveIDs(spec string) ([]string, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return nil, errors.New("expt: empty experiment list")
+	}
+	if spec == "all" {
+		return IDs(), nil
+	}
+	parts := strings.Split(spec, ",")
+	seen := make(map[string]bool, len(parts))
+	out := make([]string, 0, len(parts))
+	for _, p := range parts {
+		id := strings.TrimSpace(p)
+		switch {
+		case id == "":
+			return nil, fmt.Errorf("expt: empty experiment id in %q", spec)
+		case id == "all":
+			return nil, fmt.Errorf("expt: %q mixes 'all' with explicit ids", spec)
+		case registry[id] == nil:
+			return nil, fmt.Errorf("expt: unknown experiment %q (have %v)", id, IDs())
+		case seen[id]:
+			return nil, fmt.Errorf("expt: duplicate experiment id %q", id)
+		}
+		seen[id] = true
+		out = append(out, id)
+	}
+	return out, nil
+}

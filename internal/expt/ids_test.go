@@ -1,0 +1,47 @@
+package expt
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestResolveIDsAll(t *testing.T) {
+	got, err := ResolveIDs("all")
+	if err != nil {
+		t.Fatalf("ResolveIDs(all): %v", err)
+	}
+	if !reflect.DeepEqual(got, IDs()) {
+		t.Fatalf("ResolveIDs(all) = %v, want IDs() = %v", got, IDs())
+	}
+}
+
+func TestResolveIDsList(t *testing.T) {
+	got, err := ResolveIDs("fig3, fig2")
+	if err != nil {
+		t.Fatalf("ResolveIDs: %v", err)
+	}
+	if !reflect.DeepEqual(got, []string{"fig3", "fig2"}) {
+		t.Fatalf("ResolveIDs = %v (order and whitespace handling)", got)
+	}
+}
+
+func TestResolveIDsFailsFast(t *testing.T) {
+	cases := map[string]string{
+		"":               "empty",
+		"   ":            "empty",
+		"fig2,,fig3":     "empty experiment id",
+		"fig2,nope":      "unknown experiment",
+		"nope":           "unknown experiment",
+		"fig2,fig3,fig2": "duplicate",
+		"all,fig2":       "mixes",
+		"fig2,all":       "mixes",
+	}
+	for spec, want := range cases {
+		if _, err := ResolveIDs(spec); err == nil {
+			t.Errorf("ResolveIDs(%q) accepted", spec)
+		} else if !strings.Contains(err.Error(), want) {
+			t.Errorf("ResolveIDs(%q) = %v, want mention of %q", spec, err, want)
+		}
+	}
+}

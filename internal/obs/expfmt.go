@@ -1,0 +1,323 @@
+package obs
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// CheckExposition is the in-repo stand-in for `promtool check metrics`:
+// a strict parser for the subset of the Prometheus text exposition
+// format this package emits (and, more importantly, for everything a
+// real scraper would reject). It validates, line by line:
+//
+//   - metric names and label names against the exposition grammar,
+//   - label values as correctly quoted strings with only the legal
+//     escapes (\\, \n, \"),
+//   - sample values as parseable floats (including +Inf/-Inf/NaN),
+//   - HELP/TYPE comment structure: at most one of each per metric,
+//     TYPE before the metric's first sample, and a known metric type,
+//   - histogram series shape: _bucket samples carry an le label,
+//     bucket counts are cumulative and non-decreasing, and the +Inf
+//     bucket equals _count.
+//
+// It returns the first violation with its 1-based line number, so CI
+// logs point straight at the offending line.
+func CheckExposition(data []byte) error {
+	st := &expoState{
+		typed:  map[string]string{},
+		helped: map[string]bool{},
+		seen:   map[string]bool{},
+		bucket: map[string]*bucketState{},
+	}
+	lines := strings.Split(string(data), "\n")
+	for i, line := range lines {
+		if line == "" {
+			// Blank lines are legal anywhere; a trailing newline yields a
+			// final empty element.
+			continue
+		}
+		if err := st.line(line); err != nil {
+			return fmt.Errorf("line %d: %w: %q", i+1, err, line)
+		}
+	}
+	return st.finish()
+}
+
+type bucketState struct {
+	last     float64 // last cumulative bucket count
+	infCount float64 // +Inf bucket, -1 until seen
+	count    float64 // _count sample, -1 until seen
+	hasInf   bool
+	hasCount bool
+}
+
+type expoState struct {
+	typed  map[string]string // metric -> TYPE
+	helped map[string]bool
+	seen   map[string]bool // metric (TYPE-name) with ≥1 sample
+	bucket map[string]*bucketState
+}
+
+func (st *expoState) line(line string) error {
+	if strings.HasPrefix(line, "#") {
+		return st.comment(line)
+	}
+	return st.sample(line)
+}
+
+// comment handles "# HELP name text", "# TYPE name type", and free
+// comments (anything after # that is not HELP/TYPE).
+func (st *expoState) comment(line string) error {
+	rest, ok := strings.CutPrefix(line, "# ")
+	if !ok {
+		// "#" alone or "#x": a free comment; legal.
+		return nil
+	}
+	switch {
+	case strings.HasPrefix(rest, "HELP "):
+		fields := strings.SplitN(rest[len("HELP "):], " ", 2)
+		name := fields[0]
+		if !ValidMetricName(name) {
+			return fmt.Errorf("invalid metric name %q in HELP", name)
+		}
+		if st.helped[name] {
+			return fmt.Errorf("second HELP for metric %q", name)
+		}
+		st.helped[name] = true
+		if len(fields) == 2 {
+			if err := checkHelpEscapes(fields[1]); err != nil {
+				return err
+			}
+		}
+	case strings.HasPrefix(rest, "TYPE "):
+		fields := strings.Fields(rest[len("TYPE "):])
+		if len(fields) != 2 {
+			return fmt.Errorf("TYPE wants 'name type'")
+		}
+		name, typ := fields[0], fields[1]
+		if !ValidMetricName(name) {
+			return fmt.Errorf("invalid metric name %q in TYPE", name)
+		}
+		switch typ {
+		case "counter", "gauge", "histogram", "summary", "untyped":
+		default:
+			return fmt.Errorf("unknown metric type %q", typ)
+		}
+		if _, dup := st.typed[name]; dup {
+			return fmt.Errorf("second TYPE for metric %q", name)
+		}
+		if st.seen[name] {
+			return fmt.Errorf("TYPE for %q after its first sample", name)
+		}
+		st.typed[name] = typ
+	}
+	return nil
+}
+
+// checkHelpEscapes rejects backslash escapes HELP text may not contain
+// (only \\ and \n are defined there).
+func checkHelpEscapes(text string) error {
+	for i := 0; i < len(text); i++ {
+		if text[i] != '\\' {
+			continue
+		}
+		if i+1 >= len(text) || (text[i+1] != '\\' && text[i+1] != 'n') {
+			return fmt.Errorf("illegal escape in HELP text")
+		}
+		i++
+	}
+	return nil
+}
+
+// sample parses one sample line: name[{labels}] value [timestamp].
+func (st *expoState) sample(line string) error {
+	name, rest, labels, err := splitSample(line)
+	if err != nil {
+		return err
+	}
+	if !ValidMetricName(name) {
+		return fmt.Errorf("invalid metric name %q", name)
+	}
+	fields := strings.Fields(rest)
+	if len(fields) != 1 && len(fields) != 2 {
+		return fmt.Errorf("want 'value' or 'value timestamp' after name")
+	}
+	val, err := strconv.ParseFloat(fields[0], 64)
+	if err != nil {
+		return fmt.Errorf("unparseable sample value %q", fields[0])
+	}
+	if len(fields) == 2 {
+		if _, err := strconv.ParseInt(fields[1], 10, 64); err != nil {
+			return fmt.Errorf("unparseable timestamp %q", fields[1])
+		}
+	}
+
+	// Resolve the metric this sample belongs to: histogram series fold
+	// under their base name.
+	base := name
+	typ := st.typed[base]
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		if b, ok := strings.CutSuffix(name, suf); ok && st.typed[b] == "histogram" {
+			base, typ = b, "histogram"
+			break
+		}
+	}
+	st.seen[base] = true
+
+	if typ == "histogram" {
+		bs := st.bucket[base]
+		if bs == nil {
+			bs = &bucketState{}
+			st.bucket[base] = bs
+		}
+		switch {
+		case strings.HasSuffix(name, "_bucket"):
+			le, ok := labels["le"]
+			if !ok {
+				return fmt.Errorf("histogram bucket of %q without le label", base)
+			}
+			if _, err := strconv.ParseFloat(le, 64); err != nil {
+				return fmt.Errorf("unparseable le %q", le)
+			}
+			if val < bs.last {
+				return fmt.Errorf("histogram %q bucket counts not cumulative", base)
+			}
+			bs.last = val
+			if le == "+Inf" {
+				bs.infCount, bs.hasInf = val, true
+			}
+		case strings.HasSuffix(name, "_count"):
+			bs.count, bs.hasCount = val, true
+		}
+	}
+	return nil
+}
+
+// splitSample splits a sample line into name, the post-labels
+// remainder, and the parsed label map.
+func splitSample(line string) (name, rest string, labels map[string]string, err error) {
+	brace := strings.IndexByte(line, '{')
+	space := strings.IndexAny(line, " \t")
+	if brace == -1 || (space != -1 && space < brace) {
+		// No label set.
+		if space == -1 {
+			return "", "", nil, fmt.Errorf("sample without value")
+		}
+		return line[:space], line[space:], nil, nil
+	}
+	name = line[:brace]
+	labels = map[string]string{}
+	i := brace + 1
+	for {
+		// label name
+		j := i
+		for j < len(line) && line[j] != '=' && line[j] != '}' {
+			j++
+		}
+		if j >= len(line) {
+			return "", "", nil, fmt.Errorf("unterminated label set")
+		}
+		if line[j] == '}' {
+			if strings.TrimSpace(line[i:j]) != "" {
+				return "", "", nil, fmt.Errorf("label without value")
+			}
+			i = j + 1
+			break
+		}
+		lname := strings.TrimSpace(line[i:j])
+		if !validLabelName(lname) {
+			return "", "", nil, fmt.Errorf("invalid label name %q", lname)
+		}
+		i = j + 1
+		if i >= len(line) || line[i] != '"' {
+			return "", "", nil, fmt.Errorf("label value of %q not quoted", lname)
+		}
+		val, next, verr := parseQuoted(line, i)
+		if verr != nil {
+			return "", "", nil, verr
+		}
+		if _, dup := labels[lname]; dup {
+			return "", "", nil, fmt.Errorf("duplicate label %q", lname)
+		}
+		labels[lname] = val
+		i = next
+		if i < len(line) && line[i] == ',' {
+			i++
+			continue
+		}
+		if i < len(line) && line[i] == '}' {
+			i++
+			break
+		}
+		return "", "", nil, fmt.Errorf("expected ',' or '}' in label set")
+	}
+	return name, line[i:], labels, nil
+}
+
+// parseQuoted parses a double-quoted label value starting at line[i]
+// (which must be '"'), returning the unescaped value and the index
+// after the closing quote. Only \\, \n and \" escapes are legal.
+func parseQuoted(line string, i int) (string, int, error) {
+	var b strings.Builder
+	for j := i + 1; j < len(line); j++ {
+		switch line[j] {
+		case '"':
+			return b.String(), j + 1, nil
+		case '\\':
+			j++
+			if j >= len(line) {
+				return "", 0, fmt.Errorf("dangling escape in label value")
+			}
+			switch line[j] {
+			case '\\':
+				b.WriteByte('\\')
+			case 'n':
+				b.WriteByte('\n')
+			case '"':
+				b.WriteByte('"')
+			default:
+				return "", 0, fmt.Errorf("illegal escape \\%c in label value", line[j])
+			}
+		default:
+			b.WriteByte(line[j])
+		}
+	}
+	return "", 0, fmt.Errorf("unterminated label value")
+}
+
+func validLabelName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// finish runs the whole-document checks that need every line first.
+func (st *expoState) finish() error {
+	for base, typ := range st.typed {
+		if typ != "histogram" || !st.seen[base] {
+			continue
+		}
+		bs := st.bucket[base]
+		if bs == nil || !bs.hasInf {
+			return fmt.Errorf("histogram %q has no +Inf bucket", base)
+		}
+		if bs.hasCount && bs.infCount != bs.count {
+			return fmt.Errorf("histogram %q: +Inf bucket %g != count %g", base, bs.infCount, bs.count)
+		}
+	}
+	return nil
+}

@@ -6,6 +6,7 @@ import (
 	"math"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 )
@@ -361,16 +362,99 @@ func MergeSnapshots(snaps ...Snapshot) Snapshot {
 
 func fmtFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
 
+// ValidMetricName reports whether name matches the exposition-format
+// metric-name grammar [a-zA-Z_:][a-zA-Z0-9_:]*.
+func ValidMetricName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// SanitizeMetricName maps an arbitrary string onto the metric-name
+// grammar: every invalid byte becomes '_', a leading digit is prefixed
+// with '_', and the empty name becomes "_". Valid names pass through
+// unchanged, so sanitizing at export never perturbs well-named metrics.
+func SanitizeMetricName(name string) string {
+	if ValidMetricName(name) {
+		return name
+	}
+	var b strings.Builder
+	b.Grow(len(name) + 1)
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+			b.WriteByte(c)
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				b.WriteByte('_')
+			}
+			b.WriteByte(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	if b.Len() == 0 {
+		return "_"
+	}
+	return b.String()
+}
+
+// escapeHelp escapes HELP text per the exposition format: backslash and
+// line feed only ('"' is NOT escaped in HELP — a parser would keep the
+// backslash and the text would change).
+func escapeHelp(s string) string {
+	if !strings.ContainsAny(s, "\\\n") {
+		return s
+	}
+	r := strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+	return r.Replace(s)
+}
+
+// EscapeLabelValue escapes a label value per the exposition format:
+// backslash, line feed, and double quote.
+func EscapeLabelValue(s string) string {
+	if !strings.ContainsAny(s, "\\\n\"") {
+		return s
+	}
+	r := strings.NewReplacer(`\`, `\\`, "\n", `\n`, `"`, `\"`)
+	return r.Replace(s)
+}
+
 // WritePrometheus renders the snapshot in the Prometheus text
 // exposition format. Output is deterministic: metrics sort by name.
+//
+// The writer guarantees a real scraper can always parse the result:
+// metric names are sanitized onto the exposition grammar (invalid bytes
+// become '_'; simulation metrics are all well-named, so this only moves
+// hostile or foreign names), HELP text escapes backslashes and
+// newlines, and label values escape backslashes, newlines and quotes.
+// Before this hardening a help string containing a newline, or a metric
+// name with a '-', produced output a Prometheus scrape would reject —
+// which the supervisor's live /metrics endpoint turns from a cosmetic
+// file bug into a service outage.
 func (s Snapshot) WritePrometheus(w io.Writer) error {
 	for _, p := range s {
+		name := SanitizeMetricName(p.Name)
 		if p.Help != "" {
-			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", p.Name, p.Help); err != nil {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", name, escapeHelp(p.Help)); err != nil {
 				return err
 			}
 		}
-		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", p.Name, p.Kind); err != nil {
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", name, p.Kind); err != nil {
 			return err
 		}
 		switch p.Kind {
@@ -380,21 +464,21 @@ func (s Snapshot) WritePrometheus(w io.Writer) error {
 				if i < len(p.Counts) {
 					cum += p.Counts[i]
 				}
-				if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%s\"} %d\n", p.Name, fmtFloat(b), cum); err != nil {
+				if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%s\"} %d\n", name, EscapeLabelValue(fmtFloat(b)), cum); err != nil {
 					return err
 				}
 			}
-			if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", p.Name, p.Count); err != nil {
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, p.Count); err != nil {
 				return err
 			}
-			if _, err := fmt.Fprintf(w, "%s_sum %s\n", p.Name, fmtFloat(p.Sum)); err != nil {
+			if _, err := fmt.Fprintf(w, "%s_sum %s\n", name, fmtFloat(p.Sum)); err != nil {
 				return err
 			}
-			if _, err := fmt.Fprintf(w, "%s_count %d\n", p.Name, p.Count); err != nil {
+			if _, err := fmt.Fprintf(w, "%s_count %d\n", name, p.Count); err != nil {
 				return err
 			}
 		default:
-			if _, err := fmt.Fprintf(w, "%s %s\n", p.Name, fmtFloat(p.Value)); err != nil {
+			if _, err := fmt.Fprintf(w, "%s %s\n", name, fmtFloat(p.Value)); err != nil {
 				return err
 			}
 		}

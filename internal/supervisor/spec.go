@@ -1,0 +1,78 @@
+package supervisor
+
+import (
+	"fmt"
+	"strings"
+
+	"spider/internal/archive"
+	"spider/internal/expt"
+	"spider/internal/fault"
+)
+
+// Spec is one campaign submission: which experiments to run and at what
+// options. It is the JSON body of POST /campaigns and the persisted
+// identity of a campaign in the store.
+type Spec struct {
+	// IDs is an experiment-id spec: a single id, a comma-separated
+	// list, or "all" (expt.ResolveIDs grammar).
+	IDs string `json:"ids"`
+	// Seed drives every random stream (default 1).
+	Seed int64 `json:"seed,omitempty"`
+	// Scale in (0,1] shrinks durations and trial counts (default 1).
+	Scale float64 `json:"scale,omitempty"`
+	// Chaos selects the fault profile or timeline for the chaos and
+	// city/metro experiments (empty = each experiment's default).
+	Chaos string `json:"chaos,omitempty"`
+	// Workers bounds the sweep fan-out inside each experiment
+	// (0 = GOMAXPROCS). Never affects results.
+	Workers int `json:"workers,omitempty"`
+	// Shards bounds concurrent city tiles in the sharded experiments
+	// (0/1 = sequential). Never affects results.
+	Shards int `json:"shards,omitempty"`
+}
+
+// normalize fills defaults so a stored spec re-resolves identically.
+func (sp Spec) normalize() Spec {
+	if sp.Seed == 0 {
+		sp.Seed = 1
+	}
+	if sp.Scale == 0 {
+		sp.Scale = 1
+	}
+	return sp
+}
+
+// resolve validates the spec the way the CLI validates its flags — all
+// of it before any experiment runs — and returns the resolved id list,
+// the experiment options, and the campaign fingerprint (the same
+// formula cmd/spider-exp uses for its -resume state, so the two agree
+// on campaign identity).
+func (sp Spec) resolve() (ids []string, opts expt.Options, fp string, err error) {
+	sp = sp.normalize()
+	ids, err = expt.ResolveIDs(sp.IDs)
+	if err != nil {
+		return nil, opts, "", err
+	}
+	if sp.Scale < 0 || sp.Scale > 1 {
+		return nil, opts, "", fmt.Errorf("scale %g outside (0,1]", sp.Scale)
+	}
+	if sp.Workers < 0 {
+		return nil, opts, "", fmt.Errorf("workers %d negative", sp.Workers)
+	}
+	if sp.Shards < 0 {
+		return nil, opts, "", fmt.Errorf("shards %d negative", sp.Shards)
+	}
+	if sp.Chaos != "" {
+		// A bad chaos spec must bounce the submission, not fail the
+		// campaign mid-flight. Timeline scripts and profile names both
+		// resolve here; the city experiments accept profile names only,
+		// which their own run path still enforces.
+		if _, _, _, rerr := fault.Resolve(sp.Chaos); rerr != nil {
+			return nil, opts, "", fmt.Errorf("chaos: %w", rerr)
+		}
+	}
+	opts = expt.Options{Seed: sp.Seed, Scale: sp.Scale, Workers: sp.Workers, Chaos: sp.Chaos, Shards: sp.Shards}
+	fp = archive.FP(fmt.Sprintf("seed=%d", sp.Seed), expt.ConfigFP(opts),
+		"ids="+strings.Join(ids, ","))
+	return ids, opts, fp, nil
+}
