@@ -407,6 +407,33 @@ func BenchmarkMetroScale(b *testing.B) {
 	b.ReportMetric(float64(city.Migrations)/float64(b.N), "migrations/op")
 }
 
+// BenchmarkMetroJoinStorm isolates the cold-start transient that
+// BenchmarkMetroScale's first iteration pays: the full 30×30 km metro —
+// 50k APs, 100k clients — built outside the timer, then advanced
+// through exactly the first virtual second, during which every client
+// scans, associates and DHCPs at once. Wall-clock and allocs for that
+// window are the storm cost; BENCH_10.json records before/after rows
+// for the burst-optimized kernel. Each iteration builds a fresh city
+// (StopTimer) so b.N > 1 still measures a cold storm, not steady state.
+func BenchmarkMetroJoinStorm(b *testing.B) {
+	cfg := Defaults(MultiChannelMultiAP, EqualSchedule(200*time.Millisecond, 1, 6, 11))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		spec := CityGrid(1, 50_000, 100_000)
+		spec.AreaW, spec.AreaH = 30_000, 30_000
+		rc := DefaultRadio()
+		rc.DataRateKbps = 24_000
+		spec.Radio = rc
+		city := shard.NewCity(spec, cfg, 0)
+		b.StartTimer()
+		if err := city.Run(time.Second); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "storm-s/wall-s")
+}
+
 // BenchmarkMetroSteadyState is the alloc regression gate for the pooled
 // per-client stack: a small 2-D-tiled district of parked clients on a
 // single-channel multi-AP schedule, warmed until every join and pool

@@ -48,6 +48,8 @@ func main() {
 		traceF   = flag.String("trace-filter", "", "comma-separated category prefixes to trace (empty = all)")
 		archO    = flag.String("archive-out", "", "write a run archive to this file (experiments run sequentially in id order; byte-identical at any -workers/-shards)")
 		resumeO  = flag.String("resume", "", "campaign state file: skip experiments it records as complete, persist each new one as it finishes (requires -archive-out)")
+		joinSpd  = flag.Duration("join-spread", 0, "stagger client admission in the city/metro experiments over this window (0 = legacy t=0 join storm)")
+		joinRamp = flag.String("join-ramp", "uniform", "admission offset shape with -join-spread: uniform or exp")
 	)
 	flag.Parse()
 	stopProf, err := prof.Start(*cpuProf, *memProf)
@@ -83,7 +85,12 @@ func main() {
 			o.Tracer.SetFilter(strings.Split(*traceF, ",")...)
 		}
 	}
-	opts := expt.Options{Seed: *seed, Scale: *scale, Workers: *workers, Chaos: *chaos, Obs: o, Shards: *shards}
+	if *joinSpd < 0 || (*joinRamp != "uniform" && *joinRamp != "exp") {
+		fmt.Fprintln(os.Stderr, "spider-exp: -join-spread must be >= 0 and -join-ramp uniform or exp")
+		os.Exit(2)
+	}
+	opts := expt.Options{Seed: *seed, Scale: *scale, Workers: *workers, Chaos: *chaos, Obs: o, Shards: *shards,
+		JoinSpread: *joinSpd, JoinRamp: *joinRamp}
 	// Unknown or duplicate ids fail here, before any experiment runs — a
 	// typo must not cost a partial campaign.
 	ids, err := expt.ResolveIDs(*id)

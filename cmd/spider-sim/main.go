@@ -281,7 +281,7 @@ type ckptOpts struct {
 
 // runCityGrid builds and runs the sharded city-scale scenario and
 // reports fleet-wide aggregates.
-func runCityGrid(cfg core.Config, seed int64, numAPs, clients, shards int, areaW, areaH float64, dur time.Duration, chaosSpec string, ospec obsSpec, metricsOut, traceOut, archiveOut, configFP string, ck ckptOpts) error {
+func runCityGrid(cfg core.Config, seed int64, numAPs, clients, shards int, areaW, areaH float64, joinSpread time.Duration, joinRamp string, dur time.Duration, chaosSpec string, ospec obsSpec, metricsOut, traceOut, archiveOut, configFP string, ck ckptOpts) error {
 	if numAPs <= 0 {
 		numAPs = 600
 	}
@@ -292,6 +292,7 @@ func runCityGrid(cfg core.Config, seed int64, numAPs, clients, shards int, areaW
 	if areaH > 0 {
 		spec.AreaH = areaH
 	}
+	spec.JoinSpread, spec.JoinRamp = joinSpread, joinRamp
 	rc := radio.Defaults()
 	rc.DataRateKbps = 24_000
 	spec.Radio = rc
@@ -381,6 +382,18 @@ func runCityGrid(cfg core.Config, seed int64, numAPs, clients, shards int, areaW
 	if inv := c.InvariantsTotal(); inv > 0 {
 		fmt.Printf("  INVARIANT VIOLATIONS: %d\n", inv)
 	}
+	// Engine summary: how fast the run went and what it cost. Fired
+	// counts are deterministic (kernel events are the simulation), the
+	// rate and heap figure are this machine's.
+	var fired uint64
+	for _, t := range c.Tiles {
+		fired += t.World.Kernel.Fired()
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	wall := time.Since(start)
+	fmt.Printf("  engine: %.1f sim-s per wall-s, %d kernel events dispatched, peak heap %d MiB\n",
+		dur.Seconds()/wall.Seconds(), fired, ms.HeapSys>>20)
 
 	if metricsOut != "" {
 		if err := obs.WriteMetricsFile(metricsOut, c.MergedSnapshot()); err != nil {
@@ -429,6 +442,8 @@ func main() {
 		ckptO    = flag.String("checkpoint-out", "", "write a resumable checkpoint to this file (citygrid only)")
 		ckptN    = flag.Int("checkpoint-every", 0, "rewrite -checkpoint-out every N barrier epochs (0 = only at run end)")
 		resume   = flag.String("resume", "", "resume a citygrid run from this checkpoint file (same seed and flags)")
+		joinSpd  = flag.Duration("join-spread", 0, "stagger client admission over this window (citygrid only; 0 = legacy t=0 join storm)")
+		joinRamp = flag.String("join-ramp", "uniform", "admission offset shape with -join-spread: uniform or exp")
 	)
 	flag.Parse()
 	stopProf, err := prof.Start(*cpuProf, *memProf)
@@ -450,17 +465,33 @@ func main() {
 	// The config fingerprint covers every flag that changes results and
 	// none that may not: -workers and -shards are deliberately outside
 	// it, since archives must compare byte-identical across them.
-	configFP := archive.FP(
-		"config="+*config,
-		"city="+*city,
+	fpParts := []string{
+		"config=" + *config,
+		"city=" + *city,
 		fmt.Sprintf("clients=%d", *clients),
 		fmt.Sprintf("minutes=%d", *minutes),
 		fmt.Sprintf("speed=%g", *speed),
 		fmt.Sprintf("aps=%d", *numAPs),
 		fmt.Sprintf("area=%gx%g", *areaW, *areaH),
 		fmt.Sprintf("reps=%d", *reps),
-		"chaos="+*chaos,
-	)
+		"chaos=" + *chaos,
+	}
+	// Staggered admission changes simulated bytes, so it splits the
+	// fingerprint — conditionally, so legacy invocations (and their
+	// checkpoints) keep their historical identity.
+	if *joinSpd > 0 {
+		fpParts = append(fpParts,
+			fmt.Sprintf("join-spread=%s", *joinSpd), "join-ramp="+*joinRamp)
+	}
+	configFP := archive.FP(fpParts...)
+	if *joinSpd < 0 || (*joinRamp != "uniform" && *joinRamp != "exp") {
+		fmt.Fprintln(os.Stderr, "spider-sim: -join-spread must be >= 0 and -join-ramp uniform or exp")
+		os.Exit(2)
+	}
+	if *joinSpd > 0 && *city != "citygrid" {
+		fmt.Fprintln(os.Stderr, "spider-sim: -join-spread requires -city citygrid")
+		os.Exit(2)
+	}
 	if *city != "citygrid" && (*ckptO != "" || *ckptN > 0 || *resume != "") {
 		fmt.Fprintln(os.Stderr, "spider-sim: -checkpoint-out/-checkpoint-every/-resume require -city citygrid")
 		os.Exit(2)
@@ -474,7 +505,7 @@ func main() {
 		if *traceF != "" {
 			ospec.filter = strings.Split(*traceF, ",")
 		}
-		err := runCityGrid(cfg, *seed, *numAPs, *clients, *shards, *areaW, *areaH,
+		err := runCityGrid(cfg, *seed, *numAPs, *clients, *shards, *areaW, *areaH, *joinSpd, *joinRamp,
 			time.Duration(*minutes)*time.Minute, *chaos, ospec, *metricsO, *traceO, *archO, configFP,
 			ckptOpts{out: *ckptO, every: *ckptN, resume: *resume})
 		if err != nil {

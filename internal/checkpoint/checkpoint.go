@@ -38,10 +38,20 @@ import (
 // Format and Version identify the data format. Any field addition,
 // removal, rename, or change of meaning anywhere in the state tree
 // bumps Version; a decoder accepts exactly the versions it knows.
+//
+// Version history:
+//
+//	1 — initial format.
+//	2 — DriverState gained Dormant/StartEv (staggered admission).
+//	    Version-1 documents decode losslessly: both fields default to
+//	    an immediately-started driver, the only state v1 could express.
 const (
 	Format  = "spider-checkpoint"
-	Version = 1
+	Version = 2
 )
+
+// minVersion is the oldest document version the decoder still accepts.
+const minVersion = 1
 
 // Checkpoint is one resumable snapshot document.
 type Checkpoint struct {
@@ -113,8 +123,8 @@ func Decode(b []byte) (*Checkpoint, error) {
 	if ck.Format != Format {
 		return nil, fmt.Errorf("checkpoint: format %q, want %q", ck.Format, Format)
 	}
-	if ck.Version != Version {
-		return nil, fmt.Errorf("checkpoint: version %d unsupported (decoder knows %d)", ck.Version, Version)
+	if ck.Version < minVersion || ck.Version > Version {
+		return nil, fmt.Errorf("checkpoint: version %d unsupported (decoder knows %d..%d)", ck.Version, minVersion, Version)
 	}
 	return &ck, nil
 }

@@ -212,7 +212,7 @@ func TestApplyRejectsMismatch(t *testing.T) {
 	if _, err := Decode(bad); err == nil {
 		t.Fatal("decoded a wrong-format document")
 	}
-	bad = bytes.Replace(ck.Encode(), []byte(`"version": 1`), []byte(`"version": 99`), 1)
+	bad = bytes.Replace(ck.Encode(), []byte(`"version": 2`), []byte(`"version": 99`), 1)
 	if _, err := Decode(bad); err == nil {
 		t.Fatal("decoded an unsupported version")
 	}

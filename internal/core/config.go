@@ -137,6 +137,13 @@ type Config struct {
 	UseHistory bool
 	// TxQueueFrames bounds each per-channel transmit queue.
 	TxQueueFrames int
+	// StartAt defers the driver's admission to the given absolute virtual
+	// time: until then the radio stays untuned (channel 0 hears nothing)
+	// and no scheduler, scan, or inactivity timer runs. Zero — or any
+	// time already past at construction — starts the driver immediately,
+	// byte-for-byte identical to a config without the field. Staggered
+	// admission ramps use it to spread a metro's join storm.
+	StartAt time.Duration
 }
 
 // SpiderDefaults returns Spider's tuned policy for the given mode and

@@ -145,6 +145,11 @@ type Driver struct {
 	bgScanEv   sim.Event
 	bgReturnEv sim.Event
 	apSliceEv  sim.Event
+	// startEv is the deferred-admission alarm (Config.StartAt); started
+	// flips when it fires. A driver with StartAt in the past is started
+	// at construction and never owns a startEv.
+	startEv sim.Event
+	started bool
 
 	// pool is the medium's frame pool (nil under NoPool); every frame the
 	// driver originates comes from it and is recycled by the medium at
@@ -152,7 +157,7 @@ type Driver struct {
 	pool *wifi.Pool
 	// Cached callbacks for the self-rescheduling ticks — re-arming with a
 	// fresh method value would allocate one closure per tick per client.
-	scanTickFn, nextSliceFn, inactivityFn, bgScanFn, bgReturnFn, apSliceFn func()
+	scanTickFn, nextSliceFn, inactivityFn, bgScanFn, bgReturnFn, apSliceFn, startFn func()
 	bgHome                                                                 int
 	// In-flight channel-switch state. A switch that starts while another
 	// is still in flight supersedes it: the generation counter invalidates
@@ -224,6 +229,10 @@ func NewDriver(m *radio.Medium, cfg Config, addr wifi.Addr, mob geo.Mobility, ev
 		inv:        metrics.NewInvariantSet(),
 	}
 	d.radio = m.NewRadio(addr, func() geo.Point { return mob.PositionAt(k.Now()) }, radio.ReceiverFunc(d.receive))
+	// Every mobility model's Speed is its maximum instantaneous speed
+	// (RouteMobility cruises at it, StopAndGo alternates it with standing
+	// still), so the radio can ride the index's drift-bounded mobile grid.
+	d.radio.SetMaxSpeed(mob.Speed())
 	d.pool = m.Pool()
 	d.scanTickFn = d.scanTick
 	d.nextSliceFn = d.nextSlice
@@ -246,6 +255,28 @@ func NewDriver(m *radio.Medium, cfg Config, addr wifi.Addr, mob geo.Mobility, ev
 		d.swRetuneEv = d.radio.Retune(d.swCh, d.swReset, d.arriveFn)
 	}
 	d.arriveFn = d.arrive
+	d.startFn = d.start
+	if d.cfg.StartAt > k.Now() {
+		// Deferred admission: the driver exists — radio registered on the
+		// medium, RNG stream claimed, so construction order still matches
+		// an immediate-start build — but stays dormant until the alarm.
+		d.startEv = k.At(d.cfg.StartAt, d.startFn)
+		return d
+	}
+	d.start()
+	return d
+}
+
+// start admits the driver: tune to the first scheduled channel and arm
+// the scheduler, scanner, and inactivity ticks. Runs at construction
+// when Config.StartAt has already passed (the legacy path, same kernel
+// calls in the same order) or from the deferred-admission alarm.
+func (d *Driver) start() {
+	d.startEv = sim.Event{}
+	if d.stopped {
+		return
+	}
+	d.started = true
 	d.radio.SetChannel(d.cfg.Schedule[0].Channel)
 	d.scanEv = d.kernel.After(0, d.scanTickFn)
 	if len(d.cfg.Schedule) > 1 {
@@ -258,7 +289,6 @@ func NewDriver(m *radio.Medium, cfg Config, addr wifi.Addr, mob geo.Mobility, ev
 	if d.cfg.APCentric {
 		d.startAPSlicer()
 	}
-	return d
 }
 
 // Shutdown permanently stops the driver: every interface is torn down
@@ -278,6 +308,8 @@ func (d *Driver) Shutdown() {
 	// Disarm every tick and in-flight switch stage: a retired driver must
 	// leave nothing in the event heap, so a checkpoint taken after the
 	// migration has no orphan timers pointing at a dead owner.
+	d.startEv.Cancel()
+	d.startEv = sim.Event{}
 	d.scanEv.Cancel()
 	d.scanEv = sim.Event{}
 	d.sliceEv.Cancel()
@@ -443,6 +475,14 @@ func (d *Driver) SetResetFaultHook(fn func() time.Duration) { d.resetFault = fn 
 // reason across consecutive polls with no intervening switches before
 // declaring a deadlock.
 func (d *Driver) Stalled() string {
+	if !d.started {
+		// A dormant driver is healthy exactly while its admission alarm is
+		// pending (or after retirement); dormant with no alarm is wedged.
+		if d.startEv.Pending() || d.stopped {
+			return ""
+		}
+		return "dormant with no admission alarm"
+	}
 	if d.switching {
 		return "channel switch in flight"
 	}

@@ -45,6 +45,13 @@ type DriverState struct {
 	APSliceIdx int
 	Switching  bool
 	Dwelling   bool
+	// Dormant marks a driver whose deferred admission (Config.StartAt)
+	// has not fired yet; StartEv is its pending alarm. Version-1
+	// checkpoints predate staggered admission: both fields decode to
+	// their zero values there, which correctly restores an immediate
+	// start (started, no alarm).
+	Dormant bool
+	StartEv sim.EventState
 	Seq        uint16
 	IdleUntil  time.Duration
 	BGHome     int
@@ -87,6 +94,8 @@ func (d *Driver) ExportState() DriverState {
 		Switching: d.switching, Dwelling: d.dwelling,
 		Seq: d.seq, IdleUntil: d.idleUntil, BGHome: d.bgHome,
 		DwellStart: d.dwellStart,
+		Dormant:    !d.started,
+		StartEv:    sim.CaptureEvent(d.startEv),
 		SwGen:      d.swGen, SwCh: d.swCh, SwReset: d.swReset,
 		SwOutstanding: d.swOutstanding,
 
@@ -215,6 +224,8 @@ func (d *Driver) RestoreState(st DriverState) error {
 		d.txq[qs.Ch] = q
 	}
 
+	d.started = !st.Dormant
+	d.startEv = st.StartEv.Restore(d.kernel, d.startFn)
 	d.scanEv = st.ScanEv.Restore(d.kernel, d.scanTickFn)
 	d.sliceEv = st.SliceEv.Restore(d.kernel, d.nextSliceFn)
 	d.inactEv = st.InactEv.Restore(d.kernel, d.inactivityFn)

@@ -14,10 +14,19 @@ import (
 // identity before a single measurement is read.
 func ConfigFP(o Options) string {
 	o = o.withDefaults()
-	return archive.FP(
+	parts := []string{
 		fmt.Sprintf("scale=%g", o.Scale),
-		"chaos="+o.Chaos,
-	)
+		"chaos=" + o.Chaos,
+	}
+	// Admission staggering changes simulated bytes, so it must split the
+	// fingerprint — but it appends conditionally, so every pre-stagger
+	// run ID stays exactly what it was.
+	if o.JoinSpread > 0 {
+		parts = append(parts,
+			fmt.Sprintf("join-spread=%s", o.JoinSpread),
+			"join-ramp="+o.JoinRamp)
+	}
+	return archive.FP(parts...)
 }
 
 // NewArchive creates an empty archive documenting runs at these

@@ -57,6 +57,7 @@ func cityRun(o Options, withObs bool) (*shard.City, time.Duration, error) {
 func specRun(id string, spec scenario.CityGridSpec, dur time.Duration, o Options, withObs bool) (*shard.City, time.Duration, error) {
 	spec.Radio = radio.Defaults()
 	spec.Radio.DataRateKbps = 24_000
+	spec.JoinSpread, spec.JoinRamp = o.JoinSpread, o.JoinRamp
 	cfg := core.SpiderDefaults(core.MultiChannelMultiAP,
 		core.EqualSchedule(200*time.Millisecond, 1, 6, 11))
 

@@ -51,6 +51,14 @@ type Options struct {
 	// affects results — the tile layout is fixed by the scenario — only
 	// wall-clock time. Other experiments ignore it.
 	Shards int
+	// JoinSpread staggers client admission in the city and metro
+	// experiments over this window (scenario.CityGridSpec.JoinSpread);
+	// JoinRamp shapes the offsets ("uniform" or "exp"). Zero spread is
+	// the legacy t=0 join storm. Unlike Workers/Shards, these change
+	// simulated bytes, so they fold into ConfigFP — but only when set,
+	// keeping legacy fingerprints stable. Other experiments ignore them.
+	JoinSpread time.Duration
+	JoinRamp   string
 }
 
 // DefaultOptions is the paper-like scale.

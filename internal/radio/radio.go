@@ -64,6 +64,15 @@ type Config struct {
 	// pooling equivalence tests enforce it); the unpooled path exists as
 	// the reference implementation and for before/after benchmarking.
 	NoPool bool
+	// HeapOnly disables the kernel's calendar-queue front-end and
+	// schedules every event on the retained binary heap, the original
+	// scheduler. Results are byte-identical either way (the scheduler
+	// equivalence tests enforce it); the heap-only path exists as the
+	// reference implementation and for before/after benchmarking. It
+	// rides in the radio config — like LinearScan and NoPool — because
+	// that is the one knob bag every scenario builder already threads
+	// down to the kernel's construction site.
+	HeapOnly bool
 }
 
 // Defaults returns the configuration used throughout the paper's
@@ -263,9 +272,15 @@ type Radio struct {
 	// sets sort by it to reproduce the linear scan's iteration order.
 	regIdx int32
 	// static radios (NewStaticRadio) are indexed in the spatial grid under
-	// staticPos; mobile radios live in the per-channel mobile lists.
+	// staticPos; mobile radios live in the per-channel mobile registries —
+	// drift-bounded grid bins when a speed bound is declared (maxSpeed ≥ 0,
+	// via SetMaxSpeed; binCell is the current bin), the always-scanned
+	// unbinned list otherwise.
 	static    bool
 	staticPos geo.Point
+	maxSpeed  float64
+	binCell   cellKey
+	inMCells  bool // binCell currently registered in the mobile grid
 
 	// Query-bounds cache: the grid-cell rectangle covering this radio's
 	// last carrier-sense (kind 0) and delivery (kind 1) query, valid while
@@ -346,7 +361,7 @@ func (m *Medium) NewRadio(addr wifi.Addr, pos func() geo.Point, rx Receiver) *Ra
 		panic("radio: position and receiver are required")
 	}
 	r := &Radio{m: m, addr: addr, pos: pos, rx: rx, regIdx: int32(len(m.radios)),
-		txQueue: make([]txJob, 0, 8)}
+		maxSpeed: -1, txQueue: make([]txJob, 0, 8)}
 	r.txDoneFn = r.txComplete
 	m.radios = append(m.radios, r)
 	if _, dup := m.byAddr[addr]; !dup {
@@ -377,6 +392,33 @@ func (r *Radio) Position() geo.Point { return r.pos() }
 // SetPromiscuous controls whether the radio also receives unicast frames
 // addressed to other stations (used by opportunistic scanning).
 func (r *Radio) SetPromiscuous(on bool) { r.promiscuous = on }
+
+// SetMaxSpeed declares an upper bound on the radio's instantaneous speed
+// in m/s, letting the spatial index keep the (mobile) radio in a
+// drift-bounded grid bin instead of the always-scanned mobile list. The
+// bound must hold at every instant — a radio that outruns it can slip
+// out of its padded query ring and silently miss deliveries. Zero is a
+// valid bound (a parked station). Owners that cannot bound their speed
+// simply never call this. No-op for static radios, which are gridded
+// under their fixed position already.
+func (r *Radio) SetMaxSpeed(v float64) {
+	if r.static || v < 0 {
+		return
+	}
+	ix := r.m.idx
+	if ix == nil {
+		r.maxSpeed = v
+		return
+	}
+	if r.channel != 0 {
+		ix.remove(r, r.channel)
+	}
+	r.maxSpeed = v
+	ix.noteSpeed(v)
+	if r.channel != 0 {
+		ix.add(r, r.channel)
+	}
+}
 
 // SetChannel tunes the radio instantly. Access points tune once at
 // startup; clients model the hardware-reset cost with Retune.
@@ -655,6 +697,7 @@ func (m *Medium) csCandidates(tx *Radio, ch int, txPos geo.Point) []*Radio {
 	if m.idx == nil {
 		return m.radios
 	}
+	m.idx.maybeSweep(ch, m.kernel.Now())
 	lo, hi := m.idx.boundsFor(tx, txPos, m.cfg.CSRange, qbCS)
 	m.csScratch = m.idx.gather(ch, lo, hi, false, m.csScratch[:0])
 	return m.csScratch
@@ -669,6 +712,7 @@ func (m *Medium) deliveryCandidates(tx *Radio, da wifi.Addr, ch int, txPos geo.P
 	if m.idx == nil {
 		return m.radios
 	}
+	m.idx.maybeSweep(ch, m.kernel.Now())
 	lo, hi := m.idx.boundsFor(tx, txPos, m.cfg.Range, qbDelivery)
 	out := m.idx.gather(ch, lo, hi, true, m.dlScratch[:0])
 	if !da.IsBroadcast() {
@@ -805,7 +849,12 @@ func (m *Medium) ChannelBusyUntil(ch int) time.Duration {
 					}
 				}
 			}
-			for _, r := range ci.mobiles {
+			for _, r := range ci.binned {
+				if r.busyUntil > max {
+					max = r.busyUntil
+				}
+			}
+			for _, r := range ci.unbinned {
 				if r.busyUntil > max {
 					max = r.busyUntil
 				}

@@ -3,6 +3,7 @@ package scenario
 import (
 	"math"
 	"math/rand"
+	"strconv"
 	"time"
 
 	"spider/internal/geo"
@@ -38,6 +39,20 @@ type CityGridSpec struct {
 	BackhaulKbps func(r *rand.Rand) int
 	// Radio overrides the medium defaults when non-zero.
 	Radio radio.Config
+	// JoinSpread staggers client admission: each planned client draws a
+	// start offset in [0, JoinSpread) and its driver stays dormant —
+	// radio untuned, no timers — until that offset passes. Zero (the
+	// default) admits the whole fleet at t=0, the legacy join storm,
+	// and leaves the plan's random sequence untouched. Offsets are
+	// drawn in Plan, after every legacy draw, so a staggered plan is a
+	// pure extension of the unstaggered one and stays byte-identical at
+	// any -shards/-workers value.
+	JoinSpread time.Duration
+	// JoinRamp shapes the admission offsets: "" or "uniform" spreads
+	// them evenly over the window; "exp" front-loads them (truncated
+	// exponential, quarter-window mean) so admission decays like a
+	// morning commute rather than a flat ramp.
+	JoinRamp string
 }
 
 // CityGrid returns a dense 3×3 km urban deployment with the given AP and
@@ -141,6 +156,10 @@ func (a APPlan) Spec() APSpec {
 type ClientPlan struct {
 	ID  uint32
 	Mob *geo.RouteMobility
+	// JoinAt is the client's planned admission time (zero = at t=0).
+	// Plan-derived, so whichever tile builds — or later adopts — the
+	// client arms the same deferred-start alarm.
+	JoinAt time.Duration
 }
 
 // Addr returns the client's planned MAC address.
@@ -210,5 +229,31 @@ func (s CityGridSpec) Plan() CityPlan {
 			Mob: s.clientMobility(rng),
 		})
 	}
+	// Admission offsets draw last, after every legacy draw, so plans
+	// with JoinSpread zero consume exactly the historical sequence.
+	if s.JoinSpread > 0 {
+		for i := range plan.Clients {
+			plan.Clients[i].JoinAt = s.drawJoinAt(rng)
+		}
+	}
 	return plan
+}
+
+// drawJoinAt draws one admission offset in [0, JoinSpread) under the
+// configured ramp shape.
+func (s CityGridSpec) drawJoinAt(rng *rand.Rand) time.Duration {
+	u := rng.Float64()
+	span := float64(s.JoinSpread)
+	switch s.JoinRamp {
+	case "", "uniform":
+		return time.Duration(u * span)
+	case "exp", "exponential":
+		// Truncated exponential by inverse CDF: quarter-window mean
+		// before truncation, support exactly [0, JoinSpread) — the
+		// cap redistributes mass smoothly instead of piling an atom at
+		// the window's end.
+		tau := span / 4
+		return time.Duration(-tau * math.Log(1-u*(1-math.Exp(-span/tau))))
+	}
+	panic("scenario: unknown JoinRamp " + strconv.Quote(s.JoinRamp) + " (want uniform or exp)")
 }

@@ -2,6 +2,7 @@ package shard
 
 import (
 	"context"
+	"runtime/pprof"
 	"sort"
 	"sync"
 	"time"
@@ -244,7 +245,7 @@ func NewCity(spec scenario.CityGridSpec, cfg core.Config, workers int) *City {
 		tile := lay.TileOf(cp.Mob.PositionAt(0))
 		c.mobs[i] = cp.Mob
 		c.residentTile[i] = int32(tile)
-		c.clients[i] = c.Tiles[tile].World.AddClientAddr(cp.Addr(), cfg, cp.Mob)
+		c.clients[i] = c.Tiles[tile].World.AddClientAddr(cp.Addr(), c.clientCfg(i), cp.Mob)
 	}
 	if lay.NTiles > 1 {
 		for _, t := range c.Tiles {
@@ -255,6 +256,17 @@ func NewCity(spec scenario.CityGridSpec, cfg core.Config, workers int) *City {
 		}
 	}
 	return c
+}
+
+// clientCfg is the driver config for plan client i: the shared city
+// config plus the client's planned admission time. StartAt rides a
+// copy — c.cfg itself stays untouched — so a migration or a restore
+// replay rebuilds the driver with the same admission alarm the plan
+// drew, whichever tile ends up owning the client.
+func (c *City) clientCfg(i int) core.Config {
+	cfg := c.cfg
+	cfg.StartAt = c.Plan.Clients[i].JoinAt
+	return cfg
 }
 
 // captureHalo mirrors boundary beacons into the outbox. Only broadcast
@@ -281,24 +293,39 @@ func (c *City) captureHalo(t *Tile, f *wifi.Frame, ch int, pos geo.Point) {
 // the tile's prior state plus its inbox, and inboxes are assembled in
 // deterministic order, so the result is invariant in Workers.
 func (c *City) Run(until time.Duration) error {
-	ctx := context.Background()
+	// Profiles split the run at the admission transient: the t=0 storm
+	// resolves within the first virtual second, and a staggered run
+	// extends the window by its ramp. CPU samples taken inside the loop
+	// carry phase=join-storm or phase=steady-state, so `go tool pprof
+	// -tagfocus` can cost the storm separately from cruise.
+	stormEnd := time.Second + c.Spec.JoinSpread
 	for c.now < until {
 		t1 := c.now + c.Layout.Epoch
 		if t1 > until {
 			t1 = until
 		}
-		if c.Watchdog > 0 {
-			c.runEpochWatched(t1)
-		} else {
-			_, err := sweep.RunN(ctx, c.Workers, len(c.Tiles), func(_ context.Context, i int) (struct{}, error) {
-				c.advanceTile(c.Tiles[i], t1)
-				return struct{}{}, nil
-			})
-			if err != nil {
-				return err
-			}
+		phase := "steady-state"
+		if c.now < stormEnd {
+			phase = "join-storm"
 		}
-		c.exchange(t1)
+		var err error
+		pprof.Do(context.Background(), pprof.Labels("phase", phase), func(ctx context.Context) {
+			if c.Watchdog > 0 {
+				c.runEpochWatched(t1)
+			} else {
+				_, err = sweep.RunN(ctx, c.Workers, len(c.Tiles), func(_ context.Context, i int) (struct{}, error) {
+					c.advanceTile(c.Tiles[i], t1)
+					return struct{}{}, nil
+				})
+				if err != nil {
+					return
+				}
+			}
+			c.exchange(t1)
+		})
+		if err != nil {
+			return err
+		}
 		c.now = t1
 	}
 	return nil
@@ -437,7 +464,7 @@ func (c *City) exchange(t1 time.Duration) {
 			recs[0].Channel = -1
 		}
 		recs = c.validateHandoff(recs)
-		c.Tiles[dst].World.AdoptClient(c.clients[i], c.cfg, c.mobs[i], recs)
+		c.Tiles[dst].World.AdoptClient(c.clients[i], c.clientCfg(i), c.mobs[i], recs)
 		c.migLog = append(c.migLog, MigRecord{Client: int32(i), From: c.residentTile[i], To: dst})
 		c.residentTile[i] = dst
 		c.Migrations++

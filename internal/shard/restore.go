@@ -158,7 +158,7 @@ func (c *City) RestoreState(st CityState) error {
 				n, m.Client, m.From, c.residentTile[m.Client])
 		}
 		recs := c.Tiles[m.From].World.RemoveClient(c.clients[m.Client])
-		c.Tiles[m.To].World.AdoptClient(c.clients[m.Client], c.cfg, c.mobs[m.Client], recs)
+		c.Tiles[m.To].World.AdoptClient(c.clients[m.Client], c.clientCfg(int(m.Client)), c.mobs[m.Client], recs)
 		c.residentTile[m.Client] = m.To
 	}
 	for i := range c.residentTile {

@@ -12,17 +12,29 @@
 // named, independently seeded RNG streams so that adding randomness to one
 // component never perturbs another.
 //
-// The scheduler is allocation-free on the hot path: events live in a
-// slab of slots recycled through a free list, ordered by a 4-ary heap of
-// slot indices. Event values handed to callers are generation-checked
-// handles, so Cancel and Pending on a slot that has since been recycled
-// are safe no-ops, exactly like the pointer-based scheduler they replace.
+// The scheduler is allocation-free on the hot path and burst-optimized:
+// events live in a slab of slots recycled through a free list, and the
+// queue is a calendar-style near-future bucket front-end over a 4-ary
+// min-heap. Events landing inside a sliding window of fixed-width time
+// buckets are staged unsorted at O(1); a bucket is sorted wholesale by
+// (at, seq) only when the clock reaches it — a flat, cache-friendly sort
+// that replaces per-event heap sifts exactly where a cold-start join
+// storm piles up millions of near-simultaneous timers. Events beyond the
+// window, or inside the bucket currently dispatching, take the heap.
+// Because every structure orders by the same (timestamp, sequence) key,
+// dispatch order — and therefore every golden output — is identical to
+// the heap-only scheduler, which is retained behind SetHeapOnly (the
+// radio Config.HeapOnly escape hatch) and pitted against the calendar
+// path by equivalence, property and fuzz tests. Event values handed to
+// callers are generation-checked handles, so Cancel and Pending on a
+// slot that has since been recycled are safe no-ops.
 package sim
 
 import (
 	"fmt"
 	"hash/fnv"
 	"math/rand"
+	"slices"
 	"time"
 )
 
@@ -44,7 +56,7 @@ func (e Event) At() time.Duration { return e.at }
 // live reports whether the handle still refers to a queued event.
 func (e Event) live() bool {
 	return e.k != nil && int(e.idx) < len(e.k.slots) &&
-		e.k.slots[e.idx].gen == e.gen && e.k.slots[e.idx].heapIdx >= 0
+		e.k.slots[e.idx].gen == e.gen && e.k.slots[e.idx].where != locFree
 }
 
 // Cancel removes the event from the queue. It is safe to call on an event
@@ -53,25 +65,70 @@ func (e Event) Cancel() bool {
 	if !e.live() {
 		return false
 	}
-	e.k.heapRemove(int(e.k.slots[e.idx].heapIdx))
-	e.k.release(e.idx)
+	k := e.k
+	s := &k.slots[e.idx]
+	switch s.where {
+	case locHeap:
+		k.heapRemove(int(s.pos))
+	case locBucket:
+		lst := k.buckets[s.bucket]
+		last := len(lst) - 1
+		if p := int(s.pos); p != last {
+			moved := lst[last]
+			lst[p] = moved
+			k.slots[moved].pos = int32(p)
+		}
+		k.buckets[s.bucket] = lst[:last]
+		k.nStaged--
+	case locRun:
+		// The run is sorted, so the entry stays put as a tombstone;
+		// dispatch and peek skip entries whose slot no longer claims
+		// the position.
+		k.runLive--
+	}
+	k.release(e.idx)
 	return true
 }
 
 // Pending reports whether the event is still queued.
 func (e Event) Pending() bool { return e.live() }
 
-// slot is one arena entry. A slot is live while its index sits in the
-// heap; on fire or cancel the callback is dropped (so a long-lived kernel
-// never retains fired-event closures), the generation is bumped to
-// invalidate outstanding handles, and the index returns to the free list.
+// Slot locations. A slot is live while it sits in exactly one of the
+// three queue structures; locFree slots are on the free list.
+const (
+	locFree int8 = iota
+	locHeap      // in Kernel.heap at index pos
+	locBucket    // staged in Kernel.buckets[bucket] at index pos
+	locRun       // in the sorted dispatch run at index pos
+)
+
+// slot is one arena entry. A slot is live while its index sits in a
+// queue structure; on fire or cancel the callback is dropped (so a
+// long-lived kernel never retains fired-event closures), the generation
+// is bumped to invalidate outstanding handles, and the index returns to
+// the free list.
 type slot struct {
-	fn      func()
-	at      time.Duration
-	seq     uint64
-	gen     uint32
-	heapIdx int32 // position in Kernel.heap; -1 when free
+	fn     func()
+	at     time.Duration
+	seq    uint64
+	gen    uint32
+	pos    int32 // position within the structure named by where
+	where  int8
+	bucket int16 // staging bucket, when where == locBucket
 }
+
+// Calendar geometry: a window of numBuckets buckets, each bucketW wide
+// (power of two, so bucket indexing is a shift and mask). The window
+// spans ~268 ms — wide enough that beacon intervals, probe jitter and
+// dwell slices stage in buckets; coarser timers (DHCP, scan periods)
+// take the heap, which any event may fall back to at any time without
+// affecting order.
+const (
+	bucketBits = 21 // 2^21 ns ≈ 2.1 ms per bucket
+	bucketW    = time.Duration(1) << bucketBits
+	numBuckets = 128
+	bucketSpan = numBuckets * bucketW
+)
 
 // Kernel is a discrete-event scheduler with a virtual clock.
 // The zero value is not usable; construct with NewKernel.
@@ -86,6 +143,17 @@ type Kernel struct {
 	srcs    map[string]*CountedSource
 	stopped bool
 
+	// Calendar front-end state. base is the (bucket-aligned) start of
+	// the staging window; run is the sorted dispatch view of the bucket
+	// at base. runLive counts run entries not yet fired or cancelled.
+	heapOnly bool
+	base     time.Duration
+	buckets  [][]int32
+	nStaged  int
+	run      []int32
+	runPos   int
+	runLive  int
+
 	// Fired counts events executed; useful for tests and budget guards.
 	fired uint64
 }
@@ -94,10 +162,23 @@ type Kernel struct {
 // streams derive from seed.
 func NewKernel(seed int64) *Kernel {
 	return &Kernel{
-		seed: seed,
-		rngs: make(map[string]*rand.Rand),
-		srcs: make(map[string]*CountedSource),
+		seed:    seed,
+		rngs:    make(map[string]*rand.Rand),
+		srcs:    make(map[string]*CountedSource),
+		buckets: make([][]int32, numBuckets),
 	}
+}
+
+// SetHeapOnly disables the calendar front-end, sending every event
+// through the retained 4-ary heap. It is the kernel half of the radio
+// Config.HeapOnly escape hatch: both schedulers order by (at, seq), so
+// outputs are byte-identical — the hatch exists so equivalence tests
+// and bisections can prove it. Call before scheduling any events.
+func (k *Kernel) SetHeapOnly(on bool) {
+	if on && (k.nStaged > 0 || k.runLive > 0) {
+		panic("sim: SetHeapOnly with staged events")
+	}
+	k.heapOnly = on
 }
 
 // Now returns the current virtual time.
@@ -108,6 +189,9 @@ func (k *Kernel) Seed() int64 { return k.seed }
 
 // Fired returns the number of events executed so far.
 func (k *Kernel) Fired() uint64 { return k.fired }
+
+// NumStreams reports how many named RNG streams exist (drawn or not).
+func (k *Kernel) NumStreams() int { return len(k.srcs) }
 
 // streamSeed derives the seed for the named RNG stream by mixing the
 // kernel seed with an FNV-1a hash of the name.
@@ -155,7 +239,7 @@ func (k *Kernel) At(t time.Duration, fn func()) Event {
 	s.at = t
 	s.seq = k.nextSeq
 	k.nextSeq++
-	k.heapPush(idx)
+	k.enqueue(idx)
 	return Event{k: k, at: t, idx: idx, gen: s.gen}
 }
 
@@ -168,23 +252,143 @@ func (k *Kernel) After(d time.Duration, fn func()) Event {
 	return k.At(k.now+d, fn)
 }
 
+// enqueue places a filled slot into the queue structure its timestamp
+// calls for: the staging buckets for the near future, the heap for
+// everything else (far future, the bucket currently dispatching, and —
+// defensively — anything below the window base).
+func (k *Kernel) enqueue(idx int32) {
+	if k.heapOnly {
+		k.heapPush(idx)
+		return
+	}
+	at := k.slots[idx].at
+	if k.runLive == 0 && k.nStaged == 0 && at >= k.base+bucketSpan {
+		// Empty front-end and the event is beyond the window: slide the
+		// window to the clock so near-future scheduling stays bucketed.
+		k.base = k.now &^ (bucketW - 1)
+	}
+	if at < k.base+bucketW {
+		if k.runLive > 0 || at < k.base {
+			k.heapPush(idx)
+		} else {
+			k.stage(idx)
+		}
+		return
+	}
+	if at < k.base+bucketSpan {
+		k.stage(idx)
+		return
+	}
+	k.heapPush(idx)
+}
+
+// stage appends the slot to its window bucket, unsorted.
+func (k *Kernel) stage(idx int32) {
+	s := &k.slots[idx]
+	b := int16(s.at>>bucketBits) & (numBuckets - 1)
+	s.where = locBucket
+	s.bucket = b
+	s.pos = int32(len(k.buckets[b]))
+	k.buckets[b] = append(k.buckets[b], idx)
+	k.nStaged++
+}
+
+// loadRun advances the window base to start and turns that bucket into
+// the sorted dispatch run. The old run's storage becomes the bucket's
+// fresh staging slice, so steady state recycles both.
+func (k *Kernel) loadRun(b int, start time.Duration) {
+	k.base = start
+	k.run, k.buckets[b] = k.buckets[b], k.run[:0]
+	k.nStaged -= len(k.run)
+	slices.SortFunc(k.run, func(a, c int32) int {
+		sa, sc := &k.slots[a], &k.slots[c]
+		if sa.at != sc.at {
+			if sa.at < sc.at {
+				return -1
+			}
+			return 1
+		}
+		if sa.seq < sc.seq { // seqs are unique; never equal
+			return -1
+		}
+		return 1
+	})
+	for p, idx := range k.run {
+		s := &k.slots[idx]
+		s.where = locRun
+		s.pos = int32(p)
+	}
+	k.runPos = 0
+	k.runLive = len(k.run)
+}
+
+// ensureFront advances the window until the earliest pending event is
+// either the run head or the heap top: while the run is drained and
+// events are staged, the earliest nonempty bucket is loaded — unless
+// the heap top precedes it, in which case dispatch proceeds from the
+// heap and the staged buckets keep waiting.
+func (k *Kernel) ensureFront() {
+	for k.runLive == 0 && k.nStaged > 0 {
+		b := int(k.base>>bucketBits) & (numBuckets - 1)
+		i := 0
+		for ; len(k.buckets[(b+i)&(numBuckets-1)]) == 0; i++ {
+		}
+		start := k.base + time.Duration(i)*bucketW
+		if len(k.heap) > 0 && k.slots[k.heap[0]].at < start {
+			return
+		}
+		k.loadRun((b+i)&(numBuckets-1), start)
+	}
+}
+
+// runHead returns the slot index at the head of the run, skipping
+// cancelled entries. ok is false when the run is drained.
+func (k *Kernel) runHead() (int32, bool) {
+	for k.runPos < len(k.run) {
+		idx := k.run[k.runPos]
+		s := &k.slots[idx]
+		if s.where == locRun && s.pos == int32(k.runPos) {
+			return idx, true
+		}
+		k.runPos++ // tombstone
+	}
+	return 0, false
+}
+
+// next returns the slot index of the globally earliest pending event
+// without removing it. The run head and heap top are both candidates;
+// staged buckets are pulled in by ensureFront as the clock reaches them.
+func (k *Kernel) next() (int32, bool) {
+	k.ensureFront()
+	ri, rok := k.runHead()
+	if len(k.heap) == 0 {
+		return ri, rok
+	}
+	hi := k.heap[0]
+	if !rok || k.heapLess(hi, ri) {
+		return hi, true
+	}
+	return ri, true
+}
+
 // Stop makes Run return after the currently executing event completes.
 func (k *Kernel) Stop() { k.stopped = true }
 
 // NextAt reports the virtual time of the earliest queued event. ok is
 // false when the queue is empty. Epoch runners use it as the kernel's
-// contribution to a lookahead bound without disturbing the queue.
+// contribution to a lookahead bound without disturbing dispatch order.
 func (k *Kernel) NextAt() (at time.Duration, ok bool) {
-	if len(k.heap) == 0 {
+	idx, ok := k.next()
+	if !ok {
 		return 0, false
 	}
-	return k.slots[k.heap[0]].at, true
+	return k.slots[idx].at, true
 }
 
 // Len reports the number of queued events.
-func (k *Kernel) Len() int { return len(k.heap) }
+func (k *Kernel) Len() int { return len(k.heap) + k.runLive + k.nStaged }
 
-// release recycles a slot that left the heap: the callback reference is
+// release recycles a slot that left the queue: the callback reference is
 // dropped immediately (no fired-event garbage retained), the generation
 // bump invalidates every outstanding handle, and the index becomes
 // available for the next At.
@@ -192,18 +396,25 @@ func (k *Kernel) release(idx int32) {
 	s := &k.slots[idx]
 	s.fn = nil
 	s.gen++
-	s.heapIdx = -1
+	s.where = locFree
+	s.pos = -1
 	k.free = append(k.free, idx)
 }
 
-// popNext removes the heap root and recycles its slot, returning the
-// callback to run. The slot is released before the callback executes so
-// that Pending/Cancel on the firing event behave as "already fired" and
-// the slot can be reused by events the callback itself schedules.
-func (k *Kernel) popNext() func() {
-	idx := k.heap[0]
-	fn := k.slots[idx].fn
-	k.heapRemove(0)
+// pop removes a slot that next returned — from the run head or the heap
+// top — and recycles it, returning the callback to run. The slot is
+// released before the callback executes so that Pending/Cancel on the
+// firing event behave as "already fired" and the slot can be reused by
+// events the callback itself schedules.
+func (k *Kernel) pop(idx int32) func() {
+	s := &k.slots[idx]
+	fn := s.fn
+	if s.where == locRun {
+		k.runPos++
+		k.runLive--
+	} else {
+		k.heapRemove(0)
+	}
 	k.release(idx)
 	return fn
 }
@@ -213,13 +424,13 @@ func (k *Kernel) popNext() func() {
 // until still run. It returns the virtual time when execution stopped.
 func (k *Kernel) Run(until time.Duration) time.Duration {
 	k.stopped = false
-	for !k.stopped && len(k.heap) > 0 {
-		at := k.slots[k.heap[0]].at
-		if at > until {
+	for !k.stopped {
+		idx, ok := k.next()
+		if !ok || k.slots[idx].at > until {
 			break
 		}
-		k.now = at
-		fn := k.popNext()
+		k.now = k.slots[idx].at
+		fn := k.pop(idx)
 		k.fired++
 		fn()
 	}
@@ -235,9 +446,13 @@ func (k *Kernel) Run(until time.Duration) time.Duration {
 // called. Use only with workloads that terminate on their own.
 func (k *Kernel) RunAll() time.Duration {
 	k.stopped = false
-	for !k.stopped && len(k.heap) > 0 {
-		k.now = k.slots[k.heap[0]].at
-		fn := k.popNext()
+	for !k.stopped {
+		idx, ok := k.next()
+		if !ok {
+			break
+		}
+		k.now = k.slots[idx].at
+		fn := k.pop(idx)
 		k.fired++
 		fn()
 	}
@@ -249,9 +464,8 @@ func (k *Kernel) RunAll() time.Duration {
 // A 4-ary heap halves the tree depth of a binary heap and keeps the four
 // children of a node in one cache line of the index slice, which is where
 // a discrete-event simulator spends its sift time. Ordering is (at, seq):
-// strictly the same tie-break as the previous container/heap scheduler,
-// so event execution order — and therefore every golden output — is
-// unchanged.
+// strictly the same tie-break as every other queue structure, so event
+// execution order — and therefore every golden output — is unchanged.
 
 func (k *Kernel) heapLess(a, b int32) bool {
 	sa, sb := &k.slots[a], &k.slots[b]
@@ -263,22 +477,22 @@ func (k *Kernel) heapLess(a, b int32) bool {
 
 func (k *Kernel) heapPush(idx int32) {
 	k.heap = append(k.heap, idx)
-	k.slots[idx].heapIdx = int32(len(k.heap) - 1)
+	s := &k.slots[idx]
+	s.where = locHeap
+	s.pos = int32(len(k.heap) - 1)
 	k.siftUp(len(k.heap) - 1)
 }
 
 // heapRemove deletes the element at heap position pos, preserving heap
-// order. The removed slot's heapIdx is left at -1.
+// order. The removed slot's location is left for the caller to reset.
 func (k *Kernel) heapRemove(pos int) {
 	h := k.heap
 	n := len(h) - 1
-	idx := h[pos]
 	if pos != n {
 		h[pos] = h[n]
-		k.slots[h[pos]].heapIdx = int32(pos)
+		k.slots[h[pos]].pos = int32(pos)
 	}
 	k.heap = h[:n]
-	k.slots[idx].heapIdx = -1
 	if pos < n {
 		k.siftDown(pos)
 		k.siftUp(pos)
@@ -293,8 +507,8 @@ func (k *Kernel) siftUp(i int) {
 			break
 		}
 		h[i], h[p] = h[p], h[i]
-		k.slots[h[i]].heapIdx = int32(i)
-		k.slots[h[p]].heapIdx = int32(p)
+		k.slots[h[i]].pos = int32(i)
+		k.slots[h[p]].pos = int32(p)
 		i = p
 	}
 }
@@ -321,8 +535,8 @@ func (k *Kernel) siftDown(i int) {
 			break
 		}
 		h[i], h[min] = h[min], h[i]
-		k.slots[h[i]].heapIdx = int32(i)
-		k.slots[h[min]].heapIdx = int32(min)
+		k.slots[h[i]].pos = int32(i)
+		k.slots[h[min]].pos = int32(min)
 		i = min
 	}
 }

@@ -24,57 +24,96 @@ package sim
 
 import (
 	"fmt"
-	"math/rand"
 	"sort"
 	"time"
 )
 
-// CountedSource wraps a math/rand Source64 and counts generator steps.
-// Every *rand.Rand method consumes one or more source outputs, each of
-// which passes through here, so the count identifies the stream's exact
-// position regardless of which mix of draw methods produced it.
-// Fast-forwarding a fresh source by the same count restores the
-// position: Burn draws at the source level, below rand.Rand's
-// conversion layer, so the mix of Int63/Uint64 calls never matters.
+// CountedSource is a math/rand-compatible Source64 that counts
+// generator steps. Every *rand.Rand method consumes one or more source
+// outputs, each of which passes through here, so the count identifies
+// the stream's exact position regardless of which mix of draw methods
+// produced it. Fast-forwarding a fresh source by the same count
+// restores the position: Burn draws at the source level, below
+// rand.Rand's conversion layer, so the mix of Int63/Uint64 calls never
+// matters.
+//
+// Outputs are bit-identical to rand.NewSource(seed) (see go1rng.go and
+// its equivalence tests), but the source is lazy: creation stores only
+// the normalized seed, the first g1Tap (273) draws are computed
+// sparsely from (seed, position) without a feedback register, and the
+// full 5 KB register materializes only when a stream crosses that
+// horizon. The metro join storm creates hundreds of thousands of
+// streams that draw a handful of times or never — under stdlib
+// seeding those paid ~1900 LCG steps and 5 KB each up front, which was
+// nearly half the storm's wall clock.
 type CountedSource struct {
-	src rand.Source64
-	n   uint64
+	x0  uint32     // normalized seed state of the current seeding
+	pos uint64     // outputs consumed since the current seeding
+	n   uint64     // logical step count for checkpoints
+	src *go1Source // nil while the stream is cold (no register yet)
 }
 
-// NewCountedSource returns a counted source seeded with seed.
+// NewCountedSource returns a counted source seeded with seed. No
+// register is built until the stream's draws cross the sparse horizon.
 func NewCountedSource(seed int64) *CountedSource {
-	return &CountedSource{src: rand.NewSource(seed).(rand.Source64)}
+	return &CountedSource{x0: g1Norm(seed)}
 }
 
 // Int63 returns a non-negative 63-bit value, counting one step.
 func (c *CountedSource) Int63() int64 {
-	c.n++
-	return c.src.Int63()
+	return int64(c.Uint64() &^ (1 << 63))
 }
 
 // Uint64 returns a 64-bit value, counting one step.
 func (c *CountedSource) Uint64() uint64 {
 	c.n++
+	if c.src == nil {
+		if c.pos < g1Tap {
+			k := uint32(c.pos)
+			c.pos++
+			return g1Sparse(c.x0, k)
+		}
+		c.materialize()
+	}
+	c.pos++
 	return c.src.Uint64()
 }
 
-// Seed reseeds the underlying source. The step count is not reset;
-// use Reseed for checkpoint restore.
-func (c *CountedSource) Seed(seed int64) { c.src.Seed(seed) }
+// materialize builds the full register and replays the stream to its
+// current position. Reached either when a live stream crosses the
+// sparse horizon (replay ≤ g1Tap draws) or on the first draw after a
+// Reseed with a large burn — which is exactly the work an eager reseed
+// would have done, deferred until the stream is actually used.
+func (c *CountedSource) materialize() {
+	g := new(go1Source)
+	g.seed(c.x0)
+	for i := uint64(0); i < c.pos; i++ {
+		g.Uint64()
+	}
+	c.src = g
+}
+
+// Seed reseeds the source. The step count is not reset; use Reseed for
+// checkpoint restore.
+func (c *CountedSource) Seed(seed int64) {
+	c.x0 = g1Norm(seed)
+	c.pos = 0
+	c.src = nil
+}
 
 // Steps reports how many source outputs have been consumed.
 func (c *CountedSource) Steps() uint64 { return c.n }
 
-// Reseed resets the source to its initial state for seed and then
-// fast-forwards it by burn steps, leaving the stream positioned exactly
-// where a fresh source would be after burn draws.
+// Reseed resets the source to its initial state for seed positioned
+// after burn draws, leaving the stream exactly where a fresh source
+// would be after burn draws. The fast-forward itself is deferred to the
+// stream's next draw, so restoring a checkpoint with thousands of
+// streams only replays the ones that are drawn from again.
 func (c *CountedSource) Reseed(seed int64, burn uint64) {
-	c.src.Seed(seed)
-	c.n = 0
-	for i := uint64(0); i < burn; i++ {
-		c.src.Uint64()
-	}
+	c.x0 = g1Norm(seed)
+	c.pos = burn
 	c.n = burn
+	c.src = nil
 }
 
 // RNGPos records the position of one named kernel RNG stream.
@@ -137,12 +176,28 @@ func (k *Kernel) RestoreRNGs(pos []RNGPos) {
 // events vanish and components re-arm from recorded state via
 // RestoreAt.
 func (k *Kernel) BeginRestore(now time.Duration, nextSeq, fired uint64) {
-	for len(k.heap) > 0 {
-		idx := k.heap[0]
-		k.heapRemove(0)
+	for _, idx := range k.heap {
 		k.release(idx)
 	}
+	k.heap = k.heap[:0]
+	for b := range k.buckets {
+		for _, idx := range k.buckets[b] {
+			k.release(idx)
+		}
+		k.buckets[b] = k.buckets[b][:0]
+	}
+	k.nStaged = 0
+	for p := k.runPos; p < len(k.run); p++ {
+		idx := k.run[p]
+		if s := &k.slots[idx]; s.where == locRun && s.pos == int32(p) {
+			k.release(idx)
+		}
+	}
+	k.run = k.run[:0]
+	k.runPos = 0
+	k.runLive = 0
 	k.now = now
+	k.base = now &^ (bucketW - 1)
 	k.nextSeq = nextSeq
 	k.fired = fired
 	k.stopped = false
@@ -202,6 +257,6 @@ func (k *Kernel) RestoreAt(at time.Duration, seq uint64, fn func()) Event {
 	s.fn = fn
 	s.at = at
 	s.seq = seq
-	k.heapPush(idx)
+	k.enqueue(idx)
 	return Event{k: k, at: at, idx: idx, gen: s.gen}
 }

@@ -3,6 +3,7 @@ package supervisor
 import (
 	"fmt"
 	"strings"
+	"time"
 
 	"spider/internal/archive"
 	"spider/internal/expt"
@@ -29,6 +30,13 @@ type Spec struct {
 	// Shards bounds concurrent city tiles in the sharded experiments
 	// (0/1 = sequential). Never affects results.
 	Shards int `json:"shards,omitempty"`
+	// JoinSpreadMS staggers client admission in the city/metro
+	// experiments over this many simulated milliseconds (0 = legacy t=0
+	// join storm); JoinRamp shapes the offsets ("uniform" or "exp").
+	// Unlike Workers/Shards these change simulated bytes, so they fold
+	// into the campaign fingerprint when set.
+	JoinSpreadMS int    `json:"join_spread_ms,omitempty"`
+	JoinRamp     string `json:"join_ramp,omitempty"`
 }
 
 // normalize fills defaults so a stored spec re-resolves identically.
@@ -71,7 +79,16 @@ func (sp Spec) resolve() (ids []string, opts expt.Options, fp string, err error)
 			return nil, opts, "", fmt.Errorf("chaos: %w", rerr)
 		}
 	}
-	opts = expt.Options{Seed: sp.Seed, Scale: sp.Scale, Workers: sp.Workers, Chaos: sp.Chaos, Shards: sp.Shards}
+	if sp.JoinSpreadMS < 0 {
+		return nil, opts, "", fmt.Errorf("join_spread_ms %d negative", sp.JoinSpreadMS)
+	}
+	switch sp.JoinRamp {
+	case "", "uniform", "exp":
+	default:
+		return nil, opts, "", fmt.Errorf("join_ramp %q (want uniform or exp)", sp.JoinRamp)
+	}
+	opts = expt.Options{Seed: sp.Seed, Scale: sp.Scale, Workers: sp.Workers, Chaos: sp.Chaos, Shards: sp.Shards,
+		JoinSpread: time.Duration(sp.JoinSpreadMS) * time.Millisecond, JoinRamp: sp.JoinRamp}
 	fp = archive.FP(fmt.Sprintf("seed=%d", sp.Seed), expt.ConfigFP(opts),
 		"ids="+strings.Join(ids, ","))
 	return ids, opts, fp, nil
